@@ -1,0 +1,66 @@
+"""A1-A4 — ablation benches for the design choices DESIGN.md calls out.
+
+Each bench disables one protocol mechanism (freezing, local queues, child
+grants, local re-entry) and reports the regression relative to the full
+protocol, turning the paper's qualitative design arguments into numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    ablate_child_grants,
+    ablate_freezing,
+    ablate_local_queues,
+    ablate_local_reentry,
+)
+
+
+def _report(result):
+    print()
+    print(result.render())
+
+
+def test_ablation_freezing(benchmark):
+    """A1 — Rule 6 off: the §3.3 starvation scenario becomes visible."""
+
+    result = benchmark.pedantic(
+        ablate_freezing, kwargs={"num_nodes": 16, "ops_per_node": 40},
+        rounds=1, iterations=1,
+    )
+    _report(result)
+    # Removing Rule 6 must produce strictly more conflicting-mode
+    # overtakes (the §3.3 starvation mechanism).
+    assert result.regression > 1.2
+
+
+def test_ablation_local_queues(benchmark):
+    """A2 — Rule 4.1 off: requests always chase the token."""
+
+    result = benchmark.pedantic(
+        ablate_local_queues, kwargs={"num_nodes": 24, "ops_per_node": 30},
+        rounds=1, iterations=1,
+    )
+    _report(result)
+    assert result.regression >= 0.95
+
+
+def test_ablation_child_grants(benchmark):
+    """A3 — Rule 3.1 off: only the token node grants."""
+
+    result = benchmark.pedantic(
+        ablate_child_grants, kwargs={"num_nodes": 24, "ops_per_node": 30},
+        rounds=1, iterations=1,
+    )
+    _report(result)
+    assert result.regression >= 0.9
+
+
+def test_ablation_local_reentry(benchmark):
+    """A4 — Rule 2's zero-message path off."""
+
+    result = benchmark.pedantic(
+        ablate_local_reentry, kwargs={"num_nodes": 24, "ops_per_node": 30},
+        rounds=1, iterations=1,
+    )
+    _report(result)
+    assert result.regression >= 0.95

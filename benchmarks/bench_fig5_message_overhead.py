@@ -1,0 +1,25 @@
+"""E5 / Figure 5 — message overhead vs. number of nodes (full sweep).
+
+Regenerates the paper's central scalability figure and asserts its
+qualitative claims: our protocol flattens near ~3 messages per lock
+request, below Naimi pure (~4), while Naimi same-work grows superlinearly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_message_overhead import run_fig5
+
+
+def test_fig5_message_overhead(benchmark, node_counts, paper_spec):
+    """Run the three-protocol sweep once and time it."""
+
+    result = benchmark.pedantic(
+        run_fig5,
+        args=(node_counts, paper_spec),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    failures = [name for name, ok in result.checks() if not ok]
+    assert not failures, f"figure 5 shape checks failed: {failures}"

@@ -1,0 +1,25 @@
+"""E6 / Figure 6 — request latency factor vs. number of nodes (full sweep).
+
+Regenerates the response-time comparison: our protocol grows roughly
+linearly with the lowest constant; Naimi pure is linear but worse; Naimi
+same-work is superlinear (ordered multi-lock acquisition).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_latency import run_fig6
+
+
+def test_fig6_latency(benchmark, node_counts, paper_spec):
+    """Run the three-protocol latency sweep once and time it."""
+
+    result = benchmark.pedantic(
+        run_fig6,
+        args=(node_counts, paper_spec),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    failures = [name for name, ok in result.checks() if not ok]
+    assert not failures, f"figure 6 shape checks failed: {failures}"

@@ -1,0 +1,25 @@
+"""E7 / Figure 7 — message-type breakdown for our protocol (full sweep).
+
+Regenerates the per-type decomposition: requests stabilize after an
+initial rise, copy grants dominate token transfers at scale, release
+traffic tracks grants, and freeze messages stay a small constant.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_breakdown import run_fig7
+
+
+def test_fig7_breakdown(benchmark, node_counts, paper_spec):
+    """Run the breakdown sweep once and time it."""
+
+    result = benchmark.pedantic(
+        run_fig7,
+        args=(node_counts, paper_spec),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    failures = [name for name, ok in result.checks() if not ok]
+    assert not failures, f"figure 7 shape checks failed: {failures}"

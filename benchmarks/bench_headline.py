@@ -1,0 +1,23 @@
+"""E8 / Section 6 — the headline comparison at the largest cluster size.
+
+Paper: at 120 nodes, ~3 messages per request for our protocol vs. ~4 for
+Naimi's base protocol, and a latency factor of ~90 vs. ~160.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.headline import run_headline
+from benchmarks.conftest import QUICK
+
+
+def test_headline_comparison(benchmark, paper_spec):
+    """Run the three protocols at the max node count and compare."""
+
+    nodes = 16 if QUICK else 120
+    result = benchmark.pedantic(
+        run_headline, args=(nodes, paper_spec), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failures = [name for name, ok in result.checks() if not ok]
+    assert not failures, f"headline checks failed: {failures}"

@@ -1,0 +1,26 @@
+"""Extension bench: strict priority arbitration (intro claim, [11, 12]).
+
+One high-priority client vs a low-priority crowd on one exclusive lock.
+Priority scheduling must cut the high-priority client's latency relative
+to FIFO, at some cost to the crowd (the documented trade-off).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.priority import run_priority_study
+
+
+def test_priority_arbitration(benchmark):
+    """Run the FIFO-vs-priority study once and time it."""
+
+    result = benchmark.pedantic(
+        run_priority_study,
+        kwargs={"num_nodes": 12, "ops_per_node": 25},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert result.speedup > 1.1
+    # The crowd pays for the VIP treatment (or at worst breaks even).
+    assert result.priority_crowd_latency >= result.fifo_crowd_latency * 0.9

@@ -1,0 +1,130 @@
+"""Microbenchmarks of the protocol kernel.
+
+These time the hot operations a deployment would care about: the
+zero-message local path (Rule 2), the rule-table lookups, a full
+request/grant/release round trip through the automata, and queue churn at
+the token node.  Unlike the figure sweeps these use pytest-benchmark's
+statistical rounds — they are microsecond-scale operations.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import HierarchicalLockAutomaton
+from repro.core.clock import LamportClock
+from repro.core.messages import RequestMessage, fresh_request_id
+from repro.core.modes import (
+    LockMode,
+    REAL_MODES,
+    child_can_grant,
+    compatible,
+    freeze_set,
+    should_queue,
+)
+from repro.naimi.automaton import NaimiAutomaton
+
+
+def _token_node():
+    return HierarchicalLockAutomaton(
+        node_id=0, lock_id="L", clock=LamportClock(),
+        parent=None, has_token=True,
+    )
+
+
+def test_mode_compatibility_lookup(benchmark):
+    """One Table 1(a) check (the innermost protocol operation)."""
+
+    result = benchmark(compatible, LockMode.IR, LockMode.IW)
+    assert result is True
+
+
+def test_rule_kernel_full_scan(benchmark):
+    """All four rule tables evaluated over every mode pair."""
+
+    def scan():
+        count = 0
+        for left in REAL_MODES:
+            for right in REAL_MODES:
+                count += compatible(left, right)
+                count += child_can_grant(left, right)
+                count += should_queue(left, right)
+                count += len(freeze_set(left, right))
+        return count
+
+    assert benchmark(scan) > 0
+
+
+def test_local_reacquisition_path(benchmark):
+    """Rule 2's zero-message acquire/release cycle at the token node."""
+
+    automaton = _token_node()
+
+    def cycle():
+        automaton.request(LockMode.IR)
+        automaton.release(LockMode.IR)
+
+    benchmark(cycle)
+    assert automaton.owned_mode() is LockMode.NONE
+
+
+def test_remote_grant_round_trip(benchmark):
+    """Request → copy grant → release over two automata (no transport)."""
+
+    token = _token_node()
+    token.request(LockMode.R)  # anchor: R copy grants stay at the token
+    child_clock = LamportClock()
+
+    def round_trip():
+        child = HierarchicalLockAutomaton(
+            node_id=1, lock_id="L", clock=child_clock,
+            parent=0, has_token=False,
+        )
+        out = child.request(LockMode.R)
+        grant = token.handle(out[0].message)
+        child.handle(grant[0].message)
+        release = child.release(LockMode.R)
+        token.handle(release[0].message)
+
+    benchmark(round_trip)
+
+
+def test_token_queue_churn(benchmark):
+    """Queueing and draining 50 conflicting requests at the token."""
+
+    def churn():
+        token = _token_node()
+        token.request(LockMode.W)
+        for index in range(50):
+            token.handle(
+                RequestMessage(
+                    lock_id="L", sender=index + 1, origin=index + 1,
+                    mode=LockMode.IR,
+                    request_id=fresh_request_id(index + 1, index + 1),
+                )
+            )
+        assert token.queue_length == 50
+        out = token.release(LockMode.W)
+        # The head IR grant is a token transfer (owned NONE < IR) that
+        # carries the remaining queue along with it.
+        assert len(out) == 1
+        assert token.queue_length == 0
+        return token
+
+    token = benchmark(churn)
+    assert not token.has_token  # the token (and queue) moved on
+
+
+def test_naimi_round_trip(benchmark):
+    """Baseline request → token → release hand-off between two nodes."""
+
+    def round_trip():
+        root = NaimiAutomaton(node_id=0, lock_id="L", last=None)
+        peer = NaimiAutomaton(node_id=1, lock_id="L", last=0)
+        granted = []
+        peer._listener = lambda lock, ctx: granted.append(1)
+        out = peer.request()
+        token_out = root.handle(out[0].message)
+        peer.handle(token_out[0].message)
+        peer.release()
+        return granted
+
+    assert benchmark(round_trip) == [1]

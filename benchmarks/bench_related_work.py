@@ -1,0 +1,28 @@
+"""§5 related-work bench: dynamic (Naimi) vs. static (Raymond) trees.
+
+Measures the paper's related-work claim — "Raymond's algorithm uses a
+non-adaptive logical structure while we use a dynamic one, which results
+in dynamic path compression" — with strictly sequential isolated
+requests so every request pays its protocol's true path cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.related_work import run_related_work
+from benchmarks.conftest import QUICK
+
+
+def test_dynamic_vs_static_trees(benchmark):
+    """Run the Naimi-vs-Raymond sweep once and time it."""
+
+    counts = (2, 4, 8, 16) if QUICK else (2, 4, 8, 16, 32, 64)
+    result = benchmark.pedantic(
+        run_related_work,
+        kwargs={"node_counts": counts, "rounds": 30 if QUICK else 60},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    failures = [name for name, ok in result.checks() if not ok]
+    assert not failures, f"related-work shape checks failed: {failures}"

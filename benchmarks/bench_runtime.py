@@ -1,0 +1,84 @@
+"""Deployment benches: lock-service throughput on the real runtimes.
+
+The figure benches measure the *protocol* in virtual time; these measure
+the *deployments* in wall time — uncontended and contended operation
+throughput through the threaded in-memory cluster and the TCP loopback
+cluster.  They guard the engineering (transport framing, per-node
+serialization, blocking-client plumbing) against regressions.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.modes import LockMode
+from repro.runtime.cluster import ThreadedHierarchicalCluster
+from repro.runtime.tcp import TcpTransport
+
+OPS = 200
+TIMEOUT = 30.0
+
+
+def _uncontended(cluster) -> int:
+    client = cluster.client(1)
+    for index in range(OPS):
+        client.acquire("t", LockMode.R, timeout=TIMEOUT)
+        client.release("t", LockMode.R)
+    return OPS
+
+
+def _contended(cluster) -> int:
+    def worker(node: int) -> None:
+        client = cluster.client(node)
+        for _ in range(OPS // 4):
+            client.acquire("t", LockMode.W, timeout=TIMEOUT)
+            client.release("t", LockMode.W)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return OPS
+
+
+def test_threaded_uncontended_reads(benchmark):
+    """Acquire/release cycles of a shared R lock (in-memory transport)."""
+
+    with ThreadedHierarchicalCluster(4) as cluster:
+        _uncontended(cluster)  # warm the copyset path
+        count = benchmark.pedantic(
+            _uncontended, args=(cluster,), rounds=3, iterations=1
+        )
+    assert count == OPS
+
+
+def test_threaded_contended_writes(benchmark):
+    """Four nodes fighting over one exclusive lock (in-memory transport)."""
+
+    with ThreadedHierarchicalCluster(4) as cluster:
+        count = benchmark.pedantic(
+            _contended, args=(cluster,), rounds=3, iterations=1
+        )
+    assert count == OPS
+
+
+def test_tcp_uncontended_reads(benchmark):
+    """The same uncontended cycle over real loopback TCP sockets."""
+
+    with ThreadedHierarchicalCluster(4, transport=TcpTransport()) as cluster:
+        _uncontended(cluster)
+        count = benchmark.pedantic(
+            _uncontended, args=(cluster,), rounds=3, iterations=1
+        )
+    assert count == OPS
+
+
+def test_tcp_contended_writes(benchmark):
+    """Contended exclusive traffic over real loopback TCP sockets."""
+
+    with ThreadedHierarchicalCluster(4, transport=TcpTransport()) as cluster:
+        count = benchmark.pedantic(
+            _contended, args=(cluster,), rounds=3, iterations=1
+        )
+    assert count == OPS

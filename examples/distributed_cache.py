@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Peer-to-peer web-cache coherence with hierarchical locks.
+
+The paper's introduction motivates the protocol with "web caching or
+embedded computing with distributed objects".  This example builds that
+scenario on the *threaded* runtime — real concurrent nodes, blocking
+clients — with a small coherent cache on top of the lock service:
+
+* every peer caches site objects locally,
+* a read takes ``site:IR`` + ``object:R``, serves from cache, and leaves
+  the cached copy valid,
+* a write (origin refresh) takes ``site:IW`` + ``object:W``, bumps the
+  object's version, and the next reader anywhere observes it,
+* a whole-site purge takes ``site:W``, excluding every reader and writer.
+
+The consistency check at the end is the point: thanks to R/W exclusion,
+no reader ever observed a torn version, and version history is monotone
+per object.
+
+Run:  python examples/distributed_cache.py
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+from repro.core.modes import LockMode
+from repro.runtime.cluster import ThreadedHierarchicalCluster
+from repro.verification.invariants import CompatibilityMonitor
+
+PEERS = 4
+OBJECTS = ["site/a.html", "site/b.html", "site/c.css"]
+ROUNDS = 8
+TIMEOUT = 30.0
+
+
+class OriginStore:
+    """The authoritative store (versioned objects); not thread-safe on
+    purpose — the locks provide the exclusion."""
+
+    def __init__(self) -> None:
+        self.versions: Dict[str, int] = {obj: 0 for obj in OBJECTS}
+
+    def read(self, obj: str) -> int:
+        return self.versions[obj]
+
+    def bump(self, obj: str) -> int:
+        # Deliberately non-atomic read-modify-write: a racing writer
+        # would lose updates if the W locks did not serialize them.
+        current = self.versions[obj]
+        self.versions[obj] = current + 1
+        return current + 1
+
+
+def peer(
+    cluster: ThreadedHierarchicalCluster,
+    node: int,
+    origin: OriginStore,
+    observations: List[Tuple[int, str, int]],
+    log_lock: threading.Lock,
+) -> None:
+    client = cluster.client(node)
+    cache: Dict[str, int] = {}
+    for round_index in range(ROUNDS):
+        obj = OBJECTS[(node + round_index) % len(OBJECTS)]
+        if (node + round_index) % 4 == 0:
+            # Refresh from origin: an exclusive write on the object.
+            client.acquire("site", LockMode.IW, timeout=TIMEOUT)
+            client.acquire(obj, LockMode.W, timeout=TIMEOUT)
+            version = origin.bump(obj)
+            cache[obj] = version
+            client.release(obj, LockMode.W)
+            client.release("site", LockMode.IW)
+        else:
+            # Coherent read: shared on the object.
+            client.acquire("site", LockMode.IR, timeout=TIMEOUT)
+            client.acquire(obj, LockMode.R, timeout=TIMEOUT)
+            version = origin.read(obj)
+            cache[obj] = version
+            with log_lock:
+                observations.append((node, obj, version))
+            client.release(obj, LockMode.R)
+            client.release("site", LockMode.IR)
+
+
+def main() -> None:
+    monitor = CompatibilityMonitor()
+    origin = OriginStore()
+    observations: List[Tuple[int, str, int]] = []
+    log_lock = threading.Lock()
+
+    with ThreadedHierarchicalCluster(PEERS, monitor=monitor) as cluster:
+        threads = [
+            threading.Thread(
+                target=peer,
+                args=(cluster, node, origin, observations, log_lock),
+            )
+            for node in range(PEERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Purge the whole site: a table-level exclusive lock.
+        admin = cluster.client(0)
+        admin.acquire("site", LockMode.W, timeout=TIMEOUT)
+        purged = dict(origin.versions)
+        admin.release("site", LockMode.W)
+
+    monitor.assert_all_released()
+
+    # Consistency: per object, observed versions never go backwards when
+    # ordered by observation time (the list is append-ordered per object
+    # under the R locks).
+    last_seen: Dict[str, int] = {}
+    for _node, obj, version in observations:
+        assert version >= last_seen.get(obj, 0), "stale read observed!"
+        last_seen[obj] = max(last_seen.get(obj, 0), version)
+
+    print(f"{PEERS} peers, {len(observations)} coherent reads, "
+          f"final versions at purge: {purged}")
+    print(f"grants recorded by the safety monitor: {monitor.grants}")
+    print("no stale or torn reads — cache stayed coherent")
+
+
+if __name__ == "__main__":
+    main()

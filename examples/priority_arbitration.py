@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Priority-based request arbitration (extension).
+
+The paper's introduction claims "request arbitration through strict
+priority ordering", building on the authors' prioritized token-based
+mutual exclusion work [11, 12].  This example enables the
+``priority_scheduling`` extension and shows a mixed workload where a
+high-priority control-plane writer repeatedly jumps a crowd of
+low-priority batch writers, while FIFO order still holds within each
+priority level.
+
+Run:  python examples/priority_arbitration.py
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import ProtocolOptions
+from repro.core.modes import LockMode
+from repro.sim.cluster import SimHierarchicalCluster
+from repro.sim.engine import Simulator, Timeout, run_processes
+from repro.verification.invariants import CompatibilityMonitor
+
+NODES = 6
+LOCK = "config"
+
+
+def main() -> None:
+    sim = Simulator()
+    monitor = CompatibilityMonitor()
+    cluster = SimHierarchicalCluster(
+        NODES,
+        sim=sim,
+        seed=17,
+        monitor=monitor,
+        options=ProtocolOptions(priority_scheduling=True),
+    )
+    grant_order = []
+
+    def batch_writer(node):
+        client = cluster.client(node)
+        yield Timeout(sim, 0.01 * node)  # staggered arrivals
+        yield client.acquire(LOCK, LockMode.W, priority=0)
+        grant_order.append(("batch", node, sim.now))
+        yield Timeout(sim, 0.100)
+        client.release(LOCK, LockMode.W)
+
+    def control_plane(node):
+        client = cluster.client(node)
+        yield Timeout(sim, 0.25)  # arrives after every batch writer
+        yield client.acquire(LOCK, LockMode.W, priority=10)
+        grant_order.append(("CONTROL", node, sim.now))
+        yield Timeout(sim, 0.020)
+        client.release(LOCK, LockMode.W)
+
+    run_processes(
+        sim,
+        [batch_writer(n) for n in range(1, 5)] + [control_plane(5)],
+    )
+    monitor.assert_all_released()
+
+    print("grant order (who, node, time):")
+    for who, node, when in grant_order:
+        print(f"  {when:6.3f}s  {who:<8} node {node}")
+    control_position = [who for who, _n, _t in grant_order].index("CONTROL")
+    overtaken = len(grant_order) - 1 - control_position
+    assert overtaken >= 1, "priority scheduling had no effect"
+    print(
+        f"\nthe control-plane writer arrived last but was served before "
+        f"{overtaken} queued batch writer(s) — priority arbitration at work"
+    )
+    print(
+        "(within one priority level the protocol keeps its FIFO order of "
+        "arrival at the token node)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: hierarchical locking on a simulated 4-node cluster.
+
+Demonstrates the library's core loop in ~50 lines:
+
+1. build a deterministic simulated cluster,
+2. run client coroutines that take multi-granularity locks (intention
+   modes on the table, real modes on entries),
+3. observe that disjoint entry writers proceed in parallel while a
+   table-level writer excludes everyone,
+4. verify the safety invariant with a monitor.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import LockMode, SimHierarchicalCluster, Simulator, Timeout
+from repro.sim import run_processes
+from repro.verification.invariants import CompatibilityMonitor
+
+
+def entry_writer(sim, cluster, node, entry):
+    """Write one table entry: IW on the table, W on the entry."""
+
+    client = cluster.client(node)
+    yield client.acquire("db/fares", LockMode.IW)
+    yield client.acquire(f"db/fares/{entry}", LockMode.W)
+    print(f"t={sim.now:6.3f}s  node {node}: writing entry {entry}")
+    yield Timeout(sim, 0.015)  # the critical section
+    client.release(f"db/fares/{entry}", LockMode.W)
+    client.release("db/fares", LockMode.IW)
+    print(f"t={sim.now:6.3f}s  node {node}: done with entry {entry}")
+
+
+def table_scanner(sim, cluster, node):
+    """Read the whole table: a single R on the table lock."""
+
+    client = cluster.client(node)
+    yield Timeout(sim, 0.010)  # arrive a moment later
+    yield client.acquire("db/fares", LockMode.R)
+    print(f"t={sim.now:6.3f}s  node {node}: scanning the whole table")
+    yield Timeout(sim, 0.015)
+    client.release("db/fares", LockMode.R)
+    print(f"t={sim.now:6.3f}s  node {node}: scan complete")
+
+
+def main() -> None:
+    sim = Simulator()
+    monitor = CompatibilityMonitor()
+    cluster = SimHierarchicalCluster(4, sim=sim, seed=7, monitor=monitor)
+
+    run_processes(
+        sim,
+        [
+            entry_writer(sim, cluster, node=1, entry=1),
+            entry_writer(sim, cluster, node=2, entry=2),  # disjoint: parallel
+            table_scanner(sim, cluster, node=3),          # waits for both IWs
+        ],
+    )
+
+    monitor.assert_all_released()
+    cluster.assert_quiescent_invariants()
+    print(f"\nsimulated time: {sim.now:.3f}s, grants: {monitor.grants}, "
+          f"wire messages: {cluster.network.messages_sent}")
+    print("safety verified: all concurrent holds were pairwise compatible")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The lock service over real TCP sockets.
+
+Runs the exact same hierarchical protocol automata as every other example
+— but the nodes talk over genuine TCP connections on the loopback
+interface (length-prefixed frames, one connection per ordered node pair
+so the protocol's FIFO assumption holds, exactly as a LAN deployment
+would be wired).
+
+Three nodes hammer a two-level hierarchy concurrently; the safety
+monitor verifies every grant, and the run reports how many frames
+actually crossed the sockets.
+
+Run:  python examples/sockets_cluster.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.modes import LockMode
+from repro.runtime.cluster import ThreadedHierarchicalCluster
+from repro.runtime.tcp import TcpTransport
+from repro.verification.invariants import CompatibilityMonitor
+
+NODES = 3
+OPS = 15
+TIMEOUT = 30.0
+
+
+def main() -> None:
+    monitor = CompatibilityMonitor()
+    transport = TcpTransport()
+    started = time.monotonic()
+
+    with ThreadedHierarchicalCluster(
+        NODES, monitor=monitor, transport=transport
+    ) as cluster:
+        for node in range(NODES):
+            host, port = transport.address_of(node)
+            print(f"node {node} listening on {host}:{port}")
+
+        def worker(node: int) -> None:
+            client = cluster.client(node)
+            for index in range(OPS):
+                entry = (node + index) % NODES
+                if index % 5 == 0:
+                    client.acquire("db/t", LockMode.IW, timeout=TIMEOUT)
+                    client.acquire(f"db/t/{entry}", LockMode.W, timeout=TIMEOUT)
+                    client.release(f"db/t/{entry}", LockMode.W)
+                    client.release("db/t", LockMode.IW)
+                else:
+                    client.acquire("db/t", LockMode.IR, timeout=TIMEOUT)
+                    client.acquire(f"db/t/{entry}", LockMode.R, timeout=TIMEOUT)
+                    client.release(f"db/t/{entry}", LockMode.R)
+                    client.release("db/t", LockMode.IR)
+
+        threads = [
+            threading.Thread(target=worker, args=(node,))
+            for node in range(NODES)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        frames = transport.messages_sent
+        elapsed = time.monotonic() - started
+
+    monitor.assert_all_released()
+    total_ops = NODES * OPS
+    print(f"\n{total_ops} hierarchical operations in {elapsed:.2f}s "
+          f"over real TCP sockets")
+    print(f"protocol frames on the wire: {frames} "
+          f"({frames / total_ops:.1f} per operation)")
+    print(f"grants verified by the safety monitor: {monitor.grants}")
+
+
+if __name__ == "__main__":
+    main()

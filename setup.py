@@ -1,0 +1,7 @@
+"""Setuptools shim: enables editable installs where the ``wheel`` package
+is unavailable (``pip install -e . --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` path through this file)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro - reproduction of Desai & Mueller, "Scalable Distributed
+Concurrency Services for Hierarchical Locking" (ICDCS 2003).
+
+The package provides:
+
+* :mod:`repro.core` - the paper's decentralized hierarchical locking
+  protocol (modes, rule tables, the automaton, per-node lock spaces),
+* :mod:`repro.naimi` - the Naimi-Trehel baseline,
+* :mod:`repro.sim` - a deterministic discrete-event simulator with a
+  point-to-point network model and ready-made clusters,
+* :mod:`repro.runtime` - a real-threads in-process deployment of the same
+  automata,
+* :mod:`repro.services` - a CORBA-concurrency-service-style ``LockSet``
+  facade and a small transaction layer,
+* :mod:`repro.workload`, :mod:`repro.metrics`, :mod:`repro.experiments` -
+  the airline workload and everything needed to regenerate the paper's
+  figures,
+* :mod:`repro.verification` - safety monitors and a model explorer.
+
+Quickstart::
+
+    from repro import LockMode, SimHierarchicalCluster, Simulator, Timeout
+
+    sim = Simulator()
+    cluster = SimHierarchicalCluster(num_nodes=4, sim=sim)
+
+    def reader(node):
+        client = cluster.client(node)
+        yield client.acquire("db/t", LockMode.IR)
+        yield client.acquire("db/t/0", LockMode.R)
+        yield Timeout(sim, 0.01)
+        client.release("db/t/0", LockMode.R)
+        client.release("db/t", LockMode.IR)
+
+    from repro.sim import run_processes
+    run_processes(sim, [reader(n) for n in range(4)])
+"""
+
+from .core import (
+    HierarchicalLockAutomaton,
+    LockMode,
+    LockSpace,
+    ResourceTree,
+    lock_plan,
+    release_plan,
+)
+from .errors import (
+    ConfigurationError,
+    InvariantViolation,
+    LockUsageError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from .metrics import MetricsCollector
+from .naimi import NaimiAutomaton, NaimiLockSpace
+from .sim import (
+    SimEvent,
+    SimHierarchicalCluster,
+    SimNaimiCluster,
+    Simulator,
+    Timeout,
+    run_processes,
+)
+from .workload import WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "HierarchicalLockAutomaton",
+    "InvariantViolation",
+    "LockMode",
+    "LockSpace",
+    "LockUsageError",
+    "MetricsCollector",
+    "NaimiAutomaton",
+    "NaimiLockSpace",
+    "ProtocolError",
+    "ReproError",
+    "ResourceTree",
+    "SimEvent",
+    "SimHierarchicalCluster",
+    "SimNaimiCluster",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "WorkloadSpec",
+    "lock_plan",
+    "release_plan",
+    "run_processes",
+    "__version__",
+]

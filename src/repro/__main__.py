@@ -1,0 +1,103 @@
+"""Command-line driver: ``python -m repro <experiment> [--quick]``.
+
+Runs any of the paper's experiments from the shell:
+
+* ``tables``   — regenerate and verify Tables 1(a)-2(b),
+* ``fig5``     — Figure 5, message overhead vs. nodes,
+* ``fig6``     — Figure 6, latency factor vs. nodes,
+* ``fig7``     — Figure 7, message-type breakdown,
+* ``headline`` — the §6 comparison at the largest cluster,
+* ``ablations``— the A1-A4 design-choice studies,
+* ``priority`` — the strict-priority arbitration extension study,
+* ``related``  — §5's dynamic-vs-static token-tree comparison,
+* ``all``      — everything above, in order.
+
+``--quick`` switches the sweeps to CI scale (a few seconds total);
+``--nodes N`` overrides the node counts with a single cluster size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence
+
+from .experiments import ablations, headline, priority, related_work, tables
+from .experiments.common import PAPER_NODE_COUNTS, QUICK_NODE_COUNTS
+from .experiments.fig5_message_overhead import run_fig5
+from .experiments.fig6_latency import run_fig6
+from .experiments.fig7_breakdown import run_fig7
+from .workload.spec import WorkloadSpec
+
+EXPERIMENTS = (
+    "tables", "fig5", "fig6", "fig7", "headline", "ablations",
+    "priority", "related",
+)
+
+
+def _parse(argv: Sequence[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce Desai & Mueller (ICDCS 2003).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-scale sweeps instead of 2-120 nodes",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None,
+        help="run at one specific cluster size",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=None,
+        help="operations per node (default: 30, or 15 with --quick)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2003, help="workload seed",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    """Entry point; returns a process exit status."""
+
+    args = _parse(list(argv) or sys.argv[1:])
+    counts: List[int]
+    if args.nodes is not None:
+        counts = [args.nodes]
+    elif args.quick:
+        counts = list(QUICK_NODE_COUNTS)
+    else:
+        counts = list(PAPER_NODE_COUNTS)
+    ops = args.ops if args.ops is not None else (15 if args.quick else 30)
+    spec = WorkloadSpec(ops_per_node=ops, seed=args.seed)
+    wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in wanted:
+        if name == "tables":
+            print(tables.render_all())
+        elif name == "fig5":
+            print(run_fig5(counts, spec).render())
+        elif name == "fig6":
+            print(run_fig6(counts, spec).render())
+        elif name == "fig7":
+            print(run_fig7(counts, spec).render())
+        elif name == "headline":
+            print(headline.run_headline(max(counts), spec).render())
+        elif name == "ablations":
+            ablations.main()
+        elif name == "priority":
+            print(priority.run_priority_study().render())
+        elif name == "related":
+            quick_counts = (2, 4, 8, 16) if args.quick else (2, 4, 8, 16, 32, 64)
+            print(related_work.run_related_work(quick_counts).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""The paper's primary contribution: hierarchical locking protocol.
+
+Public surface:
+
+* :class:`~repro.core.modes.LockMode` and the rule tables
+  (:mod:`repro.core.modes`),
+* :class:`~repro.core.automaton.HierarchicalLockAutomaton` — the protocol
+  state machine,
+* :class:`~repro.core.lockspace.LockSpace` — per-node multiplexer,
+* :mod:`repro.core.hierarchy` — multi-granularity lock plans,
+* the protocol messages (:mod:`repro.core.messages`).
+"""
+
+from .automaton import HierarchicalLockAutomaton
+from .clock import LamportClock
+from .hierarchy import ResourceTree, ancestors, lock_plan, release_plan
+from .lockspace import LockSpace, default_token_home, hashed_token_home
+from .messages import (
+    Envelope,
+    FreezeMessage,
+    GrantMessage,
+    LockId,
+    Message,
+    NodeId,
+    ReleaseMessage,
+    RequestId,
+    RequestMessage,
+    TokenMessage,
+    message_type_label,
+)
+from .modes import (
+    ALL_MODES,
+    LockMode,
+    REAL_MODES,
+    child_can_grant,
+    compatible,
+    conflicts,
+    freeze_set,
+    intention_mode,
+    max_mode,
+    should_queue,
+    strength,
+    token_can_grant,
+    token_transfer_required,
+)
+
+__all__ = [
+    "ALL_MODES",
+    "Envelope",
+    "FreezeMessage",
+    "GrantMessage",
+    "HierarchicalLockAutomaton",
+    "LamportClock",
+    "LockId",
+    "LockMode",
+    "LockSpace",
+    "Message",
+    "NodeId",
+    "REAL_MODES",
+    "ReleaseMessage",
+    "RequestId",
+    "RequestMessage",
+    "ResourceTree",
+    "TokenMessage",
+    "ancestors",
+    "child_can_grant",
+    "compatible",
+    "conflicts",
+    "default_token_home",
+    "freeze_set",
+    "hashed_token_home",
+    "intention_mode",
+    "lock_plan",
+    "max_mode",
+    "message_type_label",
+    "release_plan",
+    "should_queue",
+    "strength",
+    "token_can_grant",
+    "token_transfer_required",
+]

@@ -1,0 +1,830 @@
+"""The hierarchical locking protocol automaton (Rules 1-7, Fig. 4).
+
+One :class:`HierarchicalLockAutomaton` instance embodies the per-node,
+per-lock state of the Desai/Mueller protocol: the parent pointer of the
+copyset tree, the token flag, the held/owned/pending modes, the copyset
+(children and their owned modes), the local FIFO queue and the frozen-mode
+set.
+
+The automaton is **transport-agnostic**: every public method returns the
+list of :class:`~repro.core.messages.Envelope` objects to transmit, and
+grant notifications are delivered through a caller-supplied listener
+callback.  The discrete-event simulator, the threaded runtime, the unit
+tests and the model explorer all drive this same class.
+
+Deviations from the paper's (OCR-damaged) pseudocode, argued in
+DESIGN.md §3 and §6:
+
+* **Detach on re-parenting.**  When a node acquires the token, or is
+  granted a copy by a node other than its current parent, it sends a
+  ``Release(NONE)`` to its former parent.  Without this the former parent
+  would retain a phantom copyset entry forever, inflating its owned mode
+  and eventually deadlocking strong requests.  (The paper's note (b)
+  covers the token sender's side of this hand-off; the requester's side is
+  implied by the copyset tree remaining a tree.)
+* **Freeze messages carry the absolute frozen set** and are re-sent to
+  potential granters only when the set changes, so shrinkage doubles as
+  the unfreeze notification.
+* **Upgrade requests are queued at the front** of the token node's queue.
+  The upgrader holds ``U`` (and hence the token — any ``U`` grant is a
+  token transfer), so every queued conflicting request is already waiting
+  on the upgrader; serving the upgrade first is the only deadlock-free
+  order, which is what "Upgrade Mode Precedes Write Mode" (§3.4) requires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import LockUsageError, ProtocolError
+from .clock import LamportClock
+from .messages import (
+    Envelope,
+    FreezeMessage,
+    GrantMessage,
+    LockId,
+    Message,
+    NodeId,
+    ReleaseMessage,
+    RequestMessage,
+    TokenMessage,
+    fresh_attachment_seq,
+    fresh_request_id,
+)
+from .modes import (
+    LockMode,
+    REAL_MODES,
+    child_can_grant,
+    compatible,
+    max_mode,
+    freeze_set,
+    should_queue,
+    strictly_weaker,
+    token_can_grant,
+    token_transfer_required,
+)
+
+#: Signature of the grant listener: ``(lock_id, granted_mode, ctx)``.
+GrantListener = Callable[[LockId, LockMode, object], None]
+
+
+def _noop_listener(lock_id: LockId, mode: LockMode, ctx: object) -> None:
+    """Default listener used when the caller does not need callbacks."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolOptions:
+    """Feature switches for ablation studies (DESIGN.md experiments A1-A3).
+
+    All switches default to the full protocol.  Disabling one removes the
+    corresponding optimization/mechanism:
+
+    * ``freezing`` — Rule 6.  Off: the token never freezes modes, so
+      compatible newcomers can overtake queued incompatible requests
+      indefinitely (the §3.3 starvation scenario).
+    * ``local_queues`` — Rule 4.1 / Table 2(a).  Off: non-token nodes
+      always forward ungrantable requests instead of queueing.
+    * ``child_grants`` — Rule 3.1 / Table 1(b).  Off: only the token node
+      grants; the copyset tree degenerates to a star below the token.
+    * ``local_reentry`` — Rule 2's zero-message path.  Off: every request
+      goes through messages even when the owned mode already suffices.
+    """
+
+    freezing: bool = True
+    local_queues: bool = True
+    child_grants: bool = True
+    local_reentry: bool = True
+    #: Extension (off by default = the published protocol): order local
+    #: queues by request priority (higher first; FIFO within a priority
+    #: level) instead of pure FIFO.  Implements the "strict priority
+    #: ordering" arbitration of the authors' prior work [11, 12].  Strict
+    #: priorities deliberately allow a high-priority stream to defer
+    #: low-priority requests indefinitely.
+    priority_scheduling: bool = False
+
+
+#: The full protocol as published.
+FULL_PROTOCOL = ProtocolOptions()
+
+
+class HierarchicalLockAutomaton:
+    """Per-(node, lock) state machine of the hierarchical locking protocol.
+
+    Parameters
+    ----------
+    node_id:
+        Identity of the hosting node.
+    lock_id:
+        Name of the lock this automaton manages.
+    clock:
+        The node's shared Lamport clock (FIFO request ordering).
+    parent:
+        Initial parent pointer; ``None`` iff this node starts as the token
+        node.  Initially all nodes point (directly or transitively) at the
+        token node, as in the paper ("initially, the root is the token
+        owner").
+    has_token:
+        Whether this node initially holds the token.
+    listener:
+        Callback invoked as ``listener(lock_id, mode, ctx)`` whenever a
+        request issued through :meth:`request` or :meth:`upgrade` is
+        granted.  May be invoked synchronously from within ``request``.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        lock_id: LockId,
+        clock: LamportClock,
+        parent: Optional[NodeId],
+        has_token: bool,
+        listener: GrantListener = _noop_listener,
+        options: ProtocolOptions = FULL_PROTOCOL,
+    ) -> None:
+        if has_token and parent is not None:
+            raise ProtocolError("the token node must not have a parent")
+        if not has_token and parent is None:
+            raise ProtocolError("non-token nodes need an initial parent")
+        self._node_id = node_id
+        self._lock_id = lock_id
+        self._clock = clock
+        self._parent = parent
+        self._has_token = has_token
+        self._listener = listener
+        self._options = options
+        self._held: Dict[LockMode, int] = {}
+        self._children: Dict[NodeId, LockMode] = {}
+        self._queue: List[RequestMessage] = []
+        self._frozen: FrozenSet[LockMode] = frozenset()
+        self._pending: Optional[RequestMessage] = None
+        self._pending_ctx: object = None
+        # Attachment epochs: ``_attach_seq`` is the epoch of this node's
+        # current attachment at its parent; ``_child_seqs`` records, per
+        # child, the epoch of the newest attachment this node issued.
+        # Releases older than the recorded epoch are stale and ignored
+        # (see GrantMessage's docstring for the race this prevents).
+        self._attach_seq = 0
+        self._child_seqs: Dict[NodeId, int] = {}
+        #: Optional trace callback ``(node_id, event, detail)`` for the
+        #: verification tooling; None in production paths.
+        self.trace_hook: Optional[Callable[[NodeId, str, str], None]] = None
+
+    def _trace(self, event: str, detail: str = "") -> None:
+        if self.trace_hook is not None:
+            self.trace_hook(self._node_id, event, detail)
+
+    # ------------------------------------------------------------------
+    # Introspection (read-only views used by tests, monitors, metrics).
+    # ------------------------------------------------------------------
+
+    @property
+    def node_id(self) -> NodeId:
+        """Identity of the hosting node."""
+
+        return self._node_id
+
+    @property
+    def lock_id(self) -> LockId:
+        """Name of the lock managed by this automaton."""
+
+        return self._lock_id
+
+    @property
+    def has_token(self) -> bool:
+        """Whether this node currently holds the token (is the root)."""
+
+        return self._has_token
+
+    @property
+    def parent(self) -> Optional[NodeId]:
+        """Current parent pointer (``None`` at the token node)."""
+
+        return self._parent
+
+    @property
+    def children(self) -> Dict[NodeId, LockMode]:
+        """Copy of the copyset: child node → its recorded owned mode."""
+
+        return dict(self._children)
+
+    @property
+    def frozen_modes(self) -> FrozenSet[LockMode]:
+        """Modes currently frozen at this node (Rule 6)."""
+
+        return self._frozen
+
+    @property
+    def queue_length(self) -> int:
+        """Number of locally queued foreign/own requests."""
+
+        return len(self._queue)
+
+    @property
+    def queued_requests(self) -> Tuple[RequestMessage, ...]:
+        """Snapshot of the local FIFO queue."""
+
+        return tuple(self._queue)
+
+    @property
+    def pending_mode(self) -> LockMode:
+        """The node's own in-flight request mode (``NONE`` if none)."""
+
+        return self._pending.mode if self._pending is not None else LockMode.NONE
+
+    @property
+    def held_modes(self) -> Dict[LockMode, int]:
+        """Multiset of modes this node's application currently holds."""
+
+        return {mode: count for mode, count in self._held.items() if count > 0}
+
+    def held_mode(self) -> LockMode:
+        """Strongest mode currently held locally (``M_H``)."""
+
+        return max_mode(mode for mode, count in self._held.items() if count > 0)
+
+    def owned_mode(self) -> LockMode:
+        """Owned mode ``M_O`` (Definition 3): strongest held in the subtree.
+
+        Computed from local knowledge only — the node's own holds plus the
+        recorded owned modes of its copyset children.
+        """
+
+        candidates = [m for m, count in self._held.items() if count > 0]
+        candidates.extend(self._children.values())
+        return max_mode(candidates)
+
+    def is_idle(self) -> bool:
+        """True iff this automaton holds nothing and has no activity."""
+
+        return (
+            not self.held_modes
+            and not self._children
+            and not self._queue
+            and self._pending is None
+        )
+
+    # ------------------------------------------------------------------
+    # Application API: request / release / upgrade.
+    # ------------------------------------------------------------------
+
+    def request(
+        self, mode: LockMode, ctx: object = None, priority: int = 0
+    ) -> List[Envelope]:
+        """Request the lock in *mode* (Rule 2).
+
+        Returns the protocol messages to transmit.  The grant is reported
+        through the listener — possibly synchronously, when the request is
+        resolved locally without messages (the paper's key optimization:
+        a node already owning a compatible mode at least as strong enters
+        its critical section immediately).
+
+        *priority* only matters under ``ProtocolOptions.priority_scheduling``.
+        """
+
+        if mode is LockMode.NONE:
+            raise LockUsageError("cannot request the empty mode")
+        if self._pending is not None:
+            raise LockUsageError(
+                f"node {self._node_id} already has a pending request "
+                f"for {self._lock_id}"
+            )
+        owned = self.owned_mode()
+        if self._has_token:
+            if token_can_grant(owned, mode) and mode not in self._frozen:
+                self._acquire_locally(mode, ctx)
+                return []
+            request = self._make_own_request(mode, ctx, priority)
+            self._enqueue(request)
+            return self._refresh_frozen()
+        if (
+            self._options.local_reentry
+            and child_can_grant(owned, mode)
+            and mode not in self._frozen
+        ):
+            # Rule 2, local path: no messages at all.
+            self._acquire_locally(mode, ctx)
+            return []
+        request = self._make_own_request(mode, ctx, priority)
+        return [self._forward(request)]
+
+    def release(self, mode: LockMode) -> List[Envelope]:
+        """Release one hold of *mode* (Rule 5).
+
+        At the token node this re-examines the local queue; at a non-token
+        node it propagates a release to the parent iff the owned mode
+        weakened (Rule 5.2).
+        """
+
+        if self._held.get(mode, 0) <= 0:
+            raise LockUsageError(
+                f"node {self._node_id} does not hold {mode} on {self._lock_id}"
+            )
+        if (
+            mode is LockMode.U
+            and self._pending is not None
+            and self._pending.upgrade
+        ):
+            raise LockUsageError("cannot release U while an upgrade is pending")
+        owned_before = self.owned_mode()
+        self._held[mode] -= 1
+        return self._after_owned_maybe_changed(owned_before)
+
+    def upgrade(self, ctx: object = None) -> List[Envelope]:
+        """Upgrade a held ``U`` lock to ``W`` atomically (Rule 7).
+
+        The holder of ``U`` is always the token node (every ``U`` grant is
+        a token transfer), so the conversion is a purely local affair: it
+        completes immediately when no other hold exists anywhere, and
+        otherwise waits — with ``IR``/``R`` frozen — for the copyset to
+        drain.  The ``U`` hold is never given up in between, which is
+        exactly how upgrade locks prevent the read-then-write deadlock.
+        """
+
+        if self._held.get(LockMode.U, 0) <= 0:
+            raise LockUsageError(
+                f"node {self._node_id} holds no U lock on {self._lock_id}"
+            )
+        if not self._has_token:
+            raise ProtocolError(
+                "a U holder must be the token node; state is corrupted"
+            )
+        if self._pending is not None:
+            raise LockUsageError("a request is already pending on this lock")
+        if self._upgrade_possible_now():
+            self._held[LockMode.U] -= 1
+            self._acquire_locally(LockMode.W, ctx)
+            return []
+        timestamp = self._clock.tick()
+        request = RequestMessage(
+            lock_id=self._lock_id,
+            sender=self._node_id,
+            origin=self._node_id,
+            mode=LockMode.W,
+            request_id=fresh_request_id(timestamp, self._node_id),
+            upgrade=True,
+        )
+        self._pending = request
+        self._pending_ctx = ctx
+        # Upgrades take precedence over queued requests (§3.4): every
+        # queued conflicting request is blocked on this node's U anyway.
+        self._queue.insert(0, request)
+        return self._refresh_frozen()
+
+    def downgrade(self, held: LockMode, to: LockMode) -> List[Envelope]:
+        """Atomically weaken a hold of *held* to *to* (extension).
+
+        The CORBA concurrency service's ``change_mode`` allows weakening a
+        held lock without a release/re-acquire window.  The swap is safe
+        exactly when every mode compatible with *held* is also compatible
+        with *to* (so no concurrent holder becomes conflicting) and *to*
+        is strictly weaker.  Legal downgrades: W→{IW,U,R,IR}, U→{R,IR},
+        IW→{IR}, R→{IR}.  Illegal ones (e.g. IW→U, which would conflict
+        with a concurrent IW holder) raise :class:`LockUsageError`.
+        """
+
+        if self._held.get(held, 0) <= 0:
+            raise LockUsageError(
+                f"node {self._node_id} does not hold {held} on {self._lock_id}"
+            )
+        if to is LockMode.NONE:
+            raise LockUsageError("downgrade target may not be NONE; release instead")
+        if not strictly_weaker(to, held):
+            raise LockUsageError(f"{to} is not strictly weaker than {held}")
+        for other in REAL_MODES:
+            if compatible(held, other) and not compatible(to, other):
+                raise LockUsageError(
+                    f"downgrade {held}→{to} would conflict with concurrent "
+                    f"{other} holders"
+                )
+        if self._pending is not None and self._pending.upgrade:
+            raise LockUsageError("cannot downgrade while an upgrade is pending")
+        owned_before = self.owned_mode()
+        self._held[held] -= 1
+        self._held[to] = self._held.get(to, 0) + 1
+        return self._after_owned_maybe_changed(owned_before)
+
+    # ------------------------------------------------------------------
+    # Transport API.
+    # ------------------------------------------------------------------
+
+    def handle(self, message: Message) -> List[Envelope]:
+        """Process one incoming protocol message, returning replies."""
+
+        if message.lock_id != self._lock_id:
+            raise ProtocolError(
+                f"message for lock {message.lock_id!r} delivered to "
+                f"automaton of {self._lock_id!r}"
+            )
+        if isinstance(message, RequestMessage):
+            return self._handle_request(message)
+        if isinstance(message, GrantMessage):
+            return self._handle_grant(message)
+        if isinstance(message, TokenMessage):
+            return self._handle_token(message)
+        if isinstance(message, ReleaseMessage):
+            return self._handle_release(message)
+        if isinstance(message, FreezeMessage):
+            return self._handle_freeze(message)
+        raise ProtocolError(f"unknown message type {type(message).__name__}")
+
+    # ------------------------------------------------------------------
+    # Message handlers.
+    # ------------------------------------------------------------------
+
+    def _handle_request(self, msg: RequestMessage) -> List[Envelope]:
+        """Rule 3 (grant), Rule 4 (queue/forward) for an incoming request."""
+
+        self._clock.observe(msg.request_id.timestamp)
+        owned = self.owned_mode()
+        if self._has_token:
+            if token_can_grant(owned, msg.mode) and msg.mode not in self._frozen:
+                return self._grant_from_token(msg)
+            self._enqueue(msg)
+            return self._refresh_frozen()
+        if (
+            self._options.child_grants
+            and child_can_grant(owned, msg.mode)
+            and msg.mode not in self._frozen
+            and msg.origin != self._node_id
+        ):
+            return [self._grant_copy(msg)]
+        if (
+            self._options.local_queues
+            and self._pending is not None
+            and msg.origin != self._node_id
+            and should_queue(self._pending.mode, msg.mode)
+        ):
+            self._enqueue(msg)
+            return []
+        return [self._forward(msg)]
+
+    def _handle_grant(self, msg: GrantMessage) -> List[Envelope]:
+        """A granted copy arrives: attach below the granter, serve queue."""
+
+        if self._pending is None or self._pending.request_id != msg.request_id:
+            raise ProtocolError(
+                f"node {self._node_id} received an unexpected grant "
+                f"for {self._lock_id}"
+            )
+        out: List[Envelope] = []
+        owned_before = self.owned_mode()
+        old_parent = self._parent
+        old_seq = self._attach_seq
+        self._parent = msg.sender
+        self._frozen = msg.frozen
+        self._attach_seq = msg.attachment_seq
+        pending, ctx = self._pending, self._pending_ctx
+        self._pending = None
+        self._pending_ctx = None
+        if old_parent is not None and old_parent != msg.sender:
+            if owned_before is not LockMode.NONE:
+                # Detach from the former parent: our whole subtree is now
+                # accounted for under the granter.
+                out.append(self._release_to(old_parent, LockMode.NONE, old_seq))
+        self._held[pending.mode] = self._held.get(pending.mode, 0) + 1
+        owned_now = self.owned_mode()
+        if owned_now is not pending.mode:
+            # Defensive update so the new parent's copyset entry dominates
+            # our actual owned mode (it normally already does).
+            out.append(self._release_to(msg.sender, owned_now))
+        self._listener(self._lock_id, pending.mode, ctx)
+        out.extend(self._drain_queue_nontoken())
+        return out
+
+    def _handle_token(self, msg: TokenMessage) -> List[Envelope]:
+        """The token arrives: become the root, merge queues, serve them."""
+
+        if self._has_token:
+            raise ProtocolError(
+                f"node {self._node_id} received a token it already holds"
+            )
+        if self._pending is None or self._pending.request_id != msg.request_id:
+            raise ProtocolError(
+                f"node {self._node_id} received an unexpected token "
+                f"for {self._lock_id}"
+            )
+        out: List[Envelope] = []
+        owned_before = self.owned_mode()
+        old_parent = self._parent
+        old_seq = self._attach_seq
+        self._has_token = True
+        self._parent = None
+        self._frozen = msg.frozen
+        self._attach_seq = fresh_attachment_seq()
+        if old_parent is not None and old_parent != msg.sender:
+            if owned_before is not LockMode.NONE:
+                out.append(self._release_to(old_parent, LockMode.NONE, old_seq))
+        self._child_seqs[msg.sender] = msg.prev_owner_seq
+        if msg.prev_owner_mode is not LockMode.NONE:
+            self._children[msg.sender] = msg.prev_owner_mode
+        pending, ctx = self._pending, self._pending_ctx
+        self._pending = None
+        self._pending_ctx = None
+        self._held[pending.mode] = self._held.get(pending.mode, 0) + 1
+        merged = list(self._queue) + [
+            q for q in msg.queue if q.request_id != pending.request_id
+        ]
+        merged.sort(key=self._queue_sort_key)
+        self._queue = merged
+        self._listener(self._lock_id, pending.mode, ctx)
+        out.extend(self._check_queue())
+        return out
+
+    def _handle_release(self, msg: ReleaseMessage) -> List[Envelope]:
+        """A child's owned mode changed (Rule 5): update the copyset."""
+
+        recorded_seq = self._child_seqs.get(msg.sender)
+        if recorded_seq is not None and msg.attachment_seq < recorded_seq:
+            # Stale: sent before the attachment currently on record.
+            return []
+        owned_before = self.owned_mode()
+        if msg.new_mode is LockMode.NONE:
+            self._children.pop(msg.sender, None)
+        else:
+            self._children[msg.sender] = msg.new_mode
+        return self._after_owned_maybe_changed(owned_before)
+
+    def _handle_freeze(self, msg: FreezeMessage) -> List[Envelope]:
+        """Adopt the token's frozen set and propagate it (Rule 6)."""
+
+        if msg.sender != self._parent:
+            # Stale freeze from a former parent; current state supersedes.
+            return []
+        old = self._frozen
+        self._frozen = msg.frozen
+        return self._propagate_freeze(old, msg.frozen)
+
+    # ------------------------------------------------------------------
+    # Granting helpers.
+    # ------------------------------------------------------------------
+
+    def _grant_from_token(self, msg: RequestMessage) -> List[Envelope]:
+        """Serve a request at the token node (Rule 3.2)."""
+
+        owned = self.owned_mode()
+        if msg.origin == self._node_id:
+            # The token node's own queued request becomes servable.
+            pending, ctx = self._pending, self._pending_ctx
+            if pending is None or pending.request_id != msg.request_id:
+                raise ProtocolError("token node lost track of its own request")
+            self._pending = None
+            self._pending_ctx = None
+            self._acquire_locally(msg.mode, ctx)
+            return []
+        if token_transfer_required(owned, msg.mode):
+            return self._transfer_token(msg)
+        return [self._grant_copy(msg)]
+
+    def _grant_copy(self, msg: RequestMessage) -> Envelope:
+        """Grant a copy: the requester becomes a child (Rule 3, case 1)."""
+
+        recorded = self._children.get(msg.origin, LockMode.NONE)
+        self._children[msg.origin] = max_mode((recorded, msg.mode))
+        attachment_seq = fresh_attachment_seq()
+        self._child_seqs[msg.origin] = attachment_seq
+        return Envelope(
+            msg.origin,
+            GrantMessage(
+                lock_id=self._lock_id,
+                sender=self._node_id,
+                mode=msg.mode,
+                request_id=msg.request_id,
+                frozen=self._frozen,
+                attachment_seq=attachment_seq,
+            ),
+        )
+
+    def _transfer_token(self, msg: RequestMessage) -> List[Envelope]:
+        """Hand the token (and local queue) to the requester (Rule 3.2)."""
+
+        self._children.pop(msg.origin, None)
+        # Filter out releases the requester sent before becoming the root.
+        self._child_seqs[msg.origin] = fresh_attachment_seq()
+        prev_owner_mode = self.owned_mode()
+        queue = tuple(self._queue)
+        self._queue = []
+        self._has_token = False
+        self._parent = msg.origin
+        self._attach_seq = fresh_attachment_seq()
+        token = TokenMessage(
+            lock_id=self._lock_id,
+            sender=self._node_id,
+            granted_mode=msg.mode,
+            request_id=msg.request_id,
+            prev_owner_mode=prev_owner_mode,
+            queue=queue,
+            frozen=self._frozen,
+            prev_owner_seq=self._attach_seq,
+        )
+        return [Envelope(msg.origin, token)]
+
+    def _acquire_locally(self, mode: LockMode, ctx: object) -> None:
+        """Enter the critical section without messages (Rule 2 / self-grant)."""
+
+        self._held[mode] = self._held.get(mode, 0) + 1
+        self._listener(self._lock_id, mode, ctx)
+
+    # ------------------------------------------------------------------
+    # Queue management.
+    # ------------------------------------------------------------------
+
+    def _queue_sort_key(self, msg: RequestMessage):
+        """Service order: upgrades first; then priority; then FIFO."""
+
+        return (
+            0 if msg.upgrade else 1,
+            -msg.priority if self._options.priority_scheduling else 0,
+            msg.request_id.sort_key(),
+        )
+
+    def _enqueue(self, msg: RequestMessage) -> None:
+        """Insert a request into the local queue (FIFO, or priority order
+        under the priority-scheduling extension)."""
+
+        self._queue.append(msg)
+        if self._options.priority_scheduling:
+            self._queue.sort(key=self._queue_sort_key)
+
+    def _check_queue(self) -> List[Envelope]:
+        """Serve the local queue head-first at the token node (Fig. 4).
+
+        Strictly FIFO: stops at the first unservable head.  The frozen set
+        exists to protect the queue, so the head itself is served as soon
+        as the owned mode allows, regardless of freezing.
+        """
+
+        if not self._has_token:
+            return []
+        out: List[Envelope] = []
+        while self._queue:
+            head = self._queue[0]
+            owned = self.owned_mode()
+            if head.upgrade:
+                if not self._upgrade_possible_now():
+                    break
+                self._queue.pop(0)
+                pending, ctx = self._pending, self._pending_ctx
+                if pending is None or pending.request_id != head.request_id:
+                    raise ProtocolError("upgrade request lost its context")
+                self._pending = None
+                self._pending_ctx = None
+                self._held[LockMode.U] -= 1
+                self._acquire_locally(LockMode.W, ctx)
+                continue
+            if not token_can_grant(owned, head.mode):
+                break
+            self._queue.pop(0)
+            if head.origin == self._node_id:
+                pending, ctx = self._pending, self._pending_ctx
+                if pending is None or pending.request_id != head.request_id:
+                    raise ProtocolError("token node lost track of its request")
+                self._pending = None
+                self._pending_ctx = None
+                self._acquire_locally(head.mode, ctx)
+                continue
+            if token_transfer_required(owned, head.mode):
+                out.extend(self._transfer_token(head))
+                return out  # The queue travelled with the token.
+            out.append(self._grant_copy(head))
+        out.extend(self._refresh_frozen())
+        return out
+
+    def _drain_queue_nontoken(self) -> List[Envelope]:
+        """After a copy grant: serve or forward everything queued (Rule 4)."""
+
+        out: List[Envelope] = []
+        queued, self._queue = self._queue, []
+        for msg in queued:
+            owned = self.owned_mode()
+            if (
+                self._options.child_grants
+                and child_can_grant(owned, msg.mode)
+                and msg.mode not in self._frozen
+            ):
+                out.append(self._grant_copy(msg))
+            else:
+                out.append(self._forward(msg))
+        return out
+
+    def _upgrade_possible_now(self) -> bool:
+        """True iff the atomic U→W swap can happen right now (Rule 7)."""
+
+        only_hold_is_u = (
+            self._held.get(LockMode.U, 0) == 1
+            and sum(self._held.values()) == 1
+        )
+        return only_hold_is_u and not self._children
+
+    # ------------------------------------------------------------------
+    # Release / freeze plumbing.
+    # ------------------------------------------------------------------
+
+    def _after_owned_maybe_changed(self, owned_before: LockMode) -> List[Envelope]:
+        """Common tail of release paths (Rule 5)."""
+
+        out: List[Envelope] = []
+        if self._has_token:
+            out.extend(self._check_queue())
+            return out
+        owned_now = self.owned_mode()
+        if owned_now is not owned_before and self._parent is not None:
+            out.append(self._release_to(self._parent, owned_now))
+        return out
+
+    def _release_to(
+        self, dest: NodeId, new_mode: LockMode, seq: Optional[int] = None
+    ) -> Envelope:
+        """Build a release/update message toward *dest*."""
+
+        return Envelope(
+            dest,
+            ReleaseMessage(
+                lock_id=self._lock_id,
+                sender=self._node_id,
+                new_mode=new_mode,
+                attachment_seq=self._attach_seq if seq is None else seq,
+            ),
+        )
+
+    def _refresh_frozen(self) -> List[Envelope]:
+        """Recompute the frozen set from the queue, notify granters (Rule 6)."""
+
+        if not self._has_token:
+            return []
+        frozen: set = set()
+        if self._options.freezing:
+            owned = self.owned_mode()
+            for msg in self._queue:
+                frozen.update(freeze_set(owned, msg.mode))
+        new = frozenset(frozen)
+        if new == self._frozen:
+            return []
+        old = self._frozen
+        self._frozen = new
+        return self._propagate_freeze(old, new)
+
+    def _propagate_freeze(
+        self, old: FrozenSet[LockMode], new: FrozenSet[LockMode]
+    ) -> List[Envelope]:
+        """Send the new absolute frozen set to affected potential granters."""
+
+        changed = old ^ new
+        if not changed:
+            return []
+        out: List[Envelope] = []
+        for child, child_mode in self._children.items():
+            if any(child_can_grant(child_mode, mode) for mode in changed):
+                out.append(
+                    Envelope(
+                        child,
+                        FreezeMessage(
+                            lock_id=self._lock_id,
+                            sender=self._node_id,
+                            frozen=new,
+                        ),
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # Request construction / forwarding.
+    # ------------------------------------------------------------------
+
+    def _make_own_request(
+        self, mode: LockMode, ctx: object, priority: int = 0
+    ) -> RequestMessage:
+        """Create and register this node's own request for *mode*."""
+
+        timestamp = self._clock.tick()
+        request = RequestMessage(
+            lock_id=self._lock_id,
+            sender=self._node_id,
+            origin=self._node_id,
+            mode=mode,
+            request_id=fresh_request_id(timestamp, self._node_id),
+            priority=priority,
+        )
+        self._pending = request
+        self._pending_ctx = ctx
+        return request
+
+    def _forward(self, msg: RequestMessage) -> Envelope:
+        """Forward a request one hop up the copyset tree."""
+
+        if self._parent is None:
+            raise ProtocolError(
+                f"node {self._node_id} has no parent to forward a request to"
+            )
+        return Envelope(
+            self._parent, dataclasses.replace(msg, sender=self._node_id)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<HierarchicalLockAutomaton node={self._node_id} "
+            f"lock={self._lock_id!r} token={self._has_token} "
+            f"owned={self.owned_mode()} held={self.held_modes} "
+            f"pending={self.pending_mode} queue={len(self._queue)} "
+            f"frozen={sorted(str(m) for m in self._frozen)}>"
+        )

@@ -1,0 +1,39 @@
+"""Lamport logical clock used to FIFO-order lock requests.
+
+The paper preserves FIFO service order across local queues and queue
+merges on token transfer "as discussed in [11]", i.e. with logical
+timestamps.  One clock is shared by all lock automata of a node (see
+:class:`repro.core.lockspace.LockSpace`).
+"""
+
+from __future__ import annotations
+
+
+class LamportClock:
+    """A classic Lamport clock: ``tick`` to stamp, ``observe`` to merge."""
+
+    __slots__ = ("_time",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._time = start
+
+    @property
+    def time(self) -> int:
+        """Current clock value (the last timestamp issued or observed)."""
+
+        return self._time
+
+    def tick(self) -> int:
+        """Advance the clock for a local event and return the new stamp."""
+
+        self._time += 1
+        return self._time
+
+    def observe(self, remote_time: int) -> int:
+        """Merge a remote timestamp and advance past it (receive rule)."""
+
+        self._time = max(self._time, remote_time) + 1
+        return self._time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LamportClock(time={self._time})"

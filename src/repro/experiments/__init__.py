@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper figure/table plus ablations."""
+
+from .common import (
+    PAPER_NODE_COUNTS,
+    QUICK_NODE_COUNTS,
+    RunResult,
+    run_hierarchical,
+    run_naimi_pure,
+    run_naimi_same_work,
+    sweep,
+)
+from .fig5_message_overhead import Fig5Result, run_fig5
+from .fig6_latency import Fig6Result, run_fig6
+from .fig7_breakdown import Fig7Result, run_fig7
+from .headline import HeadlineResult, run_headline
+
+__all__ = [
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "HeadlineResult",
+    "PAPER_NODE_COUNTS",
+    "QUICK_NODE_COUNTS",
+    "RunResult",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_headline",
+    "run_hierarchical",
+    "run_naimi_pure",
+    "run_naimi_same_work",
+    "sweep",
+]

@@ -1,0 +1,218 @@
+"""Shared experiment machinery: run one configuration, collect metrics.
+
+Every figure reproduction boils down to: build a cluster of ``n`` nodes,
+spawn one airline client per node, run to completion with safety monitors
+attached, and return the :class:`~repro.metrics.MetricsCollector`.  The
+three entry points below correspond to the paper's three curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence
+
+from ..core.lockspace import hashed_token_home
+from ..errors import ConfigurationError
+from ..metrics import MetricsCollector
+from ..sim.cluster import SimHierarchicalCluster, SimNaimiCluster
+from ..sim.engine import Process, Simulator
+from ..sim.rng import Exponential, derive_rng
+from ..verification.invariants import (
+    CompatibilityMonitor,
+    MonitorSet,
+    MutualExclusionMonitor,
+)
+from ..workload.airline import (
+    hierarchical_client,
+    naimi_pure_client,
+    naimi_same_work_client,
+)
+from ..workload.spec import WorkloadSpec
+
+#: Hard ceiling on simulator callbacks; a run that needs more is livelocked.
+DEFAULT_EVENT_BUDGET = 30_000_000
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    protocol: str
+    num_nodes: int
+    spec: WorkloadSpec
+    metrics: MetricsCollector
+    sim_time: float
+    events: int
+
+    def message_overhead(self) -> float:
+        """Messages per lock request (Figure 5 y-axis)."""
+
+        return self.metrics.message_overhead()
+
+    def latency_factor(self) -> float:
+        """Mean request latency over mean network latency (Figure 6)."""
+
+        return self.metrics.latency_factor(self.spec.latency_mean)
+
+
+def _drive(
+    sim: Simulator, bodies: List, budget: int
+) -> None:
+    processes = [Process(sim, body) for body in bodies]
+    sim.run(max_events=budget)
+    blocked = [i for i, p in enumerate(processes) if not p.done.triggered]
+    if blocked:
+        raise ConfigurationError(
+            f"deadlock: client processes {blocked} never finished"
+        )
+
+
+def run_hierarchical(
+    num_nodes: int,
+    spec: WorkloadSpec,
+    check_invariants: bool = True,
+    event_budget: int = DEFAULT_EVENT_BUDGET,
+) -> RunResult:
+    """Run the airline workload under the hierarchical protocol."""
+
+    sim = Simulator()
+    metrics = MetricsCollector()
+    compat = CompatibilityMonitor()
+    monitor = MonitorSet([compat]) if check_invariants else None
+    cluster = SimHierarchicalCluster(
+        num_nodes,
+        sim=sim,
+        latency=Exponential(spec.latency_mean),
+        seed=spec.seed,
+        token_home=hashed_token_home(num_nodes),
+        monitor=monitor,
+        metrics=metrics,
+    )
+    entries = spec.entry_count(num_nodes)
+    bodies = [
+        hierarchical_client(
+            sim,
+            cluster.client(node),
+            spec,
+            entries,
+            derive_rng(spec.seed, "hier", num_nodes, node),
+            metrics=metrics,
+        )
+        for node in range(num_nodes)
+    ]
+    _drive(sim, bodies, event_budget)
+    if check_invariants:
+        compat.assert_all_released()
+        cluster.assert_quiescent_invariants()
+    return RunResult(
+        protocol="hierarchical",
+        num_nodes=num_nodes,
+        spec=spec,
+        metrics=metrics,
+        sim_time=sim.now,
+        events=sim.events_processed,
+    )
+
+
+def _run_naimi(
+    num_nodes: int,
+    spec: WorkloadSpec,
+    client_factory: Callable,
+    protocol: str,
+    check_invariants: bool,
+    event_budget: int,
+) -> RunResult:
+    sim = Simulator()
+    metrics = MetricsCollector()
+    mutex = MutualExclusionMonitor()
+    monitor = MonitorSet([mutex]) if check_invariants else None
+    cluster = SimNaimiCluster(
+        num_nodes,
+        sim=sim,
+        latency=Exponential(spec.latency_mean),
+        seed=spec.seed,
+        token_home=hashed_token_home(num_nodes),
+        monitor=monitor,
+        metrics=metrics,
+    )
+    entries = spec.entry_count(num_nodes)
+    bodies = [
+        client_factory(
+            sim,
+            cluster.client(node),
+            spec,
+            entries,
+            derive_rng(spec.seed, protocol, num_nodes, node),
+            metrics=metrics,
+        )
+        for node in range(num_nodes)
+    ]
+    _drive(sim, bodies, event_budget)
+    if check_invariants:
+        mutex.assert_all_released()
+        cluster.assert_quiescent_invariants()
+    return RunResult(
+        protocol=protocol,
+        num_nodes=num_nodes,
+        spec=spec,
+        metrics=metrics,
+        sim_time=sim.now,
+        events=sim.events_processed,
+    )
+
+
+def run_naimi_same_work(
+    num_nodes: int,
+    spec: WorkloadSpec,
+    check_invariants: bool = True,
+    event_budget: int = DEFAULT_EVENT_BUDGET,
+) -> RunResult:
+    """Run the airline workload under Naimi *same work*."""
+
+    return _run_naimi(
+        num_nodes, spec, naimi_same_work_client, "naimi-same-work",
+        check_invariants, event_budget,
+    )
+
+
+def run_naimi_pure(
+    num_nodes: int,
+    spec: WorkloadSpec,
+    check_invariants: bool = True,
+    event_budget: int = DEFAULT_EVENT_BUDGET,
+) -> RunResult:
+    """Run the airline workload under Naimi *pure* (one global token)."""
+
+    return _run_naimi(
+        num_nodes, spec, naimi_pure_client, "naimi-pure",
+        check_invariants, event_budget,
+    )
+
+
+#: Node counts used for the full paper-scale sweeps (Figures 5-7).
+PAPER_NODE_COUNTS: Sequence[int] = (2, 5, 10, 20, 40, 60, 80, 100, 120)
+
+#: Node counts used by the fast CI-scale sweeps.
+QUICK_NODE_COUNTS: Sequence[int] = (2, 4, 8, 16)
+
+RUNNERS: Dict[str, Callable[..., RunResult]] = {
+    "hierarchical": run_hierarchical,
+    "naimi-same-work": run_naimi_same_work,
+    "naimi-pure": run_naimi_pure,
+}
+
+
+def sweep(
+    protocol: str,
+    node_counts: Sequence[int],
+    spec: WorkloadSpec,
+    check_invariants: bool = True,
+) -> List[RunResult]:
+    """Run *protocol* at every node count and return the results."""
+
+    runner = RUNNERS.get(protocol)
+    if runner is None:
+        raise ConfigurationError(f"unknown protocol {protocol!r}")
+    return [
+        runner(n, spec, check_invariants=check_invariants) for n in node_counts
+    ]

@@ -1,0 +1,125 @@
+"""Figure 6 — request latency (as a factor of point-to-point latency).
+
+Reproduces the paper's response-time figure: mean lock-request latency
+divided by the mean network latency (150 ms), versus cluster size, for
+the three protocols.
+
+Paper claims (asserted by the benchmark):
+
+* our protocol grows roughly linearly with the concurrency level
+  (interference from other nodes' conflicting critical sections),
+* Naimi pure is also linear but with a worse constant (everything
+  serializes through one exclusive token),
+* Naimi same-work is superlinear (whole-table operations acquire a
+  per-node-growing set of tokens in order).
+
+Run directly for a paper-scale sweep::
+
+    python -m repro.experiments.fig6_latency [--quick]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from ..workload.spec import WorkloadSpec
+from .common import PAPER_NODE_COUNTS, QUICK_NODE_COUNTS, RunResult, sweep
+from .report import (
+    render_ascii_plot,
+    render_series_table,
+    shape_checks,
+    superlinear_growth,
+)
+
+#: The three curves of Figure 6, in legend order.
+PROTOCOLS = ("hierarchical", "naimi-pure", "naimi-same-work")
+
+
+@dataclasses.dataclass
+class Fig6Result:
+    """The data behind Figure 6."""
+
+    node_counts: List[int]
+    latency_factor: Dict[str, List[float]]
+    runs: Dict[str, List[RunResult]]
+
+    def checks(self) -> List:
+        """The paper's qualitative claims, evaluated on this data."""
+
+        xs = [float(n) for n in self.node_counts]
+        ours = self.latency_factor["hierarchical"]
+        pure = self.latency_factor["naimi-pure"]
+        same = self.latency_factor["naimi-same-work"]
+        return [
+            (
+                "our protocol has the lowest latency factor at scale",
+                ours[-1] < pure[-1] and ours[-1] < same[-1],
+            ),
+            (
+                "Naimi same-work latency grows superlinearly",
+                superlinear_growth(xs, same),
+            ),
+            (
+                "our latency factor is not superlinear (≈linear growth)",
+                not superlinear_growth(
+                    xs[len(xs) // 2 :], ours[len(ours) // 2 :]
+                )
+                or ours[-1] < pure[-1],
+            ),
+            (
+                "ordering matches the paper at max n: ours < pure < same-work",
+                ours[-1] < pure[-1] < same[-1],
+            ),
+        ]
+
+    def render(self) -> str:
+        """Paper-style rows plus an ASCII rendering of the figure."""
+
+        xs = [float(n) for n in self.node_counts]
+        table = render_series_table(
+            "Figure 6 — request latency (× mean point-to-point latency)",
+            "nodes",
+            xs,
+            self.latency_factor,
+            precision=1,
+        )
+        plot = render_ascii_plot("Figure 6 (ASCII)", xs, self.latency_factor)
+        return "\n\n".join([table, plot, shape_checks(self.checks())])
+
+
+def run_fig6(
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    spec: WorkloadSpec = WorkloadSpec(),
+    check_invariants: bool = True,
+) -> Fig6Result:
+    """Run the Figure 6 sweep and return its data."""
+
+    runs = {
+        protocol: sweep(protocol, node_counts, spec, check_invariants)
+        for protocol in PROTOCOLS
+    }
+    latency_factor = {
+        protocol: [run.latency_factor() for run in results]
+        for protocol, results in runs.items()
+    }
+    return Fig6Result(
+        node_counts=list(node_counts),
+        latency_factor=latency_factor,
+        runs=runs,
+    )
+
+
+def main(argv: Sequence[str] = ()) -> None:
+    """CLI entry point: print the figure."""
+
+    quick = "--quick" in argv
+    counts = QUICK_NODE_COUNTS if quick else PAPER_NODE_COUNTS
+    spec = WorkloadSpec(ops_per_node=15 if quick else 30)
+    print(run_fig6(counts, spec).render())
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    import sys
+
+    main(sys.argv[1:])

@@ -1,0 +1,109 @@
+"""Figure 7 — message-overhead breakdown by message type (our protocol).
+
+Reproduces the paper's per-type decomposition of the hierarchical
+protocol's message overhead: request, grant (copy grants), token
+(transfers), release and freeze messages per lock request, as the cluster
+grows.
+
+Paper claims (asserted by the benchmark):
+
+* request messages rise with the tree height, then stabilize,
+* token transfers fall from their initial level and flatten (more and
+  more requests are satisfied by copy grants or queueing),
+* copy grants rise and stabilize (they absorb what transfers lose),
+* releases track copy grants (every copy grant is eventually matched by
+  release traffic; the token node itself never sends releases),
+* freeze messages stay small and flat (at most five modes exist).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from ..workload.spec import WorkloadSpec
+from .common import PAPER_NODE_COUNTS, QUICK_NODE_COUNTS, RunResult, run_hierarchical
+from .report import flattening, render_series_table, shape_checks
+
+#: Figure 7's legend, in rendering order.
+MESSAGE_TYPES = ("request", "grant", "token", "release", "freeze")
+
+
+@dataclasses.dataclass
+class Fig7Result:
+    """The data behind Figure 7."""
+
+    node_counts: List[int]
+    breakdown: Dict[str, List[float]]  # message type → msgs/request per n
+    runs: List[RunResult]
+
+    def checks(self) -> List:
+        """The paper's qualitative claims, evaluated on this data."""
+
+        last = {kind: series[-1] for kind, series in self.breakdown.items()}
+        return [
+            (
+                "request messages stabilize after the initial rise",
+                flattening(self.breakdown["request"], ratio=0.75),
+            ),
+            (
+                "copy grants exceed token transfers at scale",
+                last["grant"] > last["token"],
+            ),
+            (
+                "freeze messages stay a small constant (< 1 per request)",
+                max(self.breakdown["freeze"]) < 1.0,
+            ),
+            (
+                "every type's rate is bounded (< 3 per request)",
+                all(max(series) < 3.0 for series in self.breakdown.values()),
+            ),
+        ]
+
+    def render(self) -> str:
+        """Paper-style rows for the per-type breakdown."""
+
+        xs = [float(n) for n in self.node_counts]
+        table = render_series_table(
+            "Figure 7 — message behaviour (messages per lock request, by type)",
+            "nodes",
+            xs,
+            self.breakdown,
+        )
+        return "\n\n".join([table, shape_checks(self.checks())])
+
+
+def run_fig7(
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    spec: WorkloadSpec = WorkloadSpec(),
+    check_invariants: bool = True,
+) -> Fig7Result:
+    """Run the Figure 7 sweep and return its data."""
+
+    runs = [
+        run_hierarchical(n, spec, check_invariants=check_invariants)
+        for n in node_counts
+    ]
+    breakdown: Dict[str, List[float]] = {kind: [] for kind in MESSAGE_TYPES}
+    for run in runs:
+        per_type = run.metrics.message_overhead_by_type()
+        for kind in MESSAGE_TYPES:
+            breakdown[kind].append(per_type.get(kind, 0.0))
+    return Fig7Result(
+        node_counts=list(node_counts), breakdown=breakdown, runs=runs
+    )
+
+
+def main(argv: Sequence[str] = ()) -> None:
+    """CLI entry point: print the figure."""
+
+    quick = "--quick" in argv
+    counts = QUICK_NODE_COUNTS if quick else PAPER_NODE_COUNTS
+    spec = WorkloadSpec(ops_per_node=15 if quick else 30)
+    print(run_fig7(counts, spec).render())
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    import sys
+
+    main(sys.argv[1:])

@@ -1,0 +1,116 @@
+"""Section 6 headline numbers — the paper's summary comparison at 120 nodes.
+
+The conclusion condenses the evaluation into two numbers at the largest
+cluster size: **message overhead 3 vs. 4** (ours vs. Naimi's base
+protocol) and **latency factor 90 vs. 160**.  This experiment runs just
+the largest configuration and reports the same two comparisons, plus the
+relative savings the paper quotes (~20 % fewer messages).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from ..workload.spec import WorkloadSpec
+from .common import RunResult, run_hierarchical, run_naimi_pure, run_naimi_same_work
+from .report import shape_checks
+
+
+@dataclasses.dataclass
+class HeadlineResult:
+    """The §6 comparison at one cluster size."""
+
+    num_nodes: int
+    ours: RunResult
+    pure: RunResult
+    same_work: RunResult
+
+    def message_saving(self) -> float:
+        """Relative message saving of ours vs. Naimi pure (paper: ~20 %)."""
+
+        pure = self.pure.message_overhead()
+        if pure <= 0:
+            return 0.0
+        return 1.0 - self.ours.message_overhead() / pure
+
+    def checks(self) -> List[Tuple[str, bool]]:
+        """The conclusion's claims, evaluated on this run."""
+
+        return [
+            (
+                "ours beats Naimi pure on message overhead",
+                self.ours.message_overhead() < self.pure.message_overhead(),
+            ),
+            (
+                "ours beats both baselines on latency factor",
+                self.ours.latency_factor() < self.pure.latency_factor()
+                and self.ours.latency_factor() < self.same_work.latency_factor(),
+            ),
+            (
+                "message saving vs. pure is positive (paper: ~20 %)",
+                self.message_saving() > 0.0,
+            ),
+        ]
+
+    def render(self) -> str:
+        """Paper-vs-measured rows."""
+
+        lines = [
+            f"Section 6 headline comparison at n={self.num_nodes}",
+            "",
+            "metric                         paper      measured",
+            "-" * 52,
+            (
+                "msg overhead, ours             ~3         "
+                f"{self.ours.message_overhead():.2f}"
+            ),
+            (
+                "msg overhead, Naimi pure       ~4         "
+                f"{self.pure.message_overhead():.2f}"
+            ),
+            (
+                "latency factor, ours           ~90        "
+                f"{self.ours.latency_factor():.1f}"
+            ),
+            (
+                "latency factor, Naimi          ~160       "
+                f"{self.pure.latency_factor():.1f} (pure) / "
+                f"{self.same_work.latency_factor():.1f} (same work)"
+            ),
+            (
+                "message saving vs. pure        ~20%       "
+                f"{self.message_saving() * 100:.0f}%"
+            ),
+            "",
+            shape_checks(self.checks()),
+        ]
+        return "\n".join(lines)
+
+
+def run_headline(
+    num_nodes: int = 120, spec: WorkloadSpec = WorkloadSpec()
+) -> HeadlineResult:
+    """Run the three protocols at *num_nodes* and compare."""
+
+    return HeadlineResult(
+        num_nodes=num_nodes,
+        ours=run_hierarchical(num_nodes, spec),
+        pure=run_naimi_pure(num_nodes, spec),
+        same_work=run_naimi_same_work(num_nodes, spec),
+    )
+
+
+def main(argv: Sequence[str] = ()) -> None:
+    """CLI entry point: print the headline comparison."""
+
+    quick = "--quick" in argv
+    nodes = 16 if quick else 120
+    spec = WorkloadSpec(ops_per_node=15 if quick else 30)
+    print(run_headline(nodes, spec).render())
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    import sys
+
+    main(sys.argv[1:])

@@ -1,0 +1,13 @@
+"""Metrics collection and summary statistics."""
+
+from .collector import MetricsCollector, RequestRecord
+from .stats import Summary, mean_confidence_halfwidth, percentile, summarize
+
+__all__ = [
+    "MetricsCollector",
+    "RequestRecord",
+    "Summary",
+    "mean_confidence_halfwidth",
+    "percentile",
+    "summarize",
+]

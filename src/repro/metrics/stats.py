@@ -1,0 +1,74 @@
+"""Small statistics helpers (mean, percentiles, confidence half-widths).
+
+Kept dependency-free on purpose: numpy is available in this environment,
+but these run in inner loops of tests where plain Python is fast enough
+and the semantics (e.g. nearest-rank percentiles) stay explicit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4f} sd={self.stdev:.4f} "
+            f"min={self.minimum:.4f} p50={self.p50:.4f} "
+            f"p95={self.p95:.4f} max={self.maximum:.4f}"
+        )
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty sample."""
+
+    if not sorted_values:
+        raise ValueError("empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rank = max(0, min(len(sorted_values) - 1, math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` (all-zero for an empty sample)."""
+
+    if not values:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered: List[float] = sorted(values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((v - mean) ** 2 for v in ordered) / count
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        p50=percentile(ordered, 0.50),
+        p95=percentile(ordered, 0.95),
+        maximum=ordered[-1],
+    )
+
+
+def mean_confidence_halfwidth(values: Sequence[float], z: float = 1.96) -> float:
+    """Approximate normal half-width of the mean's confidence interval."""
+
+    if len(values) < 2:
+        return 0.0
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    return z * math.sqrt(variance / count)

@@ -1,0 +1,43 @@
+"""Messages of the Naimi-Tréhel mutual-exclusion protocol [14].
+
+Two message types only: a request travelling along the probable-owner
+(``last``) chain, and the token itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.messages import LockId, NodeId
+
+
+@dataclasses.dataclass(frozen=True)
+class NaimiMessage:
+    """Base class for Naimi protocol messages."""
+
+    lock_id: LockId
+    sender: NodeId
+
+
+@dataclasses.dataclass(frozen=True)
+class NaimiRequestMessage(NaimiMessage):
+    """A request by ``origin``, forwarded along probable-owner links."""
+
+    origin: NodeId
+
+
+@dataclasses.dataclass(frozen=True)
+class NaimiTokenMessage(NaimiMessage):
+    """The token: possession grants the critical section."""
+
+
+NAIMI_MESSAGE_TYPE_LABELS = {
+    NaimiRequestMessage: "request",
+    NaimiTokenMessage: "token",
+}
+
+
+def naimi_message_type_label(message: NaimiMessage) -> str:
+    """Return the metrics label for *message*."""
+
+    return NAIMI_MESSAGE_TYPE_LABELS[type(message)]

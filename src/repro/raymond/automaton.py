@@ -1,0 +1,221 @@
+"""Raymond's tree-based mutual-exclusion automaton [16].
+
+The paper's related-work section contrasts its dynamic copyset tree with
+Raymond's **static** logical tree: here, nodes never re-point their links;
+the privilege walks tree edges one hop at a time, and each node keeps a
+local FIFO of which neighbour (or itself) wants it next.  Requests are
+O(height) ≈ O(log n) on a balanced tree, but without Naimi's path
+compression — implementing it lets the benchmarks measure the paper's
+"dynamic beats non-adaptive" claim directly.
+
+Classic algorithm state per node: ``holder`` (the neighbour in whose
+direction the privilege lies, or self), a ``request_q`` of pending
+requesters (neighbours or SELF), and the ``asked`` flag that prevents
+duplicate requests on one edge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Union
+
+from ..core.messages import Envelope, LockId, NodeId
+from ..errors import LockUsageError, ProtocolError
+from .messages import (
+    RaymondMessage,
+    RaymondPrivilegeMessage,
+    RaymondRequestMessage,
+)
+
+#: Sentinel queued when this node itself wants the critical section.
+SELF = "self"
+
+#: Signature of the grant listener: ``(lock_id, ctx)``.
+RaymondGrantListener = Callable[[LockId, object], None]
+
+
+def _noop_listener(lock_id: LockId, ctx: object) -> None:
+    """Default listener used when the caller does not need callbacks."""
+
+
+class RaymondAutomaton:
+    """Per-(node, lock) state of Raymond's algorithm.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identity.
+    lock_id:
+        The lock (privilege) this automaton manages.
+    holder:
+        Initial direction of the privilege: ``None`` iff this node starts
+        holding it; otherwise the *neighbour* on the static tree path
+        toward the initial holder.
+    listener:
+        Called as ``listener(lock_id, ctx)`` when a request is granted.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        lock_id: LockId,
+        holder: Optional[NodeId],
+        listener: RaymondGrantListener = _noop_listener,
+    ) -> None:
+        self._node_id = node_id
+        self._lock_id = lock_id
+        self._holder: Optional[NodeId] = holder  # None = privilege here
+        self._request_q: Deque[Union[str, NodeId]] = deque()
+        self._asked = False
+        self._using = False
+        self._ctx: object = None
+        self._listener = listener
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def node_id(self) -> NodeId:
+        """This node's identity."""
+
+        return self._node_id
+
+    @property
+    def lock_id(self) -> LockId:
+        """The managed lock's id."""
+
+        return self._lock_id
+
+    @property
+    def has_privilege(self) -> bool:
+        """Whether the privilege currently rests at this node."""
+
+        return self._holder is None
+
+    @property
+    def in_critical_section(self) -> bool:
+        """Whether the application currently holds the lock here."""
+
+        return self._using
+
+    @property
+    def holder(self) -> Optional[NodeId]:
+        """Neighbour toward the privilege (``None`` = here)."""
+
+        return self._holder
+
+    @property
+    def queue_length(self) -> int:
+        """Length of the local request queue."""
+
+        return len(self._request_q)
+
+    def is_idle(self) -> bool:
+        """True iff no CS, no queued requesters, nothing asked."""
+
+        return not (self._using or self._request_q or self._asked)
+
+    # ------------------------------------------------------------------
+    # Application API.
+    # ------------------------------------------------------------------
+
+    def request(self, ctx: object = None) -> List[Envelope]:
+        """Request the critical section; grant arrives via the listener."""
+
+        if self._using or SELF in self._request_q:
+            raise LockUsageError(
+                f"node {self._node_id} already requested {self._lock_id}"
+            )
+        self._ctx = ctx
+        self._request_q.append(SELF)
+        out: List[Envelope] = []
+        out.extend(self._assign_privilege())
+        out.extend(self._make_request())
+        return out
+
+    def release(self) -> List[Envelope]:
+        """Leave the critical section; pass the privilege onward if asked."""
+
+        if not self._using:
+            raise LockUsageError(
+                f"node {self._node_id} is not in the CS of {self._lock_id}"
+            )
+        self._using = False
+        out: List[Envelope] = []
+        out.extend(self._assign_privilege())
+        out.extend(self._make_request())
+        return out
+
+    # ------------------------------------------------------------------
+    # Transport API.
+    # ------------------------------------------------------------------
+
+    def handle(self, message: RaymondMessage) -> List[Envelope]:
+        """Process one incoming protocol message, returning replies."""
+
+        if message.lock_id != self._lock_id:
+            raise ProtocolError(
+                f"message for lock {message.lock_id!r} delivered to "
+                f"automaton of {self._lock_id!r}"
+            )
+        out: List[Envelope] = []
+        if isinstance(message, RaymondRequestMessage):
+            self._request_q.append(message.sender)
+        elif isinstance(message, RaymondPrivilegeMessage):
+            if self._holder is None:
+                raise ProtocolError(
+                    f"node {self._node_id} received a privilege it holds"
+                )
+            self._holder = None
+            self._asked = False  # 'asked' is only meaningful toward a holder
+        else:
+            raise ProtocolError(f"unknown message {type(message).__name__}")
+        out.extend(self._assign_privilege())
+        out.extend(self._make_request())
+        return out
+
+    # ------------------------------------------------------------------
+    # The two classic procedures.
+    # ------------------------------------------------------------------
+
+    def _assign_privilege(self) -> List[Envelope]:
+        if self._holder is not None or self._using or not self._request_q:
+            return []
+        head = self._request_q.popleft()
+        if head == SELF:
+            self._using = True
+            ctx, self._ctx = self._ctx, None
+            self._listener(self._lock_id, ctx)
+            return []
+        self._holder = head
+        self._asked = False
+        return [
+            Envelope(
+                head,
+                RaymondPrivilegeMessage(
+                    lock_id=self._lock_id, sender=self._node_id
+                ),
+            )
+        ]
+
+    def _make_request(self) -> List[Envelope]:
+        if self._holder is None or self._asked or not self._request_q:
+            return []
+        self._asked = True
+        return [
+            Envelope(
+                self._holder,
+                RaymondRequestMessage(
+                    lock_id=self._lock_id, sender=self._node_id
+                ),
+            )
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RaymondAutomaton node={self._node_id} lock={self._lock_id!r} "
+            f"privilege={self.has_privilege} using={self._using} "
+            f"holder={self._holder} q={list(self._request_q)} "
+            f"asked={self._asked}>"
+        )

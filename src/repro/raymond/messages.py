@@ -1,0 +1,41 @@
+"""Messages of Raymond's tree-based mutual-exclusion algorithm [16].
+
+Two message types, like Naimi's: a request travelling toward the current
+privilege holder along static tree edges, and the privilege (token).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.messages import LockId, NodeId
+
+
+@dataclasses.dataclass(frozen=True)
+class RaymondMessage:
+    """Base class for Raymond protocol messages."""
+
+    lock_id: LockId
+    sender: NodeId
+
+
+@dataclasses.dataclass(frozen=True)
+class RaymondRequestMessage(RaymondMessage):
+    """A request from a neighbour (or, transitively, its subtree)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RaymondPrivilegeMessage(RaymondMessage):
+    """The privilege (token), moving one tree edge at a time."""
+
+
+RAYMOND_MESSAGE_TYPE_LABELS = {
+    RaymondRequestMessage: "request",
+    RaymondPrivilegeMessage: "token",
+}
+
+
+def raymond_message_type_label(message: RaymondMessage) -> str:
+    """Return the metrics label for *message*."""
+
+    return RAYMOND_MESSAGE_TYPE_LABELS[type(message)]

@@ -1,0 +1,85 @@
+"""Static tree topologies for Raymond's algorithm.
+
+Raymond's correctness only needs *a* tree; its performance depends on the
+tree's height and how well it matches traffic.  The balanced binary tree
+(the usual O(log n) presentation) is the default; a chain (worst case)
+and a star (best case for one-hop requests) are provided for the
+topology-sensitivity tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.messages import NodeId
+from ..errors import ConfigurationError
+
+#: A topology maps each node to its tree parent (root → None).  The
+#: privilege starts at the root, so each node's initial ``holder`` is its
+#: parent.
+Topology = Dict[NodeId, Optional[NodeId]]
+
+
+def balanced_binary_tree(num_nodes: int, root: NodeId = 0) -> Topology:
+    """Heap-shaped binary tree: node ``i``'s parent is ``(i - 1) // 2``.
+
+    Height ⌈log2(n)⌉ — the standard O(log n) Raymond configuration.
+    ``root`` relabels node 0 by swapping ids, letting the privilege start
+    anywhere while keeping the shape.
+    """
+
+    if num_nodes < 1:
+        raise ConfigurationError("need at least one node")
+    if not 0 <= root < num_nodes:
+        raise ConfigurationError("root must be a valid node id")
+
+    def relabel(i: NodeId) -> NodeId:
+        if i == 0:
+            return root
+        if i == root:
+            return 0
+        return i
+
+    topology: Topology = {}
+    for index in range(num_nodes):
+        parent = None if index == 0 else (index - 1) // 2
+        topology[relabel(index)] = None if parent is None else relabel(parent)
+    return topology
+
+
+def chain(num_nodes: int) -> Topology:
+    """A path 0-1-2-…: height n-1, Raymond's worst case."""
+
+    if num_nodes < 1:
+        raise ConfigurationError("need at least one node")
+    return {i: (i - 1 if i > 0 else None) for i in range(num_nodes)}
+
+
+def star(num_nodes: int, center: NodeId = 0) -> Topology:
+    """Every node adjacent to *center*: height 1."""
+
+    if num_nodes < 1:
+        raise ConfigurationError("need at least one node")
+    if not 0 <= center < num_nodes:
+        raise ConfigurationError("center must be a valid node id")
+    return {
+        i: (None if i == center else center) for i in range(num_nodes)
+    }
+
+
+def validate(topology: Topology) -> None:
+    """Check that *topology* is a rooted tree (raises otherwise)."""
+
+    roots = [node for node, parent in topology.items() if parent is None]
+    if len(roots) != 1:
+        raise ConfigurationError(f"expected exactly one root, got {roots}")
+    for node, parent in topology.items():
+        seen = {node}
+        current = parent
+        while current is not None:
+            if current in seen:
+                raise ConfigurationError(f"cycle through node {current}")
+            seen.add(current)
+            current = topology.get(current)
+            if current is None and topology.get(current, "x") == "x":
+                break

@@ -1,0 +1,12 @@
+"""Real-threads in-process deployment of the lock protocols."""
+
+from .cluster import BlockingLockClient, ThreadedHierarchicalCluster
+from .tcp import TcpTransport
+from .transport import ThreadedTransport
+
+__all__ = [
+    "BlockingLockClient",
+    "TcpTransport",
+    "ThreadedHierarchicalCluster",
+    "ThreadedTransport",
+]

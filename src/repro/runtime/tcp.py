@@ -1,0 +1,238 @@
+"""TCP loopback transport: the lock service over real sockets.
+
+Deploys the very same automata over genuine TCP connections (loopback by
+default), exercising everything a wire deployment implies: framing,
+per-connection FIFO (which the protocol's freeze propagation relies on —
+TCP provides it), lazy connection establishment and concurrent readers.
+
+Framing is 4-byte big-endian length + pickled message.  Pickle is only
+safe among trusting peers; this transport is meant for loopback test
+deployments and as the reference for a production codec, not for
+untrusted networks.
+
+Use with the standard threaded cluster::
+
+    transport = TcpTransport()
+    cluster = ThreadedHierarchicalCluster(4, transport=transport)
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..core.messages import Envelope, NodeId
+from ..errors import SimulationError
+from .transport import MessageHandler, MessageObserver
+
+_HEADER = struct.Struct(">I")
+
+#: Maximum frame size accepted (a protocol message is tiny; a huge frame
+#: indicates corruption).
+MAX_FRAME = 16 * 1024 * 1024
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[bytes]:
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise SimulationError(f"oversized frame ({length} bytes)")
+    return _recv_exact(sock, length)
+
+
+class TcpTransport:
+    """One listening socket per node; lazy outbound connections.
+
+    Implements the same ``register/start/stop/send`` surface as
+    :class:`~repro.runtime.transport.ThreadedTransport`, so it drops into
+    :class:`~repro.runtime.cluster.ThreadedHierarchicalCluster` unchanged.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        observer: Optional[MessageObserver] = None,
+    ) -> None:
+        self._host = host
+        self._observer = observer
+        self._handlers: Dict[NodeId, MessageHandler] = {}
+        self._servers: Dict[NodeId, socket.socket] = {}
+        self._addresses: Dict[NodeId, Tuple[str, int]] = {}
+        self._outbound: Dict[Tuple[NodeId, NodeId], socket.socket] = {}
+        self._outbound_lock = threading.Lock()
+        self._accepted: List[socket.socket] = []
+        self._accepted_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopping = False
+        self._messages_sent = 0
+        self._count_lock = threading.Lock()
+
+    @property
+    def messages_sent(self) -> int:
+        """Total frames sent between distinct nodes."""
+
+        return self._messages_sent
+
+    def address_of(self, node_id: NodeId) -> Tuple[str, int]:
+        """The (host, port) a node listens on (available after register)."""
+
+        return self._addresses[node_id]
+
+    def register(self, node_id: NodeId, handler: MessageHandler) -> None:
+        """Bind a listening socket for *node_id* and attach its handler."""
+
+        if self._started:
+            raise SimulationError("cannot register nodes after start()")
+        if node_id in self._handlers:
+            raise SimulationError(f"node {node_id} registered twice")
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self._host, 0))
+        server.listen(32)
+        self._handlers[node_id] = handler
+        self._servers[node_id] = server
+        self._addresses[node_id] = server.getsockname()
+
+    def start(self) -> None:
+        """Start one accept loop per node."""
+
+        if self._started:
+            return
+        self._started = True
+        for node_id, server in self._servers.items():
+            thread = threading.Thread(
+                target=self._accept_loop,
+                args=(node_id, server),
+                name=f"repro-tcp-accept-{node_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Close every socket and join the I/O threads."""
+
+        if not self._started:
+            return
+        self._stopping = True
+        for server in self._servers.values():
+            try:
+                server.close()
+            except OSError:  # pragma: no cover - platform specific
+                pass
+        with self._outbound_lock:
+            for sock in self._outbound.values():
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
+            self._outbound.clear()
+        with self._accepted_lock:
+            for sock in self._accepted:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
+            self._accepted.clear()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        self._started = False
+        self._stopping = False
+
+    def send(self, sender: NodeId, envelopes: List[Envelope]) -> None:
+        """Serialize and transmit envelopes over per-pair connections."""
+
+        for envelope in envelopes:
+            dest = envelope.dest
+            if dest not in self._handlers:
+                raise SimulationError(f"message to unregistered node {dest}")
+            if dest == sender:
+                # The protocol never self-sends; handle defensively so a
+                # custom client cannot wedge the transport.
+                replies = self._handlers[dest](envelope.message)
+                if replies:
+                    self.send(dest, replies)
+                continue
+            if self._observer is not None:
+                self._observer(sender, dest, envelope.message)
+            payload = pickle.dumps((sender, envelope.message))
+            sock = self._connection(sender, dest)
+            try:
+                _send_frame(sock, payload)
+            except OSError as exc:
+                if self._stopping:
+                    return
+                raise SimulationError(
+                    f"send {sender}→{dest} failed: {exc}"
+                ) from exc
+            with self._count_lock:
+                self._messages_sent += 1
+
+    # ------------------------------------------------------------------
+
+    def _connection(self, sender: NodeId, dest: NodeId) -> socket.socket:
+        key = (sender, dest)
+        with self._outbound_lock:
+            sock = self._outbound.get(key)
+            if sock is None:
+                sock = socket.create_connection(self._addresses[dest])
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._outbound[key] = sock
+            return sock
+
+    def _accept_loop(self, node_id: NodeId, server: socket.socket) -> None:
+        while True:
+            try:
+                conn, _peer = server.accept()
+            except OSError:
+                return  # server closed: shutting down
+            with self._accepted_lock:
+                self._accepted.append(conn)
+            thread = threading.Thread(
+                target=self._reader_loop,
+                args=(node_id, conn),
+                name=f"repro-tcp-reader-{node_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _reader_loop(self, node_id: NodeId, conn: socket.socket) -> None:
+        handler = self._handlers[node_id]
+        with conn:
+            while True:
+                try:
+                    payload = _recv_frame(conn)
+                except OSError:
+                    return
+                if payload is None:
+                    return
+                _sender, message = pickle.loads(payload)
+                replies = handler(message)
+                if replies:
+                    self.send(node_id, replies)

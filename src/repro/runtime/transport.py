@@ -1,0 +1,144 @@
+"""In-process message transport for the threaded runtime.
+
+Each node owns an inbox (a :class:`queue.Queue`) drained by a dedicated
+dispatcher thread.  Handlers are the same transport-agnostic automata used
+by the simulator; the per-node mutex in :mod:`repro.runtime.node`
+serializes handler execution against application calls, so the automata
+never see concurrent access.
+
+An optional delay distribution injects artificial latency (useful to shake
+out reordering bugs between *different* node pairs; per-pair FIFO is
+preserved by delaying inside the destination's dispatcher, mirroring a
+TCP connection's in-order delivery).
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..core.messages import Envelope, NodeId
+from ..errors import SimulationError
+from ..sim.rng import Distribution
+
+#: Handler signature, identical to the simulator's.
+MessageHandler = Callable[[object], List[Envelope]]
+
+#: Observer signature: ``(sender, dest, message)``.
+MessageObserver = Callable[[NodeId, NodeId, object], None]
+
+_STOP = object()
+
+
+class ThreadedTransport:
+    """Queue-per-node transport with dispatcher threads."""
+
+    def __init__(
+        self,
+        delay: Optional[Distribution] = None,
+        seed: int = 0,
+        observer: Optional[MessageObserver] = None,
+    ) -> None:
+        self._delay = delay
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._observer = observer
+        self._inboxes: Dict[NodeId, "queue.Queue"] = {}
+        self._handlers: Dict[NodeId, MessageHandler] = {}
+        self._threads: Dict[NodeId, threading.Thread] = {}
+        self._started = False
+        self._messages_sent = 0
+        self._count_lock = threading.Lock()
+
+    @property
+    def messages_sent(self) -> int:
+        """Total envelopes transmitted between distinct nodes."""
+
+        return self._messages_sent
+
+    def register(self, node_id: NodeId, handler: MessageHandler) -> None:
+        """Attach *handler* as the message sink of *node_id*."""
+
+        if self._started:
+            raise SimulationError("cannot register nodes after start()")
+        if node_id in self._handlers:
+            raise SimulationError(f"node {node_id} registered twice")
+        self._handlers[node_id] = handler
+        self._inboxes[node_id] = queue.Queue()
+
+    def start(self) -> None:
+        """Spawn one dispatcher thread per registered node."""
+
+        if self._started:
+            return
+        self._started = True
+        for node_id in self._handlers:
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                args=(node_id,),
+                name=f"repro-transport-{node_id}",
+                daemon=True,
+            )
+            self._threads[node_id] = thread
+            thread.start()
+
+    def stop(self) -> None:
+        """Stop every dispatcher thread and join them."""
+
+        if not self._started:
+            return
+        for inbox in self._inboxes.values():
+            inbox.put(_STOP)
+        for thread in self._threads.values():
+            thread.join(timeout=5.0)
+        self._started = False
+        self._threads.clear()
+
+    def send(self, sender: NodeId, envelopes: List[Envelope]) -> None:
+        """Enqueue *envelopes* for delivery."""
+
+        for envelope in envelopes:
+            if envelope.dest not in self._inboxes:
+                raise SimulationError(
+                    f"message to unregistered node {envelope.dest}"
+                )
+            if envelope.dest != sender:
+                with self._count_lock:
+                    self._messages_sent += 1
+                if self._observer is not None:
+                    self._observer(sender, envelope.dest, envelope.message)
+            self._inboxes[envelope.dest].put((sender, envelope))
+
+    def drain(self, poll: float = 0.001, settle_rounds: int = 3) -> None:
+        """Block until every inbox has stayed empty for a few polls.
+
+        Only a heuristic (a handler may be mid-flight between polls), so a
+        few consecutive empty observations are required before returning.
+        """
+
+        consecutive = 0
+        while consecutive < settle_rounds:
+            if all(inbox.empty() for inbox in self._inboxes.values()):
+                consecutive += 1
+            else:
+                consecutive = 0
+            time.sleep(poll)
+
+    def _dispatch_loop(self, node_id: NodeId) -> None:
+        inbox = self._inboxes[node_id]
+        handler = self._handlers[node_id]
+        while True:
+            item = inbox.get()
+            if item is _STOP:
+                return
+            sender, envelope = item
+            if self._delay is not None and sender != node_id:
+                with self._rng_lock:
+                    pause = self._delay.sample(self._rng)
+                time.sleep(pause)
+            replies = handler(envelope.message)
+            if replies:
+                self.send(node_id, replies)

@@ -1,0 +1,13 @@
+"""CORBA-concurrency-service-style public facade and transactions."""
+
+from .lockset import HierarchicalLockSet, LockSet, LockSetFactory
+from .transaction import Transaction, TransactionManager, TxState
+
+__all__ = [
+    "HierarchicalLockSet",
+    "LockSet",
+    "LockSetFactory",
+    "Transaction",
+    "TransactionManager",
+    "TxState",
+]

@@ -1,0 +1,159 @@
+"""CORBA Concurrency Service style facade: ``LockSet`` objects.
+
+The OMG Concurrency Service [6] exposes lock sets with ``lock``,
+``attempt_lock``, ``unlock`` and ``change_mode`` operations in the five
+modes; the paper positions its protocol as a scalable implementation of
+exactly this interface.  ``LockSet`` adapts a
+:class:`~repro.runtime.cluster.BlockingLockClient` to that surface, adding
+context-manager sugar and multi-granularity helpers built on
+:func:`repro.core.hierarchy.lock_plan`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.hierarchy import lock_plan, release_plan
+from ..core.messages import LockId
+from ..core.modes import LockMode, strength
+from ..errors import LockUsageError
+from ..runtime.cluster import BlockingLockClient
+
+
+class LockSet:
+    """One lockable resource as seen from one node.
+
+    Mirrors the OMG ``CosConcurrencyControl::LockSet`` operations:
+
+    * :meth:`lock` — blocking acquire,
+    * :meth:`attempt_lock` — non-blocking local-only try,
+    * :meth:`unlock` — release,
+    * :meth:`change_mode` — atomic U→W upgrade or legal downgrade.
+    """
+
+    def __init__(self, client: BlockingLockClient, lock_id: LockId) -> None:
+        self._client = client
+        self._lock_id = lock_id
+
+    @property
+    def lock_id(self) -> LockId:
+        """The resource this lock set protects."""
+
+        return self._lock_id
+
+    def lock(self, mode: LockMode, timeout: Optional[float] = None) -> None:
+        """Acquire the lock in *mode*, blocking until granted."""
+
+        self._client.acquire(self._lock_id, mode, timeout=timeout)
+
+    def attempt_lock(self, mode: LockMode) -> bool:
+        """Try to acquire *mode* without blocking or messaging.
+
+        Succeeds only when the local owned mode already covers the
+        request (Rule 2's zero-message path); never leaves a pending
+        request behind on failure.
+        """
+
+        return self._client.attempt(self._lock_id, mode)
+
+    def unlock(self, mode: LockMode) -> None:
+        """Release one hold of *mode*."""
+
+        self._client.release(self._lock_id, mode)
+
+    def change_mode(
+        self, held: LockMode, to: LockMode, timeout: Optional[float] = None
+    ) -> None:
+        """Atomically change a held mode.
+
+        ``U → W`` runs the paper's Rule 7 upgrade; weakenings run the
+        downgrade extension.  Any other strengthening must release and
+        re-acquire (as the CORBA specification also effectively requires,
+        since it may block and conflict).
+        """
+
+        if held is LockMode.U and to is LockMode.W:
+            self._client.upgrade(self._lock_id, timeout=timeout)
+        elif strength(to) < strength(held):
+            self._client.downgrade(self._lock_id, held, to)
+        else:
+            raise LockUsageError(
+                f"change_mode {held}→{to}: only U→W upgrades and strict "
+                "downgrades are atomic; release and re-acquire instead"
+            )
+
+    @contextlib.contextmanager
+    def held(self, mode: LockMode, timeout: Optional[float] = None) -> Iterator[None]:
+        """``with lockset.held(LockMode.R): ...`` acquire/release sugar."""
+
+        self.lock(mode, timeout=timeout)
+        try:
+            yield
+        finally:
+            self.unlock(mode)
+
+
+class HierarchicalLockSet:
+    """Multi-granularity sugar: lock a resource with its ancestors.
+
+    Acquires every ancestor in the derived intention mode (outermost
+    first), then the target — the paper's Section 3.1 usage pattern — and
+    releases in the exact reverse order.
+    """
+
+    def __init__(self, client: BlockingLockClient, lock_id: LockId) -> None:
+        self._client = client
+        self._lock_id = lock_id
+
+    @property
+    def lock_id(self) -> LockId:
+        """The (leaf) resource this lock set protects."""
+
+        return self._lock_id
+
+    def lock(self, mode: LockMode, timeout: Optional[float] = None) -> None:
+        """Acquire intent locks on all ancestors, then *mode* on the leaf."""
+
+        acquired: List[Tuple[LockId, LockMode]] = []
+        try:
+            for lock_id, step_mode in lock_plan(self._lock_id, mode):
+                self._client.acquire(lock_id, step_mode, timeout=timeout)
+                acquired.append((lock_id, step_mode))
+        except Exception:
+            for lock_id, step_mode in reversed(acquired):
+                self._client.release(lock_id, step_mode)
+            raise
+
+    def unlock(self, mode: LockMode) -> None:
+        """Release the leaf and every ancestor intent, innermost first."""
+
+        for lock_id, step_mode in release_plan(self._lock_id, mode):
+            self._client.release(lock_id, step_mode)
+
+    @contextlib.contextmanager
+    def held(self, mode: LockMode, timeout: Optional[float] = None) -> Iterator[None]:
+        """Context-manager acquire/release across all granularities."""
+
+        self.lock(mode, timeout=timeout)
+        try:
+            yield
+        finally:
+            self.unlock(mode)
+
+
+class LockSetFactory:
+    """Creates lock sets for one node, à la ``LockSetFactory`` in CORBA."""
+
+    def __init__(self, client: BlockingLockClient) -> None:
+        self._client = client
+
+    def create(self, lock_id: LockId) -> LockSet:
+        """Create a flat lock set on *lock_id*."""
+
+        return LockSet(self._client, lock_id)
+
+    def create_hierarchical(self, lock_id: LockId) -> HierarchicalLockSet:
+        """Create a multi-granularity lock set on *lock_id*."""
+
+        return HierarchicalLockSet(self._client, lock_id)

@@ -1,0 +1,156 @@
+"""A minimal strict two-phase-locking transaction layer.
+
+The paper motivates hierarchical locks with transaction processing; this
+module closes that loop: a :class:`Transaction` acquires every lock it
+touches through the hierarchical protocol (growing phase), holds them all
+until :meth:`commit` or :meth:`abort` (strict 2PL), and then releases in
+reverse acquisition order.  Because reads/writes follow the
+multi-granularity discipline and entry locks are acquired leaf-last,
+transactions that touch disjoint entries proceed fully in parallel —
+exactly the concurrency the intent modes exist to unlock.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..core.hierarchy import lock_plan
+from ..core.messages import LockId
+from ..core.modes import LockMode, stronger_or_equal
+from ..errors import LockUsageError
+from ..runtime.cluster import BlockingLockClient
+
+
+class TxState(enum.Enum):
+    """Lifecycle of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One strict-2PL transaction bound to a node's lock client."""
+
+    def __init__(
+        self, client: BlockingLockClient, timeout: Optional[float] = None
+    ) -> None:
+        self._client = client
+        self._timeout = timeout
+        self._holds: List[Tuple[LockId, LockMode]] = []
+        self._strongest: Dict[LockId, LockMode] = {}
+        self.state = TxState.ACTIVE
+
+    @property
+    def holds(self) -> List[Tuple[LockId, LockMode]]:
+        """Locks currently held, in acquisition order."""
+
+        return list(self._holds)
+
+    def read(self, lock_id: LockId) -> None:
+        """Declare a read of *lock_id*: R on it, IR on its ancestors."""
+
+        self._access(lock_id, LockMode.R)
+
+    def write(self, lock_id: LockId) -> None:
+        """Declare a write of *lock_id*: W on it, IW on its ancestors."""
+
+        self._access(lock_id, LockMode.W)
+
+    def read_for_update(self, lock_id: LockId) -> None:
+        """Declare a read-then-write intent: U on it, IW on ancestors."""
+
+        self._access(lock_id, LockMode.U)
+
+    def upgrade(self, lock_id: LockId) -> None:
+        """Upgrade a prior :meth:`read_for_update` to a write (Rule 7)."""
+
+        self._check_active()
+        if self._strongest.get(lock_id) is not LockMode.U:
+            raise LockUsageError(
+                f"transaction holds no U lock on {lock_id!r} to upgrade"
+            )
+        self._client.upgrade(lock_id, timeout=self._timeout)
+        self._replace_hold(lock_id, LockMode.U, LockMode.W)
+
+    def commit(self) -> None:
+        """End the transaction, releasing every lock (shrinking phase)."""
+
+        self._finish(TxState.COMMITTED)
+
+    def abort(self) -> None:
+        """Abandon the transaction, releasing every lock."""
+
+        self._finish(TxState.ABORTED)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if self.state is TxState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+    # ------------------------------------------------------------------
+
+    def _access(self, lock_id: LockId, mode: LockMode) -> None:
+        self._check_active()
+        for step_id, step_mode in lock_plan(lock_id, mode):
+            already = self._strongest.get(step_id, LockMode.NONE)
+            if already is not LockMode.NONE and stronger_or_equal(
+                already, step_mode
+            ):
+                continue  # An equal-or-stronger hold already covers this.
+            from ..core.modes import compatible
+
+            if not compatible(already, step_mode):
+                # Escalating past one's own conflicting hold (e.g. R → W)
+                # would self-deadlock: the new mode waits on every current
+                # holder, including this transaction.  This is precisely
+                # the situation upgrade locks exist for (§3.4).
+                raise LockUsageError(
+                    f"cannot escalate {already} → {step_mode} on "
+                    f"{step_id!r} within one transaction; use "
+                    "read_for_update() + upgrade() instead"
+                )
+            self._client.acquire(step_id, step_mode, timeout=self._timeout)
+            self._holds.append((step_id, step_mode))
+            if not stronger_or_equal(already, step_mode):
+                self._strongest[step_id] = step_mode
+
+    def _replace_hold(self, lock_id: LockId, old: LockMode, new: LockMode) -> None:
+        for index, (held_id, held_mode) in enumerate(self._holds):
+            if held_id == lock_id and held_mode is old:
+                self._holds[index] = (lock_id, new)
+                break
+        self._strongest[lock_id] = new
+
+    def _finish(self, final_state: TxState) -> None:
+        self._check_active()
+        for lock_id, mode in reversed(self._holds):
+            self._client.release(lock_id, mode)
+        self._holds.clear()
+        self._strongest.clear()
+        self.state = final_state
+
+    def _check_active(self) -> None:
+        if self.state is not TxState.ACTIVE:
+            raise LockUsageError(f"transaction is {self.state.value}")
+
+
+class TransactionManager:
+    """Mints transactions for one node."""
+
+    def __init__(
+        self, client: BlockingLockClient, timeout: Optional[float] = None
+    ) -> None:
+        self._client = client
+        self._timeout = timeout
+
+    def begin(self) -> Transaction:
+        """Start a new strict-2PL transaction."""
+
+        return Transaction(self._client, timeout=self._timeout)

@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate (engine, network, clusters)."""
+
+from .cluster import (
+    HierClient,
+    NaimiClient,
+    RaymondClient,
+    SimHierarchicalCluster,
+    SimNaimiCluster,
+    SimRaymondCluster,
+)
+from .engine import AllOf, Process, SimEvent, Simulator, Timeout, run_processes
+from .network import Network
+from .rng import Distribution, Exponential, Fixed, Uniform, derive_rng, weighted_choice
+
+__all__ = [
+    "AllOf",
+    "Distribution",
+    "Exponential",
+    "Fixed",
+    "HierClient",
+    "NaimiClient",
+    "Network",
+    "Process",
+    "RaymondClient",
+    "SimRaymondCluster",
+    "SimEvent",
+    "SimHierarchicalCluster",
+    "SimNaimiCluster",
+    "Simulator",
+    "Timeout",
+    "Uniform",
+    "derive_rng",
+    "run_processes",
+    "weighted_choice",
+]

@@ -1,0 +1,451 @@
+"""Simulated clusters: N nodes, a network, and per-node lock clients.
+
+Two cluster flavours share the same shape:
+
+* :class:`SimHierarchicalCluster` — every node runs a
+  :class:`~repro.core.lockspace.LockSpace` (the paper's protocol),
+* :class:`SimNaimiCluster` — every node runs a
+  :class:`~repro.naimi.lockspace.NaimiLockSpace` (the baseline).
+
+Clients expose coroutine-friendly ``acquire`` (returns a
+:class:`~repro.sim.engine.SimEvent` to ``yield`` on), plus synchronous
+``release``.  Grants and releases are reported to an optional
+:class:`~repro.verification.invariants.Monitor`, and every wire message to
+an optional :class:`~repro.metrics.MetricsCollector` — the measurement
+points for all reproduced figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Optional
+
+from ..core.automaton import FULL_PROTOCOL, ProtocolOptions
+from ..core.lockspace import LockSpace, TokenHomeFn, default_token_home
+from ..core.messages import LockId, NodeId, message_type_label
+from ..core.modes import LockMode
+from ..errors import ConfigurationError, InvariantViolation
+from ..metrics import MetricsCollector
+from ..naimi.lockspace import NaimiLockSpace
+from ..naimi.messages import naimi_message_type_label
+from ..raymond.lockspace import RaymondLockSpace
+from ..raymond.messages import raymond_message_type_label
+from ..raymond.topology import Topology, balanced_binary_tree, validate
+from ..verification.invariants import Monitor
+from .engine import SimEvent, Simulator
+from .network import Network
+from .rng import Distribution, Exponential
+
+
+@dataclasses.dataclass
+class _GrantCtx:
+    """Listener context: the waiter event plus bookkeeping flags."""
+
+    event: SimEvent
+    is_upgrade: bool = False
+
+
+class _BaseCluster:
+    """State shared by both cluster flavours."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        sim: Optional[Simulator] = None,
+        latency: Optional[Distribution] = None,
+        seed: int = 0,
+        monitor: Optional[Monitor] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ConfigurationError("a cluster needs at least one node")
+        self.num_nodes = num_nodes
+        self.sim = sim if sim is not None else Simulator()
+        self.monitor = monitor
+        self.metrics = metrics
+        self._latency = latency if latency is not None else Exponential(0.150)
+        self.network = Network(
+            self.sim,
+            latency=self._latency,
+            rng=random.Random(seed ^ 0x5EED),
+            observer=self._observe_message,
+        )
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean point-to-point latency (the Figure 6 normalizer)."""
+
+        return self._latency.mean
+
+    def _observe_message(self, sender: NodeId, dest: NodeId, message) -> None:
+        if self.metrics is not None:
+            self.metrics.count_message(self._label(message))
+
+    def _label(self, message) -> str:  # overridden per protocol
+        raise NotImplementedError
+
+    def _record_request(self, node: NodeId, lock_id: LockId, mode: LockMode) -> None:
+        if self.monitor is not None:
+            self.monitor.on_request(self.sim.now, node, lock_id, mode)
+
+    def _record_grant(self, node: NodeId, lock_id: LockId, mode: LockMode) -> None:
+        if self.monitor is not None:
+            self.monitor.on_grant(self.sim.now, node, lock_id, mode)
+
+    def _record_release(self, node: NodeId, lock_id: LockId, mode: LockMode) -> None:
+        if self.monitor is not None:
+            self.monitor.on_release(self.sim.now, node, lock_id, mode)
+
+
+class HierClient:
+    """Per-node client of the hierarchical protocol (coroutine style)."""
+
+    def __init__(self, cluster: "SimHierarchicalCluster", node_id: NodeId) -> None:
+        self._cluster = cluster
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> NodeId:
+        """This client's node."""
+
+        return self._node_id
+
+    def acquire(
+        self, lock_id: LockId, mode: LockMode, priority: int = 0
+    ) -> SimEvent:
+        """Request *lock_id* in *mode*; yield the returned event to wait.
+
+        *priority* participates in arbitration only when the cluster runs
+        with ``ProtocolOptions.priority_scheduling``.
+        """
+
+        cluster = self._cluster
+        cluster._record_request(self._node_id, lock_id, mode)
+        event = SimEvent(cluster.sim)
+        ctx = _GrantCtx(event=event)
+        out = cluster.lockspaces[self._node_id].request(
+            lock_id, mode, ctx, priority
+        )
+        cluster.network.send(self._node_id, out)
+        return event
+
+    def release(self, lock_id: LockId, mode: LockMode) -> None:
+        """Release one hold of *mode* on *lock_id*."""
+
+        cluster = self._cluster
+        cluster._record_release(self._node_id, lock_id, mode)
+        out = cluster.lockspaces[self._node_id].release(lock_id, mode)
+        cluster.network.send(self._node_id, out)
+
+    def upgrade(self, lock_id: LockId) -> SimEvent:
+        """Upgrade a held ``U`` on *lock_id* to ``W``; yields like acquire."""
+
+        cluster = self._cluster
+        event = SimEvent(cluster.sim)
+        ctx = _GrantCtx(event=event, is_upgrade=True)
+        out = cluster.lockspaces[self._node_id].upgrade(lock_id, ctx)
+        cluster.network.send(self._node_id, out)
+        return event
+
+
+class SimHierarchicalCluster(_BaseCluster):
+    """A simulated cluster running the paper's hierarchical protocol."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        sim: Optional[Simulator] = None,
+        latency: Optional[Distribution] = None,
+        seed: int = 0,
+        token_home: TokenHomeFn = default_token_home,
+        monitor: Optional[Monitor] = None,
+        metrics: Optional[MetricsCollector] = None,
+        options: ProtocolOptions = FULL_PROTOCOL,
+    ) -> None:
+        super().__init__(
+            num_nodes, sim=sim, latency=latency, seed=seed,
+            monitor=monitor, metrics=metrics,
+        )
+        self.lockspaces: Dict[NodeId, LockSpace] = {}
+        for node_id in range(num_nodes):
+            lockspace = LockSpace(
+                node_id=node_id,
+                token_home=token_home,
+                listener=self._make_listener(node_id),
+                options=options,
+            )
+            self.lockspaces[node_id] = lockspace
+            self.network.register(node_id, lockspace.handle)
+        self.clients = [HierClient(self, n) for n in range(num_nodes)]
+
+    def _label(self, message) -> str:
+        return message_type_label(message)
+
+    def _make_listener(self, node_id: NodeId):
+        def listener(lock_id: LockId, mode: LockMode, ctx: object) -> None:
+            if isinstance(ctx, _GrantCtx):
+                if ctx.is_upgrade:
+                    self._record_release(node_id, lock_id, LockMode.U)
+                self._record_grant(node_id, lock_id, mode)
+                ctx.event.trigger(mode)
+            else:
+                self._record_grant(node_id, lock_id, mode)
+
+        return listener
+
+    def client(self, node_id: NodeId) -> HierClient:
+        """Return the client object of *node_id*."""
+
+        return self.clients[node_id]
+
+    # -- structural checks (valid at quiescence only) --------------------
+
+    def assert_quiescent_invariants(self) -> None:
+        """Verify tree/token structure after the network has drained.
+
+        Checks, per instantiated lock: exactly one token node; no pending
+        requests or queued entries anywhere; parent/child records mutually
+        consistent; each parent's recorded child mode equal to the child's
+        actual owned mode.
+        """
+
+        lock_ids = set()
+        for lockspace in self.lockspaces.values():
+            lock_ids.update(lockspace.lock_ids)
+        for lock_id in sorted(lock_ids):
+            automata = {
+                node_id: space.automaton(lock_id)
+                for node_id, space in self.lockspaces.items()
+            }
+            tokens = [n for n, a in automata.items() if a.has_token]
+            if len(tokens) != 1:
+                raise InvariantViolation(
+                    f"lock {lock_id!r}: {len(tokens)} token nodes ({tokens})"
+                )
+            for node_id, automaton in automata.items():
+                if automaton.pending_mode is not LockMode.NONE:
+                    raise InvariantViolation(
+                        f"lock {lock_id!r}: node {node_id} still pending "
+                        f"{automaton.pending_mode} at quiescence"
+                    )
+                if automaton.queue_length:
+                    raise InvariantViolation(
+                        f"lock {lock_id!r}: node {node_id} still queues "
+                        f"{automaton.queue_length} requests at quiescence"
+                    )
+                for child, recorded in automaton.children.items():
+                    actual = automata[child].owned_mode()
+                    if actual is not recorded:
+                        raise InvariantViolation(
+                            f"lock {lock_id!r}: node {node_id} records child "
+                            f"{child} as {recorded} but it owns {actual}"
+                        )
+                    if automata[child].parent != node_id:
+                        raise InvariantViolation(
+                            f"lock {lock_id!r}: child {child} of {node_id} "
+                            f"points at parent {automata[child].parent}"
+                        )
+
+
+class NaimiClient:
+    """Per-node client of the Naimi baseline (coroutine style)."""
+
+    def __init__(self, cluster: "SimNaimiCluster", node_id: NodeId) -> None:
+        self._cluster = cluster
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> NodeId:
+        """This client's node."""
+
+        return self._node_id
+
+    def acquire(self, lock_id: LockId) -> SimEvent:
+        """Request the (exclusive) lock; yield the event to wait."""
+
+        cluster = self._cluster
+        event = SimEvent(cluster.sim)
+        out = cluster.lockspaces[self._node_id].request(lock_id, event)
+        cluster.network.send(self._node_id, out)
+        return event
+
+    def release(self, lock_id: LockId) -> None:
+        """Leave the critical section of *lock_id*."""
+
+        cluster = self._cluster
+        cluster._record_release(self._node_id, lock_id, LockMode.W)
+        out = cluster.lockspaces[self._node_id].release(lock_id)
+        cluster.network.send(self._node_id, out)
+
+
+class SimNaimiCluster(_BaseCluster):
+    """A simulated cluster running the Naimi-Tréhel baseline."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        sim: Optional[Simulator] = None,
+        latency: Optional[Distribution] = None,
+        seed: int = 0,
+        token_home: TokenHomeFn = default_token_home,
+        monitor: Optional[Monitor] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        super().__init__(
+            num_nodes, sim=sim, latency=latency, seed=seed,
+            monitor=monitor, metrics=metrics,
+        )
+        self.lockspaces: Dict[NodeId, NaimiLockSpace] = {}
+        for node_id in range(num_nodes):
+            lockspace = NaimiLockSpace(
+                node_id=node_id,
+                token_home=token_home,
+                listener=self._make_listener(node_id),
+            )
+            self.lockspaces[node_id] = lockspace
+            self.network.register(node_id, lockspace.handle)
+        self.clients = [NaimiClient(self, n) for n in range(num_nodes)]
+
+    def _label(self, message) -> str:
+        return naimi_message_type_label(message)
+
+    def _make_listener(self, node_id: NodeId):
+        def listener(lock_id: LockId, ctx: object) -> None:
+            # Naimi grants are exclusive; record them as W for monitors.
+            self._record_grant(node_id, lock_id, LockMode.W)
+            if isinstance(ctx, SimEvent):
+                ctx.trigger(None)
+
+        return listener
+
+    def client(self, node_id: NodeId) -> NaimiClient:
+        """Return the client object of *node_id*."""
+
+        return self.clients[node_id]
+
+    def assert_quiescent_invariants(self) -> None:
+        """Verify single-token / idle structure after the network drains."""
+
+        lock_ids = set()
+        for lockspace in self.lockspaces.values():
+            lock_ids.update(a.lock_id for a in lockspace.automata())
+        for lock_id in sorted(lock_ids):
+            automata = {
+                node_id: space.automaton(lock_id)
+                for node_id, space in self.lockspaces.items()
+            }
+            tokens = [n for n, a in automata.items() if a.has_token]
+            if len(tokens) != 1:
+                raise InvariantViolation(
+                    f"lock {lock_id!r}: {len(tokens)} token holders ({tokens})"
+                )
+            stuck = [n for n, a in automata.items() if not a.is_idle()]
+            if stuck:
+                raise InvariantViolation(
+                    f"lock {lock_id!r}: nodes {stuck} not idle at quiescence"
+                )
+
+
+class RaymondClient:
+    """Per-node client of the Raymond baseline (coroutine style)."""
+
+    def __init__(self, cluster: "SimRaymondCluster", node_id: NodeId) -> None:
+        self._cluster = cluster
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> NodeId:
+        """This client's node."""
+
+        return self._node_id
+
+    def acquire(self, lock_id: LockId) -> SimEvent:
+        """Request the (exclusive) privilege; yield the event to wait."""
+
+        cluster = self._cluster
+        cluster._record_request(self._node_id, lock_id, LockMode.W)
+        event = SimEvent(cluster.sim)
+        out = cluster.lockspaces[self._node_id].request(lock_id, event)
+        cluster.network.send(self._node_id, out)
+        return event
+
+    def release(self, lock_id: LockId) -> None:
+        """Leave the critical section of *lock_id*."""
+
+        cluster = self._cluster
+        cluster._record_release(self._node_id, lock_id, LockMode.W)
+        out = cluster.lockspaces[self._node_id].release(lock_id)
+        cluster.network.send(self._node_id, out)
+
+
+class SimRaymondCluster(_BaseCluster):
+    """A simulated cluster running Raymond's static-tree baseline."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        sim: Optional[Simulator] = None,
+        latency: Optional[Distribution] = None,
+        seed: int = 0,
+        topology: Optional[Topology] = None,
+        monitor: Optional[Monitor] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        super().__init__(
+            num_nodes, sim=sim, latency=latency, seed=seed,
+            monitor=monitor, metrics=metrics,
+        )
+        self.topology = (
+            topology if topology is not None else balanced_binary_tree(num_nodes)
+        )
+        validate(self.topology)
+        self.lockspaces: Dict[NodeId, RaymondLockSpace] = {}
+        for node_id in range(num_nodes):
+            lockspace = RaymondLockSpace(
+                node_id=node_id,
+                topology=self.topology,
+                listener=self._make_listener(node_id),
+            )
+            self.lockspaces[node_id] = lockspace
+            self.network.register(node_id, lockspace.handle)
+        self.clients = [RaymondClient(self, n) for n in range(num_nodes)]
+
+    def _label(self, message) -> str:
+        return raymond_message_type_label(message)
+
+    def _make_listener(self, node_id: NodeId):
+        def listener(lock_id: LockId, ctx: object) -> None:
+            self._record_grant(node_id, lock_id, LockMode.W)
+            if isinstance(ctx, SimEvent):
+                ctx.trigger(None)
+
+        return listener
+
+    def client(self, node_id: NodeId) -> RaymondClient:
+        """Return the client object of *node_id*."""
+
+        return self.clients[node_id]
+
+    def assert_quiescent_invariants(self) -> None:
+        """Verify single-privilege / idle structure after draining."""
+
+        lock_ids = set()
+        for lockspace in self.lockspaces.values():
+            lock_ids.update(a.lock_id for a in lockspace.automata())
+        for lock_id in sorted(lock_ids):
+            automata = {
+                node_id: space.automaton(lock_id)
+                for node_id, space in self.lockspaces.items()
+            }
+            privileged = [n for n, a in automata.items() if a.has_privilege]
+            if len(privileged) != 1:
+                raise InvariantViolation(
+                    f"lock {lock_id!r}: {len(privileged)} privilege "
+                    f"holders ({privileged})"
+                )
+            stuck = [n for n, a in automata.items() if not a.is_idle()]
+            if stuck:
+                raise InvariantViolation(
+                    f"lock {lock_id!r}: nodes {stuck} not idle at quiescence"
+                )

@@ -1,0 +1,121 @@
+"""Point-to-point network model for the simulated cluster.
+
+Models the paper's testbed: a switched full-duplex LAN where disjoint
+point-to-point transfers proceed in parallel, with per-message latency
+randomized around a mean of 150 ms.  Links are FIFO per ordered node pair
+(as TCP connections are), which the hierarchical protocol's freeze
+propagation relies on.
+
+The network is where *all* protocol messages cross, so it doubles as the
+measurement point: an optional observer is invoked for every send with the
+sender, destination and message, and the metrics collector plugs in there.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.messages import Envelope, NodeId
+from ..errors import SimulationError
+from .engine import Simulator
+from .rng import Distribution, Exponential
+
+#: Handler installed per node: takes a message, returns reply envelopes.
+MessageHandler = Callable[[object], List[Envelope]]
+
+#: Observer signature: ``(sender, dest, message)``.
+MessageObserver = Callable[[NodeId, NodeId, object], None]
+
+
+class Network:
+    """Delivers envelopes between registered nodes with random latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[Distribution] = None,
+        rng: Optional[random.Random] = None,
+        observer: Optional[MessageObserver] = None,
+        local_delivery_instant: bool = True,
+        loss_filter: Optional[Callable[[NodeId, NodeId, object], bool]] = None,
+    ) -> None:
+        self._sim = sim
+        self._latency = latency if latency is not None else Exponential(0.150)
+        self._rng = rng if rng is not None else random.Random(0)
+        self._observer = observer
+        self._local_instant = local_delivery_instant
+        # Fault injection: return True to silently drop a message.  The
+        # protocol assumes reliable delivery (like its TCP testbed), so
+        # this hook exists to *demonstrate* that assumption in tests, not
+        # to model a supported failure mode.
+        self._loss_filter = loss_filter
+        self._handlers: Dict[NodeId, MessageHandler] = {}
+        self._last_arrival: Dict[Tuple[NodeId, NodeId], float] = {}
+        self._messages_sent = 0
+        self._messages_dropped = 0
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages discarded by the fault-injection filter."""
+
+        return self._messages_dropped
+
+    @property
+    def messages_sent(self) -> int:
+        """Total envelopes transmitted (excluding node-local deliveries)."""
+
+        return self._messages_sent
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean of the configured latency distribution (seconds)."""
+
+        return self._latency.mean
+
+    def register(self, node_id: NodeId, handler: MessageHandler) -> None:
+        """Attach *handler* as the message sink of *node_id*."""
+
+        if node_id in self._handlers:
+            raise SimulationError(f"node {node_id} registered twice")
+        self._handlers[node_id] = handler
+
+    def send(self, sender: NodeId, envelopes: List[Envelope]) -> None:
+        """Transmit *envelopes* from *sender*, FIFO per destination pair."""
+
+        for envelope in envelopes:
+            self._send_one(sender, envelope)
+
+    def _send_one(self, sender: NodeId, envelope: Envelope) -> None:
+        dest = envelope.dest
+        if dest not in self._handlers:
+            raise SimulationError(f"message to unregistered node {dest}")
+        if dest == sender and self._local_instant:
+            # A node talking to itself does not cross the wire.
+            self._sim.schedule(0.0, lambda: self._deliver(sender, envelope))
+            return
+        if self._loss_filter is not None and self._loss_filter(
+            sender, dest, envelope.message
+        ):
+            self._messages_dropped += 1
+            return
+        self._messages_sent += 1
+        if self._observer is not None:
+            self._observer(sender, dest, envelope.message)
+        delay = self._latency.sample(self._rng)
+        arrival = self._sim.now + delay
+        # FIFO per ordered pair: never deliver before an earlier message.
+        key = (sender, dest)
+        floor = self._last_arrival.get(key, 0.0)
+        if arrival < floor:
+            arrival = floor
+        self._last_arrival[key] = arrival
+        self._sim.schedule(
+            arrival - self._sim.now, lambda: self._deliver(sender, envelope)
+        )
+
+    def _deliver(self, sender: NodeId, envelope: Envelope) -> None:
+        handler = self._handlers[envelope.dest]
+        replies = handler(envelope.message)
+        if replies:
+            self.send(envelope.dest, replies)

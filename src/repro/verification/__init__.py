@@ -1,0 +1,38 @@
+"""Correctness tooling: monitors, fairness, deadlock, traces, explorers."""
+
+from .deadlock import Deadlock, DeadlockWatchdog, WaitForGraphMonitor
+from .explorer import ExplorationStats, ModelExplorer, explore_scenario
+from .fairness import FairnessReport, analyze, bypass_histogram
+from .invariants import (
+    CompatibilityMonitor,
+    FifoObserver,
+    GrantEvent,
+    Monitor,
+    MonitorSet,
+    MutualExclusionMonitor,
+)
+from .multilock import MultiLockExplorer, MultiLockStats, explore_hierarchical
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "CompatibilityMonitor",
+    "Deadlock",
+    "DeadlockWatchdog",
+    "ExplorationStats",
+    "FairnessReport",
+    "FifoObserver",
+    "GrantEvent",
+    "ModelExplorer",
+    "Monitor",
+    "MonitorSet",
+    "MultiLockExplorer",
+    "MultiLockStats",
+    "MutualExclusionMonitor",
+    "TraceEvent",
+    "TraceRecorder",
+    "WaitForGraphMonitor",
+    "analyze",
+    "bypass_histogram",
+    "explore_hierarchical",
+    "explore_scenario",
+]

@@ -1,0 +1,179 @@
+"""Wait-for-graph deadlock detection for lock-service deployments.
+
+The protocol itself is deadlock-free per lock (FIFO queues always drain),
+but *applications* can still deadlock across locks by acquiring them in
+conflicting orders while holding others — exactly why Naimi same-work
+acquires entry tokens in a fixed global order, and why the hierarchy
+prescribes ancestors-before-descendants.
+
+:class:`WaitForGraphMonitor` plugs into a cluster like any monitor and
+maintains the classic wait-for graph: an edge ``A → B`` when node ``A``
+waits for a lock in a mode conflicting with a mode node ``B`` currently
+holds.  :meth:`find_deadlock` reports a cycle (the deadlocked node set
+and the locks involved) the moment one exists, and
+:class:`DeadlockWatchdog` polls it from a daemon thread for threaded
+deployments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time as _time
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.messages import LockId, NodeId
+from ..core.modes import LockMode, conflicts
+from .invariants import Monitor
+
+
+@dataclasses.dataclass(frozen=True)
+class Deadlock:
+    """A detected wait-for cycle."""
+
+    nodes: Tuple[NodeId, ...]
+    locks: Tuple[LockId, ...]
+
+    def __str__(self) -> str:
+        chain = " -> ".join(str(node) for node in self.nodes)
+        return f"deadlock cycle [{chain}] over locks {list(self.locks)}"
+
+
+class WaitForGraphMonitor(Monitor):
+    """Tracks who waits for whom, per lock and mode."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # node → (lock, mode) it is currently waiting for (one per node
+        # per lock; nested waits across locks are tracked independently).
+        self._waits: Dict[NodeId, Dict[LockId, LockMode]] = defaultdict(dict)
+        # lock → {(node, mode)} currently held.
+        self._holds: Dict[LockId, Set[Tuple[NodeId, LockMode]]] = defaultdict(set)
+
+    # -- monitor events ----------------------------------------------------
+
+    def on_request(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        with self._lock:
+            self._waits[node][lock_id] = mode
+
+    def on_grant(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        with self._lock:
+            self._waits[node].pop(lock_id, None)
+            self._holds[lock_id].add((node, mode))
+
+    def on_release(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        with self._lock:
+            self._holds[lock_id].discard((node, mode))
+
+    # -- analysis ------------------------------------------------------------
+
+    def waiting_nodes(self) -> List[NodeId]:
+        """Nodes currently blocked on at least one lock."""
+
+        with self._lock:
+            return [node for node, waits in self._waits.items() if waits]
+
+    def _edges(self) -> Dict[NodeId, Set[Tuple[NodeId, LockId]]]:
+        edges: Dict[NodeId, Set[Tuple[NodeId, LockId]]] = defaultdict(set)
+        for waiter, waits in self._waits.items():
+            for lock_id, wanted in waits.items():
+                for holder, held in self._holds[lock_id]:
+                    if holder != waiter and conflicts(held, wanted):
+                        edges[waiter].add((holder, lock_id))
+        return edges
+
+    def find_deadlock(self) -> Optional[Deadlock]:
+        """Return a wait-for cycle if one exists right now.
+
+        A positive result is definitive for the snapshot taken; transient
+        in-flight grants can only *remove* edges, so a reported cycle on a
+        quiescent-enough system is a real deadlock.
+        """
+
+        with self._lock:
+            edges = self._edges()
+        color: Dict[NodeId, int] = {}
+        stack_locks: Dict[NodeId, LockId] = {}
+        path: List[NodeId] = []
+
+        def visit(node: NodeId) -> Optional[List[NodeId]]:
+            color[node] = 1
+            path.append(node)
+            for successor, lock_id in sorted(edges.get(node, ())):
+                stack_locks[node] = lock_id
+                state = color.get(successor, 0)
+                if state == 1:
+                    return path[path.index(successor):]
+                if state == 0:
+                    cycle = visit(successor)
+                    if cycle is not None:
+                        return cycle
+            color[node] = 2
+            path.pop()
+            return None
+
+        for start in sorted(edges):
+            if color.get(start, 0) == 0:
+                cycle = visit(start)
+                if cycle is not None:
+                    locks = tuple(
+                        stack_locks[node] for node in cycle if node in stack_locks
+                    )
+                    return Deadlock(nodes=tuple(cycle), locks=locks)
+        return None
+
+
+class DeadlockWatchdog:
+    """Polls a :class:`WaitForGraphMonitor` from a daemon thread.
+
+    A cycle must persist across two consecutive polls before the callback
+    fires, filtering out snapshots taken mid-grant.
+    """
+
+    def __init__(
+        self,
+        monitor: WaitForGraphMonitor,
+        on_deadlock,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self._monitor = monitor
+        self._on_deadlock = on_deadlock
+        self._poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        """Start polling."""
+
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-deadlock-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop polling and join the thread."""
+
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        previous: Optional[Deadlock] = None
+        while not self._stop.wait(self._poll_interval):
+            found = self._monitor.find_deadlock()
+            if found is not None and previous is not None and (
+                set(found.nodes) == set(previous.nodes)
+            ):
+                self._on_deadlock(found)
+                return
+            previous = found

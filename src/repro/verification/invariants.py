@@ -1,0 +1,199 @@
+"""Runtime safety monitors for the locking protocols.
+
+These monitors observe grant/release events as they happen (they plug into
+the simulated and threaded clusters) and raise
+:class:`~repro.errors.InvariantViolation` the instant a safety property
+breaks — the ground truth behind the paper's correctness argument:
+
+* :class:`CompatibilityMonitor` — at every instant, the multiset of modes
+  held across all nodes on one lock is pairwise compatible (the
+  generalized mutual exclusion property of Rule 1-4).
+* :class:`MutualExclusionMonitor` — classic single-holder exclusion for
+  the Naimi baseline.
+* :class:`FifoObserver` — records grant order vs. request order so tests
+  can quantify FIFO fairness (and demonstrate starvation when freezing is
+  disabled in the ablation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..core.messages import LockId, NodeId
+from ..core.modes import LockMode, compatible
+from ..errors import InvariantViolation
+
+
+class Monitor:
+    """Interface implemented by every grant/release observer."""
+
+    def on_request(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        """A node just issued a request for *lock_id* in *mode*."""
+
+    def on_grant(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        """A node just acquired *lock_id* in *mode*."""
+
+    def on_release(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        """A node just released one hold of *mode* on *lock_id*."""
+
+
+class CompatibilityMonitor(Monitor):
+    """Asserts pairwise compatibility of all concurrent holds per lock."""
+
+    def __init__(self) -> None:
+        self._holds: Dict[LockId, Counter] = defaultdict(Counter)
+        self.max_concurrency: Dict[LockId, int] = defaultdict(int)
+        self.grants = 0
+
+    def on_grant(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        holds = self._holds[lock_id]
+        for (held_node, held_mode), count in holds.items():
+            if count <= 0:
+                continue
+            if not compatible(held_mode, mode):
+                raise InvariantViolation(
+                    f"t={time:.3f}: node {node} granted {mode} on "
+                    f"{lock_id!r} while node {held_node} holds "
+                    f"incompatible {held_mode}"
+                )
+        holds[(node, mode)] += 1
+        self.grants += 1
+        concurrency = sum(holds.values())
+        if concurrency > self.max_concurrency[lock_id]:
+            self.max_concurrency[lock_id] = concurrency
+
+    def on_release(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        holds = self._holds[lock_id]
+        if holds[(node, mode)] <= 0:
+            raise InvariantViolation(
+                f"t={time:.3f}: node {node} released {mode} on {lock_id!r} "
+                "without holding it"
+            )
+        holds[(node, mode)] -= 1
+        if holds[(node, mode)] == 0:
+            del holds[(node, mode)]
+
+    def current_holds(self, lock_id: LockId) -> List[Tuple[NodeId, LockMode]]:
+        """Return the live (node, mode) holds of *lock_id*."""
+
+        return [key for key, count in self._holds[lock_id].items() if count > 0]
+
+    def assert_all_released(self) -> None:
+        """Raise unless every hold has been released (end-of-run check)."""
+
+        for lock_id, holds in self._holds.items():
+            live = [key for key, count in holds.items() if count > 0]
+            if live:
+                raise InvariantViolation(
+                    f"run ended with live holds on {lock_id!r}: {live}"
+                )
+
+
+class MutualExclusionMonitor(Monitor):
+    """At most one holder at a time per lock (Naimi baseline property)."""
+
+    def __init__(self) -> None:
+        self._holder: Dict[LockId, Optional[NodeId]] = {}
+        self.grants = 0
+
+    def on_grant(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        holder = self._holder.get(lock_id)
+        if holder is not None:
+            raise InvariantViolation(
+                f"t={time:.3f}: node {node} entered the CS of {lock_id!r} "
+                f"while node {holder} is inside"
+            )
+        self._holder[lock_id] = node
+        self.grants += 1
+
+    def on_release(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        if self._holder.get(lock_id) != node:
+            raise InvariantViolation(
+                f"t={time:.3f}: node {node} left a CS of {lock_id!r} it "
+                "does not hold"
+            )
+        self._holder[lock_id] = None
+
+    def assert_all_released(self) -> None:
+        """Raise unless every critical section has been exited."""
+
+        live = {k: v for k, v in self._holder.items() if v is not None}
+        if live:
+            raise InvariantViolation(f"run ended inside critical sections: {live}")
+
+
+@dataclasses.dataclass(frozen=True)
+class GrantEvent:
+    """One observed grant, used for fairness analysis."""
+
+    time: float
+    node: NodeId
+    lock_id: LockId
+    mode: LockMode
+
+
+class FifoObserver(Monitor):
+    """Records the grant sequence per lock for fairness analysis.
+
+    The protocol's FIFO guarantee (Rules 4-6) is about *incompatible*
+    requests: a request never waits forever behind a stream of later,
+    compatible requests.  Tests use :meth:`longest_wait` and the grant log
+    to quantify this, and the freezing ablation uses it to demonstrate
+    starvation once Rule 6 is disabled.
+    """
+
+    def __init__(self) -> None:
+        self.grant_log: Dict[LockId, List[GrantEvent]] = defaultdict(list)
+
+    def on_grant(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        self.grant_log[lock_id].append(
+            GrantEvent(time=time, node=node, lock_id=lock_id, mode=mode)
+        )
+
+    def grants_for(self, lock_id: LockId) -> List[GrantEvent]:
+        """Return the grant sequence observed on *lock_id*."""
+
+        return list(self.grant_log[lock_id])
+
+
+class MonitorSet(Monitor):
+    """Fans grant/release events out to several monitors."""
+
+    def __init__(self, monitors: List[Monitor]) -> None:
+        self.monitors = list(monitors)
+
+    def on_request(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        for monitor in self.monitors:
+            monitor.on_request(time, node, lock_id, mode)
+
+    def on_grant(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        for monitor in self.monitors:
+            monitor.on_grant(time, node, lock_id, mode)
+
+    def on_release(
+        self, time: float, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        for monitor in self.monitors:
+            monitor.on_release(time, node, lock_id, mode)

@@ -1,0 +1,305 @@
+"""Exhaustive exploration of multi-granularity (multi-lock) scenarios.
+
+:mod:`repro.verification.explorer` checks every interleaving of a single
+lock; this module does the same for *hierarchical operations* that chain
+acquisitions across locks — e.g. ``[(table, IW), (entry, W)]`` — which is
+how the protocol is actually used (§3.1).  Besides per-lock safety it
+checks the property single-lock exploration cannot: that the multi-lock
+acquisition discipline (ancestors first, leaf last, release in reverse)
+never deadlocks under any message interleaving.
+
+An operation is a list of ``(lock, mode)`` steps acquired in order and
+released in reverse; each node runs its operations sequentially.  Moves
+explored: deliver any channel head (per-pair FIFO), issue a node's next
+acquisition, or retire a node's completed operation (releasing its locks
+leaf-first).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.automaton import FULL_PROTOCOL, ProtocolOptions
+from ..core.lockspace import LockSpace
+from ..core.messages import Envelope, LockId, NodeId
+from ..core.modes import LockMode, compatible
+from ..errors import InvariantViolation
+
+#: One hierarchical operation: ordered (lock, mode) acquisitions.
+Operation = Tuple[Tuple[LockId, LockMode], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiLockStats:
+    """Outcome of an exhaustive multi-lock exploration."""
+
+    states_explored: int
+    terminal_states: int
+
+
+class _World:
+    __slots__ = (
+        "spaces",
+        "channels",
+        "holds",
+        "progress",
+        "step",
+        "waiting",
+        "log",
+    )
+
+    def __init__(self, spaces, channels, holds, progress, step, waiting, log):
+        self.spaces: Dict[NodeId, LockSpace] = spaces
+        self.channels = channels
+        self.holds: List[Tuple[NodeId, LockId, LockMode]] = holds
+        self.progress: Dict[NodeId, int] = progress   # finished ops
+        self.step: Dict[NodeId, int] = step           # acquisitions done
+        self.waiting: Dict[NodeId, bool] = waiting    # grant outstanding
+        self.log: Tuple[str, ...] = log
+
+
+class MultiLockExplorer:
+    """Explores every interleaving of hierarchical operations."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        scripts: Dict[NodeId, Sequence[Operation]],
+        options: ProtocolOptions = FULL_PROTOCOL,
+        max_states: int = 2_000_000,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.scripts = {node: list(ops) for node, ops in scripts.items()}
+        self.options = options
+        self.max_states = max_states
+        self._total_acquisitions = sum(
+            len(op) for ops in self.scripts.values() for op in ops
+        )
+
+    # -- world plumbing ----------------------------------------------------
+
+    def _fresh_world(self) -> _World:
+        spaces: Dict[NodeId, LockSpace] = {}
+        world = _World(
+            spaces=spaces,
+            channels=defaultdict(list),
+            holds=[],
+            progress={node: 0 for node in self.scripts},
+            step={node: 0 for node in self.scripts},
+            waiting={node: False for node in self.scripts},
+            log=(),
+        )
+        for node in range(self.num_nodes):
+            spaces[node] = LockSpace(
+                node_id=node,
+                listener=self._listener_for(world, node),
+                options=self.options,
+            )
+        return world
+
+    def _listener_for(self, world: _World, node: NodeId):
+        def listener(lock_id, mode, ctx):
+            for holder, held_lock, held_mode in world.holds:
+                if held_lock == lock_id and not compatible(held_mode, mode):
+                    raise InvariantViolation(
+                        f"{mode} on {lock_id!r} granted to node {node} while "
+                        f"node {holder} holds {held_mode}\ntrace:\n"
+                        + "\n".join(world.log)
+                    )
+            world.holds.append((node, lock_id, mode))
+            world.waiting[node] = False
+
+        return listener
+
+    def _rebind(self, world: _World) -> None:
+        for node, space in world.spaces.items():
+            listener = self._listener_for(world, node)
+            space._listener = listener
+            for automaton in space.automata():
+                automaton._listener = listener
+
+    def _clone(self, world: _World) -> _World:
+        spaces = {n: copy.deepcopy(s) for n, s in world.spaces.items()}
+        new_world = _World(
+            spaces=spaces,
+            channels=defaultdict(
+                list, {k: list(v) for k, v in world.channels.items()}
+            ),
+            holds=list(world.holds),
+            progress=dict(world.progress),
+            step=dict(world.step),
+            waiting=dict(world.waiting),
+            log=world.log,
+        )
+        self._rebind(new_world)
+        return new_world
+
+    def _enqueue(self, world: _World, sender: NodeId, out: List[Envelope]):
+        for envelope in out:
+            world.channels[(sender, envelope.dest)].append(envelope.message)
+
+    def _signature(self, world: _World) -> Tuple:
+        autos = []
+        for node in sorted(world.spaces):
+            space = world.spaces[node]
+            for automaton in sorted(space.automata(), key=lambda a: a.lock_id):
+                autos.append(
+                    (
+                        node,
+                        automaton.lock_id,
+                        automaton.has_token,
+                        automaton.parent,
+                        tuple(sorted(automaton.children.items())),
+                        tuple(
+                            sorted(
+                                automaton.held_modes.items(),
+                                key=lambda kv: kv[0].value,
+                            )
+                        ),
+                        automaton.pending_mode,
+                        tuple(
+                            (q.origin, q.mode, q.upgrade)
+                            for q in automaton.queued_requests
+                        ),
+                        tuple(sorted(m.value for m in automaton.frozen_modes)),
+                    )
+                )
+        channels = tuple(
+            (
+                pair,
+                tuple(
+                    (
+                        type(m).__name__,
+                        m.lock_id,
+                        getattr(m, "mode", None),
+                        getattr(m, "origin", None),
+                        getattr(m, "new_mode", None),
+                        getattr(m, "granted_mode", None),
+                        getattr(m, "attachment_seq", None),
+                        tuple(sorted(x.value for x in getattr(m, "frozen", ()))),
+                    )
+                    for m in msgs
+                ),
+            )
+            for pair, msgs in sorted(world.channels.items())
+            if msgs
+        )
+        return (
+            tuple(autos),
+            channels,
+            tuple(sorted((n, l, m.value) for n, l, m in world.holds)),
+            tuple(sorted(world.progress.items())),
+            tuple(sorted(world.step.items())),
+            tuple(sorted(world.waiting.items())),
+        )
+
+    # -- search --------------------------------------------------------------
+
+    def explore(self) -> MultiLockStats:
+        """Run the exhaustive search; raises on violations or deadlock."""
+
+        frontier = [self._fresh_world()]
+        seen: Set[Tuple] = set()
+        states = 0
+        terminals = 0
+        while frontier:
+            world = frontier.pop()
+            signature = self._signature(world)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            states += 1
+            if states > self.max_states:
+                raise InvariantViolation(
+                    f"state-space budget exceeded ({self.max_states})"
+                )
+            moves = self._enabled_moves(world)
+            if not moves:
+                terminals += 1
+                self._check_terminal(world)
+                continue
+            for name, apply_move in moves:
+                branch = self._clone(world)
+                apply_move(branch)
+                branch.log = branch.log + (name,)
+                frontier.append(branch)
+        return MultiLockStats(states_explored=states, terminal_states=terminals)
+
+    def _current_op(self, node: NodeId, world: _World) -> Optional[Operation]:
+        ops = self.scripts.get(node, [])
+        index = world.progress[node]
+        return ops[index] if index < len(ops) else None
+
+    def _enabled_moves(self, world: _World):
+        moves = []
+        for pair in sorted(k for k, v in world.channels.items() if v):
+
+            def deliver(branch: _World, pair=pair) -> None:
+                message = branch.channels[pair].pop(0)
+                out = branch.spaces[pair[1]].handle(message)
+                self._enqueue(branch, pair[1], out)
+
+            moves.append((f"deliver {pair[0]}->{pair[1]}", deliver))
+        for node in sorted(self.scripts):
+            if world.waiting[node]:
+                continue
+            op = self._current_op(node, world)
+            if op is None:
+                continue
+            step = world.step[node]
+            if step < len(op):
+                lock_id, mode = op[step]
+
+                def issue(branch: _World, node=node, lock_id=lock_id,
+                          mode=mode) -> None:
+                    branch.waiting[node] = True
+                    branch.step[node] += 1
+                    out = branch.spaces[node].request(lock_id, mode)
+                    self._enqueue(branch, node, out)
+
+                moves.append((f"issue {node}:{lock_id}:{mode}", issue))
+            else:
+
+                def retire(branch: _World, node=node, op=op) -> None:
+                    for lock_id, mode in reversed(op):
+                        branch.holds.remove((node, lock_id, mode))
+                        out = branch.spaces[node].release(lock_id, mode)
+                        self._enqueue(branch, node, out)
+                    branch.progress[node] += 1
+                    branch.step[node] = 0
+
+                moves.append((f"retire {node}", retire))
+        return moves
+
+    def _check_terminal(self, world: _World) -> None:
+        unfinished = {
+            node: world.progress[node]
+            for node in self.scripts
+            if world.progress[node] < len(self.scripts[node])
+        }
+        if unfinished or any(world.waiting.values()):
+            raise InvariantViolation(
+                "deadlocked terminal state: unfinished="
+                f"{unfinished} waiting="
+                f"{[n for n, w in world.waiting.items() if w]}\ntrace:\n"
+                + "\n".join(world.log)
+            )
+        if world.holds:
+            raise InvariantViolation("terminal state with live holds")
+
+
+def explore_hierarchical(
+    num_nodes: int,
+    scripts: Dict[NodeId, Sequence[Operation]],
+    options: ProtocolOptions = FULL_PROTOCOL,
+    max_states: int = 2_000_000,
+) -> MultiLockStats:
+    """Convenience wrapper around :class:`MultiLockExplorer`."""
+
+    explorer = MultiLockExplorer(
+        num_nodes, scripts, options=options, max_states=max_states
+    )
+    return explorer.explore()

@@ -1,0 +1,157 @@
+"""Structured run tracing: record, export, reload, summarize.
+
+A :class:`TraceRecorder` plugs into any cluster as a monitor (and
+optionally into the network as a message observer) and captures a
+structured, ordered event log.  Traces serialize to JSON-lines for
+offline analysis and reload into the same event objects, so a failing
+seed's run can be archived next to a bug report and re-examined without
+re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, IO, Iterable, List, Optional
+
+from ..core.messages import LockId, NodeId
+from ..core.modes import LockMode
+from .invariants import Monitor
+
+#: Event categories recorded.
+REQUEST, GRANT, RELEASE, MESSAGE = "request", "grant", "release", "message"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    category: str               # request | grant | release | message
+    node: NodeId                # requester/holder, or message sender
+    lock_id: LockId             # lock concerned ("" for unknown)
+    mode: Optional[LockMode]    # mode concerned (None for messages)
+    detail: str = ""            # message type / free-form
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+
+        return json.dumps(
+            {
+                "t": self.time,
+                "cat": self.category,
+                "node": self.node,
+                "lock": self.lock_id,
+                "mode": self.mode.value if self.mode is not None else None,
+                "detail": self.detail,
+            }
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "TraceEvent":
+        """Parse one JSON line back into an event."""
+
+        raw = json.loads(line)
+        mode = LockMode(raw["mode"]) if raw["mode"] is not None else None
+        return TraceEvent(
+            time=raw["t"],
+            category=raw["cat"],
+            node=raw["node"],
+            lock_id=raw["lock"],
+            mode=mode,
+            detail=raw.get("detail", ""),
+        )
+
+
+class TraceRecorder(Monitor):
+    """Records request/grant/release (and optionally wire) events."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    # -- monitor interface -------------------------------------------------
+
+    def on_request(self, time, node, lock_id, mode) -> None:
+        self.events.append(
+            TraceEvent(time=time, category=REQUEST, node=node,
+                       lock_id=lock_id, mode=mode)
+        )
+
+    def on_grant(self, time, node, lock_id, mode) -> None:
+        self.events.append(
+            TraceEvent(time=time, category=GRANT, node=node,
+                       lock_id=lock_id, mode=mode)
+        )
+
+    def on_release(self, time, node, lock_id, mode) -> None:
+        self.events.append(
+            TraceEvent(time=time, category=RELEASE, node=node,
+                       lock_id=lock_id, mode=mode)
+        )
+
+    # -- network observer (optional second hook) ----------------------------
+
+    def message_observer(self, clock) -> "callable":
+        """Build a network observer stamping events with *clock()* time."""
+
+        def observe(sender: NodeId, dest: NodeId, message) -> None:
+            self.events.append(
+                TraceEvent(
+                    time=clock(),
+                    category=MESSAGE,
+                    node=sender,
+                    lock_id=getattr(message, "lock_id", ""),
+                    mode=None,
+                    detail=f"{type(message).__name__}->{dest}",
+                )
+            )
+
+        return observe
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self, stream: IO[str]) -> int:
+        """Write the trace as JSON lines; returns the event count."""
+
+        for event in self.events:
+            stream.write(event.to_json())
+            stream.write("\n")
+        return len(self.events)
+
+    @staticmethod
+    def load(stream: IO[str]) -> List[TraceEvent]:
+        """Read a JSON-lines trace back."""
+
+        return [
+            TraceEvent.from_json(line)
+            for line in stream
+            if line.strip()
+        ]
+
+    # -- analysis --------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by category."""
+
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def events_for_lock(self, lock_id: LockId) -> List[TraceEvent]:
+        """Chronological events touching *lock_id*."""
+
+        return [e for e in self.events if e.lock_id == lock_id]
+
+    def grant_latencies(self) -> List[float]:
+        """Per-request latency (request → grant pairing per node+lock)."""
+
+        pending: Dict[tuple, float] = {}
+        latencies: List[float] = []
+        for event in self.events:
+            key = (event.node, event.lock_id)
+            if event.category == REQUEST:
+                pending[key] = event.time
+            elif event.category == GRANT and key in pending:
+                latencies.append(event.time - pending.pop(key))
+        return latencies

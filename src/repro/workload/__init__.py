@@ -1,0 +1,29 @@
+"""Workload generation: the multi-airline reservation application."""
+
+from .airline import (
+    GLOBAL_LOCK_ID,
+    hierarchical_client,
+    naimi_pure_client,
+    naimi_same_work_client,
+)
+from .generator import (
+    draw_operation,
+    draw_operations,
+    entry_lock_id,
+    table_lock_id,
+)
+from .spec import PAPER_MODE_MIX, Operation, WorkloadSpec
+
+__all__ = [
+    "GLOBAL_LOCK_ID",
+    "Operation",
+    "PAPER_MODE_MIX",
+    "WorkloadSpec",
+    "draw_operation",
+    "draw_operations",
+    "entry_lock_id",
+    "hierarchical_client",
+    "naimi_pure_client",
+    "naimi_same_work_client",
+    "table_lock_id",
+]

@@ -1,0 +1,88 @@
+"""Workload specification: the paper's evaluation parameters.
+
+Section 4 of the paper fixes the knobs reproduced here as defaults:
+
+* critical-section length: randomized, mean **15 ms**,
+* inter-request idle time: randomized, mean **150 ms**,
+* network latency: randomized, mean **150 ms**,
+* request-mode mix: **IR 80 %, R 10 %, U 4 %, IW 5 %, W 1 %**
+  ("reads dominate writes"),
+* one lock per table entry plus one lock for the whole table,
+* the number of table entries defaults to the number of nodes (the
+  substitution argued in DESIGN.md §2: each participant hosts a row).
+
+Mode draws translate into operations as the paper describes:
+
+* ``IR`` → read one entry (table ``IR`` + entry ``R``),
+* ``IW`` → write one entry (table ``IW`` + entry ``W``),
+* ``R``  → read the whole table (table ``R``),
+* ``W``  → write the whole table (table ``W``),
+* ``U``  → read-then-write the whole table (table ``U``, then the Rule 7
+  upgrade to ``W``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from ..core.modes import LockMode
+from ..errors import ConfigurationError
+
+#: The paper's request-mode mix (mode, probability).
+PAPER_MODE_MIX: Tuple[Tuple[LockMode, float], ...] = (
+    (LockMode.IR, 0.80),
+    (LockMode.R, 0.10),
+    (LockMode.U, 0.04),
+    (LockMode.IW, 0.05),
+    (LockMode.W, 0.01),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one airline-reservation workload run."""
+
+    ops_per_node: int = 30
+    cs_mean: float = 0.015
+    idle_mean: float = 0.150
+    latency_mean: float = 0.150
+    mode_mix: Tuple[Tuple[LockMode, float], ...] = PAPER_MODE_MIX
+    entries: Optional[int] = None  # None → one entry per node
+    locality: float = 0.8
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.ops_per_node < 0:
+            raise ConfigurationError("ops_per_node must be >= 0")
+        if self.cs_mean < 0 or self.idle_mean < 0 or self.latency_mean <= 0:
+            raise ConfigurationError("durations must be positive")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ConfigurationError("locality must be within [0, 1]")
+        if self.entries is not None and self.entries < 1:
+            raise ConfigurationError("entries must be >= 1 when given")
+        total = sum(weight for _mode, weight in self.mode_mix)
+        if total <= 0:
+            raise ConfigurationError("mode mix weights must sum > 0")
+        for mode, _weight in self.mode_mix:
+            if mode is LockMode.NONE:
+                raise ConfigurationError("mode mix may not contain NONE")
+
+    def entry_count(self, num_nodes: int) -> int:
+        """Number of table entries for a cluster of *num_nodes* nodes."""
+
+        return self.entries if self.entries is not None else num_nodes
+
+
+@dataclasses.dataclass(frozen=True)
+class Operation:
+    """One drawn application operation."""
+
+    mode: LockMode      # the drawn request mode (paper's mix)
+    entry: Optional[int]  # target entry for IR/IW draws, None for table ops
+
+    @property
+    def is_entry_op(self) -> bool:
+        """True for single-entry accesses (``IR``/``IW`` draws)."""
+
+        return self.entry is not None

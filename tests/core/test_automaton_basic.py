@@ -1,0 +1,261 @@
+"""Single-automaton behaviour: local paths, usage errors, downgrades."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automaton import HierarchicalLockAutomaton, ProtocolOptions
+from repro.core.clock import LamportClock
+from repro.core.modes import LockMode
+from repro.errors import LockUsageError, ProtocolError
+
+
+def make_token_node(**kwargs):
+    grants = []
+    automaton = HierarchicalLockAutomaton(
+        node_id=0,
+        lock_id="L",
+        clock=LamportClock(),
+        parent=None,
+        has_token=True,
+        listener=lambda lock, mode, ctx: grants.append((mode, ctx)),
+        **kwargs,
+    )
+    return automaton, grants
+
+
+class TestConstruction:
+    def test_token_node_must_have_no_parent(self):
+        with pytest.raises(ProtocolError):
+            HierarchicalLockAutomaton(
+                node_id=0, lock_id="L", clock=LamportClock(),
+                parent=1, has_token=True,
+            )
+
+    def test_non_token_node_needs_parent(self):
+        with pytest.raises(ProtocolError):
+            HierarchicalLockAutomaton(
+                node_id=0, lock_id="L", clock=LamportClock(),
+                parent=None, has_token=False,
+            )
+
+    def test_initial_state_is_idle(self):
+        automaton, _ = make_token_node()
+        assert automaton.is_idle()
+        assert automaton.owned_mode() is LockMode.NONE
+        assert automaton.held_mode() is LockMode.NONE
+
+
+class TestTokenLocalGrants:
+    """The token node serves its own compatible requests without messages."""
+
+    @pytest.mark.parametrize(
+        "mode", [LockMode.IR, LockMode.R, LockMode.U, LockMode.IW, LockMode.W]
+    )
+    def test_any_mode_grantable_when_idle(self, mode):
+        automaton, grants = make_token_node()
+        out = automaton.request(mode, ctx="x")
+        assert out == []
+        assert grants == [(mode, "x")]
+        assert automaton.held_modes == {mode: 1}
+        assert automaton.owned_mode() is mode
+
+    def test_multiple_compatible_holds_accumulate(self):
+        automaton, grants = make_token_node()
+        automaton.request(LockMode.IR)
+        automaton.request(LockMode.R)
+        automaton.request(LockMode.IR)
+        assert automaton.held_modes == {LockMode.IR: 2, LockMode.R: 1}
+        assert automaton.owned_mode() is LockMode.R
+
+    def test_incompatible_own_request_queues(self):
+        automaton, grants = make_token_node()
+        automaton.request(LockMode.U)
+        out = automaton.request(LockMode.W)  # W conflicts with held U
+        assert out == []  # no children → no freeze messages to send
+        assert automaton.queue_length == 1
+        assert automaton.pending_mode is LockMode.W
+        assert len(grants) == 1
+
+    def test_queued_own_request_served_on_release(self):
+        automaton, grants = make_token_node()
+        automaton.request(LockMode.U)
+        automaton.request(LockMode.W)
+        automaton.release(LockMode.U)
+        assert [m for m, _ in grants] == [LockMode.U, LockMode.W]
+        assert automaton.held_modes == {LockMode.W: 1}
+
+    def test_release_returns_no_messages_at_root(self):
+        automaton, _ = make_token_node()
+        automaton.request(LockMode.R)
+        assert automaton.release(LockMode.R) == []
+        assert automaton.is_idle() or automaton.has_token
+
+
+class TestUsageErrors:
+    def test_request_none_mode_rejected(self):
+        automaton, _ = make_token_node()
+        with pytest.raises(LockUsageError):
+            automaton.request(LockMode.NONE)
+
+    def test_double_pending_rejected(self):
+        automaton, _ = make_token_node()
+        automaton.request(LockMode.U)
+        automaton.request(LockMode.W)  # queued, pending
+        with pytest.raises(LockUsageError):
+            automaton.request(LockMode.R)
+
+    def test_release_unheld_mode_rejected(self):
+        automaton, _ = make_token_node()
+        with pytest.raises(LockUsageError):
+            automaton.release(LockMode.R)
+
+    def test_release_wrong_mode_rejected(self):
+        automaton, _ = make_token_node()
+        automaton.request(LockMode.R)
+        with pytest.raises(LockUsageError):
+            automaton.release(LockMode.W)
+
+    def test_upgrade_without_u_rejected(self):
+        automaton, _ = make_token_node()
+        automaton.request(LockMode.R)
+        with pytest.raises(LockUsageError):
+            automaton.upgrade()
+
+    def test_handle_foreign_lock_message_rejected(self):
+        from repro.core.messages import ReleaseMessage
+
+        automaton, _ = make_token_node()
+        with pytest.raises(ProtocolError):
+            automaton.handle(
+                ReleaseMessage(lock_id="OTHER", sender=1, new_mode=LockMode.NONE)
+            )
+
+
+class TestUpgradeLocal:
+    """Rule 7 at an uncontended token node."""
+
+    def test_immediate_upgrade_when_sole_holder(self):
+        automaton, grants = make_token_node()
+        automaton.request(LockMode.U)
+        out = automaton.upgrade(ctx="up")
+        assert out == []
+        assert automaton.held_modes == {LockMode.W: 1}
+        assert grants[-1] == (LockMode.W, "up")
+
+    def test_upgrade_blocked_by_other_local_hold(self):
+        automaton, grants = make_token_node()
+        automaton.request(LockMode.IR)
+        automaton.request(LockMode.U)
+        automaton.upgrade()
+        # Still holding IR alongside U → conversion must wait.
+        assert automaton.held_modes == {LockMode.IR: 1, LockMode.U: 1}
+        automaton.release(LockMode.IR)
+        assert automaton.held_modes == {LockMode.W: 1}
+
+    def test_release_u_while_upgrade_pending_rejected(self):
+        automaton, _ = make_token_node()
+        automaton.request(LockMode.IR)
+        automaton.request(LockMode.U)
+        automaton.upgrade()
+        with pytest.raises(LockUsageError):
+            automaton.release(LockMode.U)
+
+    def test_double_upgrade_rejected(self):
+        automaton, _ = make_token_node()
+        automaton.request(LockMode.IR)
+        automaton.request(LockMode.U)
+        automaton.upgrade()
+        with pytest.raises(LockUsageError):
+            automaton.upgrade()
+
+
+class TestDowngrade:
+    """The change_mode weakening extension."""
+
+    LEGAL = [
+        (LockMode.W, LockMode.IW),
+        (LockMode.W, LockMode.U),
+        (LockMode.W, LockMode.R),
+        (LockMode.W, LockMode.IR),
+        (LockMode.U, LockMode.R),
+        (LockMode.U, LockMode.IR),
+        (LockMode.IW, LockMode.IR),
+        (LockMode.R, LockMode.IR),
+    ]
+
+    ILLEGAL = [
+        (LockMode.IW, LockMode.U),   # would conflict with concurrent IW
+        (LockMode.IW, LockMode.R),   # would conflict with concurrent IW
+        (LockMode.U, LockMode.IW),   # not strictly weaker
+        (LockMode.R, LockMode.W),    # an upgrade, not a downgrade
+        (LockMode.IR, LockMode.IR),  # not strictly weaker
+    ]
+
+    @pytest.mark.parametrize("held,to", LEGAL)
+    def test_legal_downgrades(self, held, to):
+        automaton, _ = make_token_node()
+        automaton.request(held)
+        automaton.downgrade(held, to)
+        assert automaton.held_modes == {to: 1}
+
+    @pytest.mark.parametrize("held,to", ILLEGAL)
+    def test_illegal_downgrades_rejected(self, held, to):
+        automaton, _ = make_token_node()
+        automaton.request(held)
+        with pytest.raises(LockUsageError):
+            automaton.downgrade(held, to)
+
+    def test_downgrade_requires_holding(self):
+        automaton, _ = make_token_node()
+        with pytest.raises(LockUsageError):
+            automaton.downgrade(LockMode.W, LockMode.R)
+
+    def test_downgrade_to_none_rejected(self):
+        automaton, _ = make_token_node()
+        automaton.request(LockMode.W)
+        with pytest.raises(LockUsageError):
+            automaton.downgrade(LockMode.W, LockMode.NONE)
+
+    def test_downgrade_unblocks_queued_request(self):
+        """Weakening W to R lets a compatible queued R proceed."""
+
+        from repro.core.messages import RequestMessage, fresh_request_id
+
+        automaton, _ = make_token_node()
+        automaton.request(LockMode.W)
+        request = RequestMessage(
+            lock_id="L", sender=1, origin=1, mode=LockMode.R,
+            request_id=fresh_request_id(1, 1),
+        )
+        assert automaton.handle(request) == []  # queued: R vs W conflict
+        assert automaton.queue_length == 1
+        out = automaton.downgrade(LockMode.W, LockMode.R)
+        grant_envelopes = [e for e in out if e.dest == 1]
+        assert len(grant_envelopes) == 1
+        assert automaton.queue_length == 0
+
+
+class TestAblationOptions:
+    def test_local_reentry_disabled_sends_request(self):
+        automaton, grants = make_token_node()
+        # The token node is unaffected by local_reentry (it is the root);
+        # check a non-token node instead.
+        child = HierarchicalLockAutomaton(
+            node_id=1, lock_id="L", clock=LamportClock(), parent=0,
+            has_token=False,
+            options=ProtocolOptions(local_reentry=False),
+        )
+        # Even with nothing owned, requests always go out — just confirm
+        # the option leaves the message path intact.
+        out = child.request(LockMode.IR)
+        assert len(out) == 1
+        assert out[0].dest == 0
+
+    def test_options_default_to_full_protocol(self):
+        from repro.core.automaton import FULL_PROTOCOL
+
+        assert FULL_PROTOCOL.freezing
+        assert FULL_PROTOCOL.local_queues
+        assert FULL_PROTOCOL.child_grants
+        assert FULL_PROTOCOL.local_reentry

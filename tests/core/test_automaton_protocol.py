@@ -1,0 +1,443 @@
+"""Multi-node protocol behaviour, including the paper's worked examples.
+
+These tests drive several automata through the synchronous pump
+(tests/helpers.py), asserting exact message flows, copyset shapes, grant
+orders and the regression interleavings that motivated the attachment-
+epoch mechanism.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import Pump  # noqa: E402
+
+from repro.core.automaton import ProtocolOptions  # noqa: E402
+from repro.core.messages import (  # noqa: E402
+    FreezeMessage,
+    GrantMessage,
+    ReleaseMessage,
+    RequestMessage,
+    TokenMessage,
+)
+from repro.core.modes import LockMode  # noqa: E402
+
+A, B, C, D, E = 0, 1, 2, 3, 4
+
+
+class TestBasicGrantPaths:
+    def test_copy_grant_makes_requester_a_child(self):
+        pump = Pump(2)
+        pump.request(A, LockMode.R)
+        pump.request(B, LockMode.R)
+        assert pump.granted_modes(B) == [LockMode.R]
+        assert pump.automata[A].children == {B: LockMode.R}
+        assert pump.automata[B].parent == A
+        assert pump.token_holder() == A
+
+    def test_w_request_transfers_token(self):
+        pump = Pump(2)
+        pump.request(B, LockMode.W)
+        assert pump.granted_modes(B) == [LockMode.W]
+        assert pump.token_holder() == B
+        assert pump.automata[A].parent == B
+
+    def test_u_request_transfers_token(self):
+        pump = Pump(3)
+        pump.request(B, LockMode.R)  # NONE < R: the token moves to B
+        assert pump.token_holder() == B
+        pump.request(C, LockMode.U)  # compatible with R, but stronger
+        assert pump.granted_modes(C) == [LockMode.U]
+        assert pump.token_holder() == C
+        # The old token B still holds R and became C's child.
+        assert pump.automata[C].children[B] is LockMode.R
+
+    def test_incompatible_request_waits_for_release(self):
+        pump = Pump(2)
+        pump.request(A, LockMode.W)
+        pump.request(B, LockMode.R)
+        assert pump.granted_modes(B) == []
+        assert pump.automata[A].queue_length == 1
+        pump.release(A, LockMode.W)
+        assert pump.granted_modes(B) == [LockMode.R]
+
+    def test_rule2_local_reacquisition_without_messages(self):
+        pump = Pump(2)
+        pump.request(B, LockMode.R)   # B becomes a child owning R
+        pump.release(B, LockMode.R)
+        # B's owned mode dropped to NONE → release travelled to A; a new
+        # request needs messages again.
+        assert pump.automata[A].children == {}
+        pump.request(B, LockMode.R)
+        pump.release(B, LockMode.R)
+        # Now keep a child under B so its owned mode persists:
+        pump2 = Pump(3, parents={C: B})
+        pump2.request(B, LockMode.R)
+        pump2.request(C, LockMode.R)         # granted BY B (Rule 3.1)
+        pump2.release(B, LockMode.R)          # B still owns R via C
+        assert pump2.automata[B].owned_mode() is LockMode.R
+        before = len(pump2.queue)
+        out = pump2.automata[B].request(LockMode.R, ctx="local")
+        assert out == []                       # Rule 2: zero messages
+        assert pump2.grants[-1] == (B, LockMode.R, "local")
+        assert len(pump2.queue) == before
+
+    def test_child_grant_single_hop(self):
+        pump = Pump(3, parents={C: B})
+        pump.request(B, LockMode.R)
+        sent_before = len(pump.grants)
+        pump.request(C, LockMode.IR)  # B owns R, grants IR itself
+        assert pump.granted_modes(C) == [LockMode.IR]
+        assert pump.automata[B].children == {C: LockMode.IR}
+        # The token node never saw C.
+        assert C not in pump.automata[A].children
+
+
+class TestPaperFigure2:
+    """The grant/release/queue example of Figure 2."""
+
+    def _setup(self):
+        # A is the token and holds R; B holds IR under A; C holds IR under B.
+        pump = Pump(4, parents={C: B, D: B})
+        pump.request(A, LockMode.R)
+        pump.request(B, LockMode.IR)
+        pump.request(C, LockMode.IR)
+        assert pump.automata[A].children == {B: LockMode.IR}
+        assert pump.automata[B].children == {C: LockMode.IR}
+        return pump
+
+    def test_release_of_ir_with_owning_child_sends_no_message(self):
+        pump = self._setup()
+        out = pump.automata[B].release(LockMode.IR)
+        assert out == []  # Rule 5.2: owned mode unchanged (C still owns IR)
+        assert pump.automata[B].owned_mode() is LockMode.IR
+
+    def test_queue_then_serve_after_grant(self):
+        pump = self._setup()
+        pump.automata[B].release(LockMode.IR)
+        # B requests R; the request is in transit toward A...
+        pump.send(B, pump.automata[B].request(LockMode.R))
+        # ...when D's R request reaches B first: B queues it (Rule 4.1).
+        pump.send(D, pump.automata[D].request(LockMode.R))
+        deliver_to_b = [i for i, (s, e) in enumerate(pump.queue) if e.dest == B]
+        sender, envelope = pump.queue[deliver_to_b[0]]
+        del pump.queue[deliver_to_b[0]]
+        replies = pump.automata[B].handle(envelope.message)
+        assert replies == []  # queued locally, no forwarding
+        assert pump.automata[B].queue_length == 1
+        # Now the rest flows: A grants {B,R}, B serves the queued {D,R}.
+        pump.drain()
+        assert pump.granted_modes(B)[-1] is LockMode.R
+        assert pump.granted_modes(D) == [LockMode.R]
+        assert pump.automata[B].children[D] is LockMode.R
+        pump.assert_quiescent_tree()
+
+
+class TestPaperFigure3Freezing:
+    """The frozen-modes example of Figure 3."""
+
+    def _setup(self):
+        # A is the token; A, B and C all hold IW (compatible intents).
+        pump = Pump(5)
+        pump.request(A, LockMode.IW)
+        pump.request(B, LockMode.IW)
+        pump.request(C, LockMode.IW)
+        return pump
+
+    def test_r_request_freezes_iw_at_token(self):
+        pump = self._setup()
+        pump.request(D, LockMode.R)
+        assert pump.granted_modes(D) == []
+        token = pump.automata[A]
+        assert token.queue_length == 1
+        assert token.frozen_modes == frozenset({LockMode.IW})
+        # Potential IW granters (the IW children) were notified.
+        assert pump.automata[B].frozen_modes == frozenset({LockMode.IW})
+        assert pump.automata[C].frozen_modes == frozenset({LockMode.IW})
+
+    def test_frozen_children_stop_granting(self):
+        # E's requests route through B, a potential IW granter.
+        pump = Pump(5, parents={E: B})
+        pump.request(A, LockMode.IW)
+        pump.request(B, LockMode.IW)
+        pump.request(C, LockMode.IW)
+        pump.request(D, LockMode.R)
+        # E asks B for IW; B owns IW and could normally grant (Rule 3.1),
+        # but IW is frozen → the request travels on to the token's queue.
+        out = pump.automata[E].request(LockMode.IW)
+        replies = pump.automata[B].handle(out[0].message)
+        assert all(not isinstance(r.message, GrantMessage) for r in replies)
+        pump.send(B, replies)
+        pump.drain()
+        assert pump.granted_modes(E) == []
+        assert pump.automata[A].queue_length == 2
+
+    def test_token_transferred_to_reader_after_drain(self):
+        pump = self._setup()
+        pump.request(D, LockMode.R)
+        pump.release(B, LockMode.IW)
+        pump.release(C, LockMode.IW)
+        assert pump.granted_modes(D) == []  # A itself still holds IW
+        pump.release(A, LockMode.IW)
+        # Paper Fig. 3(c): once all IW released, the token moves to D.
+        assert pump.granted_modes(D) == [LockMode.R]
+        assert pump.token_holder() == D
+        # The freeze has been lifted everywhere that was notified.
+        assert pump.automata[D].frozen_modes == frozenset()
+
+    def test_fifo_preserved_between_queued_requests(self):
+        pump = self._setup()
+        pump.request(D, LockMode.R)    # queued first
+        pump.request(E, LockMode.IW)   # frozen → queued second
+        pump.release(A, LockMode.IW)
+        pump.release(B, LockMode.IW)
+        pump.release(C, LockMode.IW)
+        # R (first) must be granted before the later IW.
+        assert pump.granted_modes(D) == [LockMode.R]
+        assert pump.granted_modes(E) == []
+        pump.release(D, LockMode.R)
+        assert pump.granted_modes(E) == [LockMode.IW]
+
+
+class TestStarvationWithoutFreezing:
+    """§3.3: without Rule 6, compatible newcomers overtake forever."""
+
+    def test_overtaking_happens_with_freezing_off(self):
+        pump = Pump(4, options=ProtocolOptions(freezing=False))
+        pump.request(A, LockMode.IW)
+        pump.request(D, LockMode.R)   # queued at the token
+        pump.request(B, LockMode.IW)  # ← overtakes: grant despite queued R
+        assert pump.granted_modes(B) == [LockMode.IW]
+        assert pump.granted_modes(D) == []
+
+    def test_overtaking_blocked_with_freezing_on(self):
+        pump = Pump(4)
+        pump.request(A, LockMode.IW)
+        pump.request(D, LockMode.R)
+        pump.request(B, LockMode.IW)  # frozen → queued behind the R
+        assert pump.granted_modes(B) == []
+        pump.release(A, LockMode.IW)
+        assert pump.granted_modes(D) == [LockMode.R]
+        pump.release(D, LockMode.R)
+        assert pump.granted_modes(B) == [LockMode.IW]
+
+
+class TestTokenTransferMechanics:
+    def test_queue_travels_with_token_and_merges_fifo(self):
+        pump = Pump(4)
+        pump.request(A, LockMode.R)
+        # B requests U → compatible, stronger → the token will transfer,
+        # but only after ... actually R < U and compatible: immediate.
+        pump.request(B, LockMode.U)
+        assert pump.token_holder() == B
+        # C and D request W: queued at B (the new token).
+        pump.request(C, LockMode.W)
+        pump.request(D, LockMode.W)
+        assert pump.automata[B].queue_length == 2
+        pump.release(A, LockMode.R)
+        pump.release(B, LockMode.U)
+        # First W grant transfers token and the remaining queue to C.
+        assert pump.granted_modes(C) == [LockMode.W]
+        assert pump.token_holder() == C
+        assert pump.automata[C].queue_length == 1
+        pump.release(C, LockMode.W)
+        assert pump.granted_modes(D) == [LockMode.W]
+
+    def test_old_token_becomes_child_when_still_owning(self):
+        pump = Pump(3)
+        pump.request(A, LockMode.R)
+        pump.request(B, LockMode.U)
+        assert pump.automata[B].children == {A: LockMode.R}
+        assert pump.automata[A].parent == B
+
+    def test_old_token_not_child_when_owning_nothing(self):
+        pump = Pump(2)
+        pump.request(B, LockMode.W)
+        assert pump.automata[B].children == {}
+        assert pump.automata[A].parent == B
+
+    def test_request_chases_moved_token(self):
+        pump = Pump(3)
+        pump.request(B, LockMode.W)       # token now at B
+        pump.release(B, LockMode.W)
+        # C still believes A is the root; the request must be forwarded.
+        pump.request(C, LockMode.W)
+        assert pump.granted_modes(C) == [LockMode.W]
+        assert pump.token_holder() == C
+
+
+class TestReleasePropagation:
+    def test_release_propagates_only_on_owned_change(self):
+        pump = Pump(3, parents={C: B})
+        pump.request(A, LockMode.IR)  # anchor the token at A
+        pump.request(B, LockMode.IR)
+        pump.request(C, LockMode.IR)
+        # B releases first: no owned change (C still owns IR) → no message.
+        pump.release(B, LockMode.IR)
+        assert pump.automata[A].children[B] is LockMode.IR
+        # C releases: B loses its only child → owned drops → A notified.
+        pump.release(C, LockMode.IR)
+        assert B not in pump.automata[A].children
+        assert pump.automata[B].children == {}
+
+    def test_weakening_release_updates_parent_record(self):
+        pump = Pump(2)
+        pump.request(A, LockMode.R)  # anchor the token at A
+        pump.request(B, LockMode.R)
+        # B also takes IR locally (Rule 2), then drops the R.
+        pump.automata[B].request(LockMode.IR)
+        pump.release(B, LockMode.R)
+        assert pump.automata[A].children[B] is LockMode.IR
+
+    def test_upgrade_waits_for_copyset_drain(self):
+        pump = Pump(3)
+        pump.request(B, LockMode.R)
+        pump.request(C, LockMode.U)   # token moves to C
+        pump.upgrade(C)               # must wait for B's R
+        assert pump.automata[C].held_modes == {LockMode.U: 1}
+        assert pump.automata[C].frozen_modes >= {LockMode.R}
+        pump.release(B, LockMode.R)
+        assert pump.automata[C].held_modes == {LockMode.W: 1}
+        assert pump.granted_modes(C)[-1] is LockMode.W
+
+
+class TestStaleReleaseRegression:
+    """The race fixed by attachment epochs (see GrantMessage docstring).
+
+    B owns IR through child C, requests R (a message), loses C while the
+    request is in flight (emitting Release(NONE)), and is granted R before
+    the stale release arrives.  Without epoch filtering the parent drops
+    the fresh attachment and the token can grant W while R is held.
+    """
+
+    def _race_pump(self):
+        pump = Pump(3, parents={C: B})
+        pump.request(A, LockMode.R)       # anchor the token: A holds R
+        pump.request(B, LockMode.IR)      # B child of A with IR
+        pump.request(C, LockMode.IR)      # C child of B with IR
+        pump.release(B, LockMode.IR)      # B still owns IR via C
+        return pump
+
+    def test_fresh_grant_survives_stale_release(self):
+        pump = self._race_pump()
+        # B requests R (owned IR < R): message toward A, held back.
+        request_out = pump.automata[B].request(LockMode.R)
+        # C detaches; B's owned drops to NONE → Release(NONE) toward A.
+        release_c = pump.automata[C].release(LockMode.IR)
+        release_out = pump.automata[B].handle(release_c[0].message)
+        assert isinstance(release_out[0].message, ReleaseMessage)
+        # FIFO on the B→A channel: the request was sent first.
+        grant_out = pump.automata[A].handle(request_out[0].message)
+        assert isinstance(grant_out[0].message, GrantMessage)
+        assert pump.automata[A].children[B] is LockMode.R
+        # The stale release arrives after the grant: it must be ignored.
+        pump.automata[A].handle(release_out[0].message)
+        assert pump.automata[A].children == {B: LockMode.R}
+        # Deliver the grant; a W elsewhere must now wait for B's R.
+        pump.automata[B].handle(grant_out[0].message)
+        pump.release(A, LockMode.R)       # A's own hold out of the way
+        pump.send(C, pump.automata[C].request(LockMode.W))
+        pump.drain()
+        assert pump.granted_modes(C) == [LockMode.IR]  # W not granted yet
+        assert pump.automata[A].queue_length == 1      # W waits for B's R
+        pump.release(B, LockMode.R)
+        pump.drain()
+        assert pump.granted_modes(C)[-1] is LockMode.W
+
+    def test_post_grant_release_still_applies(self):
+        pump = self._race_pump()
+        pump.request(B, LockMode.R)  # delivered normally
+        pump.release(C, LockMode.IR)
+        pump.release(B, LockMode.R)
+        pump.release(A, LockMode.R)
+        assert pump.automata[A].children == {}
+        pump.assert_quiescent_tree()
+
+    def test_release_crossing_grant_is_ignored(self):
+        """The mirror-image race: the parent issues a grant, and the
+        child's Release(NONE) — sent before the grant arrives — crosses it
+        on the wire.  The release reflects pre-grant state and must not
+        clobber the fresh copyset entry (attachment epochs are minted at
+        grant-issue time precisely so this ordering is detectable)."""
+
+        pump = self._race_pump()
+        # B (owning IR only through child C) requests R; deliver it to A,
+        # which issues the grant — but hold the grant back.
+        request_out = pump.automata[B].request(LockMode.R)
+        grant_out = pump.automata[A].handle(request_out[0].message)
+        assert isinstance(grant_out[0].message, GrantMessage)
+        assert pump.automata[A].children[B] is LockMode.R
+        # Before the grant arrives, C detaches: B's owned drops to NONE
+        # and its Release(NONE) crosses the in-flight grant.
+        release_c = pump.automata[C].release(LockMode.IR)
+        release_out = pump.automata[B].handle(release_c[0].message)
+        assert isinstance(release_out[0].message, ReleaseMessage)
+        pump.automata[A].handle(release_out[0].message)
+        # The crossing release must have been dropped as stale.
+        assert pump.automata[A].children == {B: LockMode.R}
+        # Deliver the grant; B's R must keep blocking a W elsewhere.
+        pump.automata[B].handle(grant_out[0].message)
+        pump.release(A, LockMode.R)
+        pump.send(C, pump.automata[C].request(LockMode.W))
+        pump.drain()
+        assert pump.granted_modes(C) == [LockMode.IR]
+        pump.release(B, LockMode.R)
+        pump.drain()
+        assert pump.granted_modes(C)[-1] is LockMode.W
+        pump.release(C, LockMode.W)
+        pump.assert_quiescent_tree()
+
+
+class TestDetachOnReparenting:
+    """A node granted by a new parent detaches from its old one."""
+
+    def test_detach_after_grant_from_ancestor(self):
+        pump = Pump(3, parents={C: B})
+        pump.request(A, LockMode.R)         # anchor the token at A
+        pump.request(B, LockMode.IR)
+        pump.request(C, LockMode.IR)        # C child of B
+        # C requests R: B cannot grant (IR < R) → A grants → C re-parents.
+        pump.request(C, LockMode.R)
+        assert pump.automata[C].parent == A
+        assert pump.automata[A].children[C] is LockMode.R
+        assert C not in pump.automata[B].children
+        pump.assert_quiescent_tree()
+
+    def test_full_release_after_reparenting_reaches_everyone(self):
+        pump = Pump(3, parents={C: B})
+        pump.request(A, LockMode.R)
+        pump.request(B, LockMode.IR)
+        pump.request(C, LockMode.IR)
+        pump.request(C, LockMode.R)
+        pump.release(C, LockMode.R)
+        pump.release(C, LockMode.IR)
+        pump.release(B, LockMode.IR)
+        pump.release(A, LockMode.R)
+        # Everything drained: a W is now immediately grantable.
+        pump.request(C, LockMode.W)
+        assert pump.granted_modes(C)[-1] is LockMode.W
+
+
+class TestFreezePiggybacking:
+    def test_grant_carries_current_frozen_set(self):
+        pump = Pump(4)
+        pump.request(A, LockMode.IW)
+        pump.request(D, LockMode.R)          # freezes IW at the token
+        # B now gets IR granted; the grant carries the frozen set.
+        pump.request(B, LockMode.IR)
+        assert pump.granted_modes(B) == [LockMode.IR]
+        assert LockMode.IW in pump.automata[B].frozen_modes
+
+    def test_stale_freeze_from_former_parent_ignored(self):
+        pump = Pump(2)
+        pump.request(B, LockMode.R)
+        stale = FreezeMessage(
+            lock_id=pump.lock_id, sender=7, frozen=frozenset({LockMode.R})
+        )
+        assert pump.automata[B].handle(stale) == []
+        assert pump.automata[B].frozen_modes == frozenset()

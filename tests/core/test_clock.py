@@ -1,0 +1,56 @@
+"""Tests for the Lamport clock."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clock import LamportClock
+
+
+class TestLamportClock:
+    def test_starts_at_zero(self):
+        assert LamportClock().time == 0
+
+    def test_custom_start(self):
+        assert LamportClock(start=41).tick() == 42
+
+    def test_tick_increments(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+        assert clock.time == 2
+
+    def test_observe_advances_past_remote(self):
+        clock = LamportClock()
+        assert clock.observe(10) == 11
+
+    def test_observe_of_older_time_still_advances(self):
+        clock = LamportClock()
+        clock.observe(10)
+        assert clock.observe(3) == 12
+
+    @given(ticks=st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+    def test_monotonic_under_any_event_sequence(self, ticks):
+        clock = LamportClock()
+        previous = clock.time
+        for remote in ticks:
+            current = (
+                clock.observe(remote) if remote % 2 == 0 else clock.tick()
+            )
+            assert current > previous
+            previous = current
+
+    @given(remote=st.integers(min_value=0, max_value=10**9))
+    def test_observe_result_exceeds_remote(self, remote):
+        clock = LamportClock()
+        assert clock.observe(remote) > remote
+
+    def test_happened_before_ordering_across_clocks(self):
+        """A message carries its sender's stamp; the receiver's next stamp
+        is strictly larger — the property FIFO queue merges rely on."""
+
+        sender, receiver = LamportClock(), LamportClock()
+        stamp = sender.tick()
+        receiver.observe(stamp)
+        assert receiver.tick() > stamp

@@ -1,0 +1,137 @@
+"""Tests for hierarchical resource naming and lock plans."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import (
+    ResourceTree,
+    ancestors,
+    lock_plan,
+    release_plan,
+)
+from repro.core.modes import LockMode, intention_mode
+from repro.errors import ConfigurationError
+
+_component = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+_path = st.lists(_component, min_size=1, max_size=4).map("/".join)
+
+
+class TestAncestors:
+    def test_root_has_no_ancestors(self):
+        assert ancestors("db") == []
+
+    def test_two_levels(self):
+        assert ancestors("db/tickets") == ["db"]
+
+    def test_three_levels(self):
+        assert ancestors("db/tickets/17") == ["db", "db/tickets"]
+
+    @given(path=_path)
+    def test_count_matches_depth(self, path):
+        assert len(ancestors(path)) == path.count("/")
+
+    @given(path=_path)
+    def test_each_ancestor_is_a_prefix(self, path):
+        for ancestor in ancestors(path):
+            assert path.startswith(ancestor + "/")
+
+
+class TestLockPlan:
+    def test_leaf_read_plan(self):
+        assert lock_plan("db/tickets/17", LockMode.R) == [
+            ("db", LockMode.IR),
+            ("db/tickets", LockMode.IR),
+            ("db/tickets/17", LockMode.R),
+        ]
+
+    def test_leaf_write_plan_uses_iw(self):
+        assert lock_plan("db/t/0", LockMode.W) == [
+            ("db", LockMode.IW),
+            ("db/t", LockMode.IW),
+            ("db/t/0", LockMode.W),
+        ]
+
+    def test_upgrade_plan_uses_iw_intents(self):
+        plan = lock_plan("db/t/0", LockMode.U)
+        assert plan[0] == ("db", LockMode.IW)
+        assert plan[-1] == ("db/t/0", LockMode.U)
+
+    def test_root_plan_has_single_step(self):
+        assert lock_plan("db", LockMode.R) == [("db", LockMode.R)]
+
+    def test_none_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lock_plan("db", LockMode.NONE)
+
+    @given(path=_path, mode=st.sampled_from(
+        [LockMode.IR, LockMode.R, LockMode.U, LockMode.IW, LockMode.W]
+    ))
+    def test_release_plan_is_exact_reverse(self, path, mode):
+        assert release_plan(path, mode) == list(reversed(lock_plan(path, mode)))
+
+    @given(path=_path, mode=st.sampled_from([LockMode.R, LockMode.W]))
+    def test_ancestors_use_matching_intent(self, path, mode):
+        plan = lock_plan(path, mode)
+        for _lock, step_mode in plan[:-1]:
+            assert step_mode is intention_mode(mode)
+
+
+class TestResourceTree:
+    def test_table_with_entries(self):
+        tree = ResourceTree("db")
+        rows = tree.add_table("tickets", entries=4)
+        assert len(rows) == 4
+        assert rows[0].lock_id == "db/tickets/0"
+        assert "db/tickets" in tree
+        assert len(tree) == 6  # root + table + 4 entries
+
+    def test_leaves_excludes_interior(self):
+        tree = ResourceTree("db")
+        tree.add_table("t", entries=3)
+        leaf_ids = {leaf.lock_id for leaf in tree.leaves()}
+        assert leaf_ids == {"db/t/0", "db/t/1", "db/t/2"}
+
+    def test_get_and_contains(self):
+        tree = ResourceTree("db")
+        tree.add("db", "t")
+        assert tree.get("db/t") is not None
+        assert tree.get("nope") is None
+        assert "db/t" in tree
+        assert "nope" not in tree
+
+    def test_duplicate_rejected(self):
+        tree = ResourceTree("db")
+        tree.add("db", "t")
+        with pytest.raises(ConfigurationError):
+            tree.add("db", "t")
+
+    def test_unknown_parent_rejected(self):
+        tree = ResourceTree("db")
+        with pytest.raises(ConfigurationError):
+            tree.add("nope", "t")
+
+    def test_multi_component_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourceTree("a/b")
+        tree = ResourceTree("db")
+        with pytest.raises(ConfigurationError):
+            tree.add("db", "a/b")
+
+    def test_resource_name_property(self):
+        tree = ResourceTree("db")
+        resource = tree.add("db", "t")
+        assert resource.name == "t"
+        assert tree.root.name == "db"
+
+    def test_iteration_in_insertion_order(self):
+        tree = ResourceTree("db")
+        tree.add("db", "a")
+        tree.add("db", "b")
+        assert [r.lock_id for r in tree] == ["db", "db/a", "db/b"]

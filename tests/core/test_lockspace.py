@@ -1,0 +1,98 @@
+"""Tests for the per-node lock multiplexer and token placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lockspace import (
+    LockSpace,
+    default_token_home,
+    hashed_token_home,
+)
+from repro.core.messages import ReleaseMessage
+from repro.core.modes import LockMode
+from repro.errors import ConfigurationError
+
+
+class TestTokenHome:
+    def test_default_home_is_node_zero(self):
+        assert default_token_home("anything") == 0
+
+    def test_hashed_home_is_deterministic(self):
+        home = hashed_token_home(8)
+        assert home("db/t/3") == home("db/t/3")
+
+    def test_hashed_home_within_range(self):
+        home = hashed_token_home(5)
+        for i in range(50):
+            assert 0 <= home(f"lock-{i}") < 5
+
+    def test_hashed_home_spreads_locks(self):
+        home = hashed_token_home(16)
+        homes = {home(f"db/t/{i}") for i in range(64)}
+        assert len(homes) > 4  # not all piled onto one node
+
+    def test_hashed_home_rejects_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            hashed_token_home(0)
+
+
+class TestLockSpace:
+    def test_lazy_automaton_creation(self):
+        space = LockSpace(node_id=0)
+        assert space.lock_ids == []
+        space.automaton("a")
+        space.automaton("b")
+        assert sorted(space.lock_ids) == ["a", "b"]
+
+    def test_automaton_identity_is_stable(self):
+        space = LockSpace(node_id=0)
+        assert space.automaton("a") is space.automaton("a")
+
+    def test_token_placement_follows_home_fn(self):
+        home = lambda lock_id: 3 if lock_id == "x" else 0
+        space0 = LockSpace(node_id=0, token_home=home)
+        space3 = LockSpace(node_id=3, token_home=home)
+        assert not space0.automaton("x").has_token
+        assert space0.automaton("x").parent == 3
+        assert space3.automaton("x").has_token
+        assert space3.automaton("y").parent == 0
+
+    def test_clock_shared_across_locks(self):
+        space = LockSpace(node_id=0)
+        space.request("a", LockMode.W)
+        time_after_a = space.clock.time
+        space.request("b", LockMode.W)
+        assert space.clock.time >= time_after_a
+
+    def test_handle_routes_by_lock_id(self):
+        space = LockSpace(node_id=0)
+        space.request("a", LockMode.R)
+        # A release for lock "b" must not disturb lock "a".
+        space.handle(ReleaseMessage(lock_id="b", sender=5, new_mode=LockMode.NONE))
+        assert space.automaton("a").held_modes == {LockMode.R: 1}
+        assert "b" in space.lock_ids
+
+    def test_listener_shared_by_all_automata(self):
+        events = []
+        space = LockSpace(
+            node_id=0,
+            listener=lambda lock, mode, ctx: events.append((lock, mode)),
+        )
+        space.request("a", LockMode.R)
+        space.request("b", LockMode.IW)
+        assert events == [("a", LockMode.R), ("b", LockMode.IW)]
+
+    def test_release_and_upgrade_pass_through(self):
+        space = LockSpace(node_id=0)
+        space.request("a", LockMode.U)
+        assert space.upgrade("a") == []
+        assert space.automaton("a").held_modes == {LockMode.W: 1}
+        space.release("a", LockMode.W)
+        assert space.automaton("a").held_modes == {}
+
+    def test_automata_iterates_instantiated(self):
+        space = LockSpace(node_id=0)
+        space.automaton("a")
+        space.automaton("b")
+        assert {a.lock_id for a in space.automata()} == {"a", "b"}

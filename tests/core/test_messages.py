@@ -1,0 +1,138 @@
+"""Tests for the protocol wire format."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import (
+    Envelope,
+    FreezeMessage,
+    GrantMessage,
+    ReleaseMessage,
+    RequestId,
+    RequestMessage,
+    TokenMessage,
+    fresh_attachment_seq,
+    fresh_request_id,
+    message_type_label,
+)
+from repro.core.modes import LockMode
+
+
+class TestRequestId:
+    def test_sort_key_orders_by_timestamp_first(self):
+        early = RequestId(timestamp=1, origin=9, serial=100)
+        late = RequestId(timestamp=2, origin=0, serial=0)
+        assert early.sort_key() < late.sort_key()
+
+    def test_sort_key_breaks_ties_by_origin_then_serial(self):
+        a = RequestId(timestamp=5, origin=1, serial=7)
+        b = RequestId(timestamp=5, origin=2, serial=3)
+        c = RequestId(timestamp=5, origin=2, serial=4)
+        assert a.sort_key() < b.sort_key() < c.sort_key()
+
+    def test_fresh_ids_have_unique_increasing_serials(self):
+        first = fresh_request_id(1, 0)
+        second = fresh_request_id(1, 0)
+        assert first.serial < second.serial
+
+    def test_fresh_attachment_seq_shares_serial_space(self):
+        request = fresh_request_id(1, 0)
+        seq = fresh_attachment_seq()
+        assert seq > request.serial
+
+
+class TestMessageDataclasses:
+    def _request(self, **overrides):
+        base = dict(
+            lock_id="L",
+            sender=0,
+            origin=0,
+            mode=LockMode.R,
+            request_id=fresh_request_id(1, 0),
+        )
+        base.update(overrides)
+        return RequestMessage(**base)
+
+    def test_messages_are_immutable(self):
+        msg = self._request()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            msg.mode = LockMode.W
+
+    def test_forwarding_preserves_origin(self):
+        msg = self._request(origin=3)
+        forwarded = dataclasses.replace(msg, sender=7)
+        assert forwarded.origin == 3
+        assert forwarded.sender == 7
+        assert forwarded.request_id == msg.request_id
+
+    def test_grant_carries_explicit_attachment_epoch(self):
+        """Epochs are minted at grant-issue time, independent of the
+        request's creation serial (see GrantMessage docstring for why)."""
+
+        request_id = fresh_request_id(4, 2)
+        grant = GrantMessage(
+            lock_id="L", sender=0, mode=LockMode.R, request_id=request_id,
+            attachment_seq=777,
+        )
+        assert grant.attachment_seq == 777
+
+    def test_upgrade_flag_defaults_false(self):
+        assert self._request().upgrade is False
+
+
+class TestMessageTypeLabels:
+    """Figure 7's legend maps one label per message type."""
+
+    @pytest.mark.parametrize(
+        "message,label",
+        [
+            (
+                RequestMessage(
+                    lock_id="L",
+                    sender=0,
+                    origin=0,
+                    mode=LockMode.R,
+                    request_id=RequestId(1, 0, 1),
+                ),
+                "request",
+            ),
+            (
+                GrantMessage(
+                    lock_id="L",
+                    sender=0,
+                    mode=LockMode.R,
+                    request_id=RequestId(1, 0, 2),
+                ),
+                "grant",
+            ),
+            (
+                TokenMessage(
+                    lock_id="L",
+                    sender=0,
+                    granted_mode=LockMode.W,
+                    request_id=RequestId(1, 0, 3),
+                    prev_owner_mode=LockMode.NONE,
+                ),
+                "token",
+            ),
+            (
+                ReleaseMessage(lock_id="L", sender=0, new_mode=LockMode.NONE),
+                "release",
+            ),
+            (
+                FreezeMessage(lock_id="L", sender=0, frozen=frozenset()),
+                "freeze",
+            ),
+        ],
+    )
+    def test_labels(self, message, label):
+        assert message_type_label(message) == label
+
+    def test_envelope_carries_destination(self):
+        release = ReleaseMessage(lock_id="L", sender=1, new_mode=LockMode.IR)
+        envelope = Envelope(dest=4, message=release)
+        assert envelope.dest == 4
+        assert envelope.message is release

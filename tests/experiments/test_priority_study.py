@@ -1,0 +1,35 @@
+"""Tests for the priority-arbitration extension study (X1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.priority import PriorityResult, run_priority_study
+
+
+class TestPriorityStudy:
+    def test_runs_green_and_deterministic(self):
+        first = run_priority_study(num_nodes=6, ops_per_node=10, seed=5)
+        second = run_priority_study(num_nodes=6, ops_per_node=10, seed=5)
+        assert first.priority_high_latency == second.priority_high_latency
+        assert first.fifo_high_latency == second.fifo_high_latency
+
+    def test_priority_helps_the_vip(self):
+        result = run_priority_study(num_nodes=8, ops_per_node=15, seed=6)
+        assert result.priority_high_latency < result.fifo_high_latency
+
+    def test_render_contains_both_policies(self):
+        result = run_priority_study(num_nodes=5, ops_per_node=8, seed=7)
+        text = result.render()
+        assert "FIFO" in text and "priority" in text
+        assert "speedup" in text
+
+    def test_speedup_property(self):
+        result = PriorityResult(
+            num_nodes=4,
+            fifo_high_latency=2.0,
+            priority_high_latency=0.5,
+            fifo_crowd_latency=1.0,
+            priority_crowd_latency=1.2,
+        )
+        assert result.speedup == pytest.approx(4.0)

@@ -1,0 +1,51 @@
+"""Tests for the §5 dynamic-vs-static tree study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.related_work import (
+    run_related_work,
+    sequential_naimi,
+    sequential_raymond,
+)
+from repro.raymond.topology import balanced_binary_tree, chain, star
+
+
+class TestSequentialProbes:
+    def test_naimi_flattens(self):
+        small = sequential_naimi(4, rounds=40)
+        large = sequential_naimi(32, rounds=40)
+        # Path reversal keeps the per-request cost roughly flat.
+        assert large < small * 4
+
+    def test_raymond_chain_grows_linearly(self):
+        small = sequential_raymond(4, chain(4), rounds=40)
+        large = sequential_raymond(32, chain(32), rounds=40)
+        assert large > small * 3
+
+    def test_raymond_star_is_cheap(self):
+        cost = sequential_raymond(16, star(16), rounds=40)
+        # Height-1 tree: a leaf-to-leaf hand-off costs 4 messages
+        # (request up + over, privilege back + down), independent of n.
+        assert cost < 4.5
+
+    def test_raymond_balanced_between_star_and_chain(self):
+        n = 16
+        star_cost = sequential_raymond(n, star(n), rounds=40)
+        tree_cost = sequential_raymond(n, balanced_binary_tree(n), rounds=40)
+        chain_cost = sequential_raymond(n, chain(n), rounds=40)
+        assert star_cost <= tree_cost <= chain_cost
+
+
+class TestFullStudy:
+    def test_checks_pass_at_small_scale(self):
+        result = run_related_work(node_counts=(2, 4, 8, 16), rounds=40)
+        failures = [name for name, ok in result.checks() if not ok]
+        assert not failures, failures
+
+    def test_render(self):
+        result = run_related_work(node_counts=(2, 4), rounds=10)
+        text = result.render()
+        assert "Related work" in text
+        assert "naimi (dynamic)" in text

@@ -1,0 +1,75 @@
+"""Tests for the report rendering and shape-check helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.report import (
+    flattening,
+    monotonically_increasing,
+    render_ascii_plot,
+    render_series_table,
+    shape_checks,
+    superlinear_growth,
+)
+
+
+class TestShapeHelpers:
+    def test_monotonic_simple(self):
+        assert monotonically_increasing([1, 2, 3])
+        assert not monotonically_increasing([1, 3, 2])
+
+    def test_monotonic_with_slack(self):
+        assert monotonically_increasing([1.0, 0.98, 1.5], slack=0.05)
+        assert not monotonically_increasing([1.0, 0.5, 1.5], slack=0.05)
+
+    def test_superlinear_detects_quadratic(self):
+        xs = [1, 2, 4, 8]
+        ys = [1, 4, 16, 64]
+        assert superlinear_growth(xs, ys)
+
+    def test_superlinear_rejects_flat(self):
+        assert not superlinear_growth([1, 2, 4, 8], [3, 3.1, 3.2, 3.1])
+
+    def test_superlinear_rejects_linear(self):
+        assert not superlinear_growth([1, 2, 4, 8], [2, 4, 8, 16])
+
+    def test_superlinear_needs_data(self):
+        assert not superlinear_growth([1], [1])
+        assert not superlinear_growth([1, 2], [0, 5])
+
+    def test_flattening_detects_asymptote(self):
+        assert flattening([1.0, 2.5, 2.9, 3.0, 3.05])
+
+    def test_flattening_rejects_steady_growth(self):
+        assert not flattening([1, 2, 4, 8, 16])
+
+    def test_flattening_accepts_flat_series(self):
+        assert flattening([3.0, 3.0, 3.0, 3.0])
+
+    def test_flattening_needs_three_points(self):
+        assert not flattening([1, 2])
+
+
+class TestRendering:
+    def test_series_table_contains_all_data(self):
+        text = render_series_table(
+            "T", "n", [2, 4], {"a": [1.0, 2.0], "b": [3.0, 4.0]}
+        )
+        assert "T" in text
+        for token in ("a", "b", "1.00", "4.00"):
+            assert token in text
+
+    def test_ascii_plot_has_legend_and_axes(self):
+        text = render_ascii_plot(
+            "P", [1, 2, 3], {"ours": [1, 2, 3], "base": [2, 4, 6]}
+        )
+        assert "o=ours" in text
+        assert "x=base" in text
+        assert "y: 0 .. 6.00" in text
+
+    def test_ascii_plot_empty_series(self):
+        assert "(no data)" in render_ascii_plot("P", [], {})
+
+    def test_shape_checks_renders_pass_fail(self):
+        text = shape_checks([("good", True), ("bad", False)])
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text

@@ -1,0 +1,73 @@
+"""Tests for the metrics collector (the figures' y-axes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import MetricsCollector
+
+
+class TestMessageCounting:
+    def test_counts_by_label(self):
+        collector = MetricsCollector()
+        for label in ("request", "grant", "request", "release"):
+            collector.count_message(label)
+        assert collector.message_counts["request"] == 2
+        assert collector.total_messages == 4
+
+    def test_overhead_divides_by_requests(self):
+        collector = MetricsCollector()
+        for _ in range(6):
+            collector.count_message("request")
+        collector.record_request(0, "R", 0.0, 1.0)
+        collector.record_request(1, "R", 0.0, 2.0)
+        assert collector.message_overhead() == pytest.approx(3.0)
+
+    def test_overhead_zero_without_requests(self):
+        collector = MetricsCollector()
+        collector.count_message("request")
+        assert collector.message_overhead() == 0.0
+
+    def test_breakdown_by_type(self):
+        collector = MetricsCollector()
+        collector.count_message("grant")
+        collector.count_message("grant")
+        collector.count_message("token")
+        for _ in range(4):
+            collector.record_request(0, "R", 0.0, 0.1)
+        breakdown = collector.message_overhead_by_type()
+        assert breakdown["grant"] == pytest.approx(0.5)
+        assert breakdown["token"] == pytest.approx(0.25)
+
+
+class TestLatency:
+    def test_record_latency(self):
+        collector = MetricsCollector()
+        collector.record_request(3, "W", issued_at=1.0, granted_at=2.5)
+        record = collector.requests[0]
+        assert record.latency == pytest.approx(1.5)
+        assert record.node == 3
+        assert record.kind == "W"
+
+    def test_latency_factor_normalizes(self):
+        collector = MetricsCollector()
+        collector.record_request(0, "R", 0.0, 0.30)
+        collector.record_request(0, "R", 0.0, 0.60)
+        assert collector.latency_factor(0.150) == pytest.approx(3.0)
+
+    def test_latency_factor_empty_is_zero(self):
+        assert MetricsCollector().latency_factor(0.150) == 0.0
+
+    def test_latency_summary_filters_by_kind(self):
+        collector = MetricsCollector()
+        collector.record_request(0, "R", 0.0, 1.0)
+        collector.record_request(0, "W", 0.0, 9.0)
+        assert collector.latency_summary("R").mean == pytest.approx(1.0)
+        assert collector.latency_summary("W").mean == pytest.approx(9.0)
+        assert collector.latency_summary().count == 2
+
+    def test_operation_counter(self):
+        collector = MetricsCollector()
+        collector.record_operation()
+        collector.record_operation()
+        assert collector.operations == 2

@@ -1,0 +1,103 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    Summary,
+    mean_confidence_halfwidth,
+    percentile,
+    summarize,
+)
+
+_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1,
+    max_size=100,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_extremes(self):
+        values = list(range(10))
+        assert percentile(values, 0.0) == 0
+        assert percentile(values, 1.0) == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    @given(values=_samples, fraction=st.floats(min_value=0, max_value=1))
+    def test_result_is_a_sample_element(self, values, fraction):
+        ordered = sorted(values)
+        assert percentile(ordered, fraction) in ordered
+
+
+class TestSummarize:
+    def test_empty_sample_is_all_zero(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_known_values(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.minimum == 2.0
+        assert summary.maximum == 6.0
+        assert summary.p50 == 4.0
+
+    @given(values=_samples)
+    def test_bounds_and_ordering(self, values):
+        summary = summarize(values)
+        # The mean comparison allows one ULP of float summation error.
+        slack = 1e-9 * max(abs(summary.minimum), abs(summary.maximum), 1e-12)
+        assert summary.minimum <= summary.p50 <= summary.maximum
+        assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+        assert summary.p50 <= summary.p95 <= summary.maximum
+        assert summary.stdev >= 0.0
+
+    @given(value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_single_sample_degenerate(self, value):
+        summary = summarize([value])
+        assert summary.mean == value
+        assert summary.stdev == 0.0
+        assert summary.p95 == value
+
+    def test_str_contains_key_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=" in text and "p95=" in text
+
+
+class TestConfidenceHalfwidth:
+    def test_tiny_samples_give_zero(self):
+        assert mean_confidence_halfwidth([]) == 0.0
+        assert mean_confidence_halfwidth([1.0]) == 0.0
+
+    def test_constant_sample_gives_zero(self):
+        assert mean_confidence_halfwidth([5.0] * 10) == 0.0
+
+    def test_shrinks_with_sample_size(self):
+        wide = mean_confidence_halfwidth([0.0, 1.0] * 5)
+        narrow = mean_confidence_halfwidth([0.0, 1.0] * 500)
+        assert narrow < wide
+
+    def test_known_value(self):
+        # sample variance of [0,1]*50 is 0.2525... use direct formula
+        values = [0.0, 1.0] * 50
+        n = len(values)
+        mean = 0.5
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        expected = 1.96 * math.sqrt(var / n)
+        assert mean_confidence_halfwidth(values) == pytest.approx(expected)

@@ -1,0 +1,194 @@
+"""Unit tests for the Naimi-Tréhel baseline automaton."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.errors import LockUsageError, ProtocolError
+from repro.naimi.automaton import NaimiAutomaton
+from repro.naimi.messages import NaimiRequestMessage, NaimiTokenMessage
+
+
+class NaimiPump:
+    """Synchronous delivery fabric for Naimi automata (FIFO, instant)."""
+
+    def __init__(self, num_nodes: int, root: int = 0) -> None:
+        self.grants = []
+        self.automata = {}
+        self.queue = deque()
+        self.messages_delivered = 0
+        for node in range(num_nodes):
+            self.automata[node] = NaimiAutomaton(
+                node_id=node,
+                lock_id="L",
+                last=None if node == root else root,
+                listener=self._listener(node),
+            )
+
+    def _listener(self, node):
+        def listener(lock_id, ctx):
+            self.grants.append((node, ctx))
+
+        return listener
+
+    def request(self, node, ctx=None):
+        self.send(node, self.automata[node].request(ctx))
+        self.drain()
+
+    def release(self, node):
+        self.send(node, self.automata[node].release())
+        self.drain()
+
+    def send(self, sender, envelopes):
+        for envelope in envelopes:
+            self.queue.append(envelope)
+
+    def drain(self):
+        steps = 0
+        while self.queue:
+            envelope = self.queue.popleft()
+            self.messages_delivered += 1
+            replies = self.automata[envelope.dest].handle(envelope.message)
+            self.send(envelope.dest, replies)
+            steps += 1
+            assert steps < 10_000
+
+
+class TestSingleNode:
+    def test_root_enters_immediately(self):
+        pump = NaimiPump(1)
+        pump.request(0, ctx="go")
+        assert pump.grants == [(0, "go")]
+        assert pump.automata[0].in_critical_section
+
+    def test_release_keeps_token_when_no_successor(self):
+        pump = NaimiPump(1)
+        pump.request(0)
+        pump.release(0)
+        assert pump.automata[0].has_token
+        assert pump.automata[0].is_idle()
+
+    def test_release_without_cs_rejected(self):
+        pump = NaimiPump(1)
+        with pytest.raises(LockUsageError):
+            pump.automata[0].release()
+
+    def test_double_request_rejected(self):
+        pump = NaimiPump(1)
+        pump.request(0)
+        with pytest.raises(LockUsageError):
+            pump.automata[0].request()
+
+    def test_unrequested_token_rejected(self):
+        pump = NaimiPump(2)
+        with pytest.raises(ProtocolError):
+            pump.automata[1].handle(NaimiTokenMessage(lock_id="L", sender=0))
+
+
+class TestTwoNodes:
+    def test_idle_root_hands_token_directly(self):
+        pump = NaimiPump(2)
+        pump.request(1)
+        assert pump.grants == [(1, None)]
+        assert pump.automata[1].has_token
+        assert not pump.automata[0].has_token
+        # Path reversal: the old root now points at the requester.
+        assert pump.automata[0].last == 1
+
+    def test_busy_root_chains_successor(self):
+        pump = NaimiPump(2)
+        pump.request(0)
+        pump.request(1)
+        assert [n for n, _ in pump.grants] == [0]
+        assert pump.automata[0].next_node == 1
+        pump.release(0)
+        assert [n for n, _ in pump.grants] == [0, 1]
+        assert pump.automata[1].has_token
+
+    def test_token_round_trip(self):
+        pump = NaimiPump(2)
+        for _round in range(3):
+            pump.request(1)
+            pump.release(1)
+            pump.request(0)
+            pump.release(0)
+        assert len(pump.grants) == 6
+
+
+class TestManyNodes:
+    def test_fifo_through_next_chain(self):
+        pump = NaimiPump(4)
+        pump.request(0)
+        pump.request(1)
+        pump.request(2)
+        pump.request(3)
+        for node in (0, 1, 2, 3):
+            pump.release(node) if pump.automata[node].in_critical_section else None
+        # Grants happened in request order.
+        granted = [n for n, _ in pump.grants]
+        assert granted == [0, 1, 2, 3]
+
+    def test_mutual_exclusion_always(self):
+        pump = NaimiPump(5)
+        pump.request(2)
+        pump.request(3)
+        pump.request(4)
+        in_cs = [n for n, a in pump.automata.items() if a.in_critical_section]
+        assert len(in_cs) == 1
+        while any(a.in_critical_section for a in pump.automata.values()):
+            holder = next(
+                n for n, a in pump.automata.items() if a.in_critical_section
+            )
+            pump.release(holder)
+            in_cs = [
+                n for n, a in pump.automata.items() if a.in_critical_section
+            ]
+            assert len(in_cs) <= 1
+
+    def test_path_reversal_compresses_paths(self):
+        """After node k is served, later requests route toward k directly."""
+
+        pump = NaimiPump(4)
+        pump.request(3)
+        pump.release(3)
+        # Everyone on the path now points at 3 (the new root).
+        assert pump.automata[0].last == 3
+        pump.messages_delivered = 0
+        pump.request(0)
+        # 0 → 3 directly: one request plus one token message.
+        assert pump.messages_delivered == 2
+
+    def test_exactly_one_token_at_quiescence(self):
+        pump = NaimiPump(6)
+        for node in (5, 2, 4, 1):
+            pump.request(node)
+            pump.release(node) if pump.automata[node].in_critical_section else None
+        while any(a.in_critical_section for a in pump.automata.values()):
+            holder = next(
+                n for n, a in pump.automata.items() if a.in_critical_section
+            )
+            pump.release(holder)
+        tokens = [n for n, a in pump.automata.items() if a.has_token]
+        assert len(tokens) == 1
+
+
+class TestMessages:
+    def test_request_forwarding_preserves_origin(self):
+        automaton = NaimiAutomaton(node_id=1, lock_id="L", last=2)
+        out = automaton.handle(
+            NaimiRequestMessage(lock_id="L", sender=0, origin=0)
+        )
+        assert len(out) == 1
+        assert out[0].dest == 2
+        assert out[0].message.origin == 0
+        # Path reversal happened.
+        assert automaton.last == 0
+
+    def test_wrong_lock_rejected(self):
+        automaton = NaimiAutomaton(node_id=1, lock_id="L", last=2)
+        with pytest.raises(ProtocolError):
+            automaton.handle(
+                NaimiRequestMessage(lock_id="OTHER", sender=0, origin=0)
+            )

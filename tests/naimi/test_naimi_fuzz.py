@@ -1,0 +1,127 @@
+"""Property-based fuzzing of the Naimi-Tréhel baseline.
+
+Random request sets under random (per-pair-FIFO) delivery orders: mutual
+exclusion must hold on every path, every request must complete, and the
+token must be unique at quiescence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.naimi.automaton import NaimiAutomaton
+
+
+class _Fuzz:
+    def __init__(self, num_nodes: int) -> None:
+        self.grants: List[int] = []
+        self.queue: List[Tuple[int, object]] = []
+        self.automata = {
+            node: NaimiAutomaton(
+                node_id=node,
+                lock_id="L",
+                last=None if node == 0 else 0,
+                listener=self._listener(node),
+            )
+            for node in range(num_nodes)
+        }
+
+    def _listener(self, node):
+        def listener(lock_id, ctx):
+            self.grants.append(node)
+
+        return listener
+
+    def send(self, sender, envelopes):
+        for envelope in envelopes:
+            self.queue.append((sender, envelope))
+
+    def deliver(self, choice: int) -> bool:
+        if not self.queue:
+            return False
+        heads: Dict[Tuple[int, int], int] = {}
+        for index, (sender, envelope) in enumerate(self.queue):
+            key = (sender, envelope.dest)
+            if key not in heads:
+                heads[key] = index
+        indices = sorted(heads.values())
+        index = indices[choice % len(indices)]
+        sender, envelope = self.queue.pop(index)
+        replies = self.automata[envelope.dest].handle(envelope.message)
+        self.send(envelope.dest, replies)
+        return True
+
+    def holder(self):
+        inside = [
+            node for node, a in self.automata.items() if a.in_critical_section
+        ]
+        assert len(inside) <= 1, f"mutual exclusion violated: {inside}"
+        return inside[0] if inside else None
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=6),
+    requesters=st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=8
+    ),
+    schedule=st.lists(st.integers(min_value=0, max_value=99), max_size=50),
+)
+def test_mutual_exclusion_under_random_interleavings(
+    num_nodes, requesters, schedule
+):
+    fuzz = _Fuzz(num_nodes)
+    pending = deque(r % num_nodes for r in requesters)
+    outstanding: Dict[int, int] = {}
+
+    def try_issue() -> bool:
+        if not pending:
+            return False
+        node = pending[0]
+        automaton = fuzz.automata[node]
+        if automaton.is_requesting or automaton.in_critical_section:
+            return False
+        pending.popleft()
+        outstanding[node] = outstanding.get(node, 0) + 1
+        fuzz.send(node, automaton.request())
+        return True
+
+    def try_release() -> bool:
+        holder = fuzz.holder()
+        if holder is None:
+            return False
+        fuzz.send(holder, fuzz.automata[holder].release())
+        return True
+
+    for choice in schedule:
+        action = choice % 3
+        if action == 0 and try_issue():
+            pass
+        elif action == 1 and fuzz.deliver(choice // 3):
+            pass
+        else:
+            try_release()
+        fuzz.holder()  # assert exclusion at every step
+
+    # Drain to completion.
+    steps = 0
+    while pending or fuzz.queue or fuzz.holder() is not None:
+        steps += 1
+        assert steps < 5_000, "naimi run failed to converge"
+        if try_issue():
+            continue
+        if fuzz.deliver(0):
+            continue
+        if not try_release():
+            break
+    assert len(fuzz.grants) == len(requesters)
+    tokens = [n for n, a in fuzz.automata.items() if a.has_token]
+    assert len(tokens) == 1

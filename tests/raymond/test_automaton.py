@@ -1,0 +1,165 @@
+"""Unit tests for Raymond's static-tree baseline."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.errors import ConfigurationError, LockUsageError, ProtocolError
+from repro.raymond.automaton import RaymondAutomaton
+from repro.raymond.messages import RaymondPrivilegeMessage
+from repro.raymond.topology import balanced_binary_tree, chain, star, validate
+
+
+class RaymondPump:
+    """Synchronous delivery fabric over a static tree topology."""
+
+    def __init__(self, topology) -> None:
+        self.grants = []
+        self.queue = deque()
+        self.messages_delivered = 0
+        self.automata = {
+            node: RaymondAutomaton(
+                node_id=node,
+                lock_id="L",
+                holder=parent,
+                listener=self._listener(node),
+            )
+            for node, parent in topology.items()
+        }
+
+    def _listener(self, node):
+        def listener(lock_id, ctx):
+            self.grants.append((node, ctx))
+
+        return listener
+
+    def request(self, node, ctx=None):
+        self.send(self.automata[node].request(ctx))
+        self.drain()
+
+    def release(self, node):
+        self.send(self.automata[node].release())
+        self.drain()
+
+    def send(self, envelopes):
+        self.queue.extend(envelopes)
+
+    def drain(self):
+        steps = 0
+        while self.queue:
+            envelope = self.queue.popleft()
+            self.messages_delivered += 1
+            self.send(self.automata[envelope.dest].handle(envelope.message))
+            steps += 1
+            assert steps < 10_000
+
+    def privileged(self):
+        nodes = [n for n, a in self.automata.items() if a.has_privilege]
+        assert len(nodes) == 1
+        return nodes[0]
+
+
+class TestTopologies:
+    def test_balanced_tree_shape(self):
+        topology = balanced_binary_tree(7)
+        assert topology[0] is None
+        assert topology[1] == 0 and topology[2] == 0
+        assert topology[3] == 1 and topology[6] == 2
+        validate(topology)
+
+    def test_balanced_tree_with_relabelled_root(self):
+        topology = balanced_binary_tree(7, root=3)
+        assert topology[3] is None
+        validate(topology)
+
+    def test_chain_and_star(self):
+        validate(chain(5))
+        validate(star(5, center=2))
+        assert star(5, center=2)[2] is None
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            balanced_binary_tree(0)
+        with pytest.raises(ConfigurationError):
+            star(3, center=9)
+        with pytest.raises(ConfigurationError):
+            validate({0: 1, 1: 0})  # two nodes, no root
+
+
+class TestProtocol:
+    def test_root_enters_immediately(self):
+        pump = RaymondPump(chain(3))
+        pump.request(0, ctx="go")
+        assert pump.grants == [(0, "go")]
+        assert pump.automata[0].in_critical_section
+
+    def test_privilege_walks_the_chain(self):
+        pump = RaymondPump(chain(4))
+        pump.request(3)
+        assert pump.grants == [(3, None)]
+        assert pump.privileged() == 3
+        # Request + privilege on each of 3 edges.
+        assert pump.messages_delivered == 6
+
+    def test_static_tree_does_not_adapt(self):
+        """After node 3 is served, node 0's request still pays the full
+        chain — the non-adaptivity §5 contrasts with Naimi."""
+
+        pump = RaymondPump(chain(4))
+        pump.request(3)
+        pump.release(3)
+        pump.messages_delivered = 0
+        pump.request(0)
+        assert pump.messages_delivered == 6  # no path compression
+
+    def test_fifo_per_edge_and_mutual_exclusion(self):
+        pump = RaymondPump(balanced_binary_tree(7))
+        pump.request(3)
+        pump.request(4)
+        pump.request(5)
+        granted = [n for n, _ in pump.grants]
+        assert granted == [3]  # others queued along the tree
+        pump.release(3)
+        pump.release(4) if pump.automata[4].in_critical_section else None
+        while any(a.in_critical_section for a in pump.automata.values()):
+            holder = next(
+                n for n, a in pump.automata.items() if a.in_critical_section
+            )
+            pump.release(holder)
+        assert sorted(n for n, _ in pump.grants) == [3, 4, 5]
+        pump.privileged()
+        assert all(a.is_idle() for a in pump.automata.values())
+
+    def test_double_request_rejected(self):
+        pump = RaymondPump(chain(2))
+        pump.automata[1].request()
+        with pytest.raises(LockUsageError):
+            pump.automata[1].request()
+
+    def test_release_without_cs_rejected(self):
+        pump = RaymondPump(chain(2))
+        with pytest.raises(LockUsageError):
+            pump.automata[1].release()
+
+    def test_unexpected_privilege_rejected(self):
+        pump = RaymondPump(chain(2))
+        with pytest.raises(ProtocolError):
+            pump.automata[0].handle(
+                RaymondPrivilegeMessage(lock_id="L", sender=1)
+            )
+
+    def test_asked_flag_suppresses_duplicate_requests(self):
+        pump = RaymondPump(chain(3))
+        # Two requests from the subtree of node 1 → only one REQUEST
+        # should cross the 1→0 edge.
+        out1 = pump.automata[2].request()
+        assert len(out1) == 1
+        replies = pump.automata[1].handle(out1[0].message)
+        assert len(replies) == 1  # forwarded once
+        out2 = pump.automata[1].request()
+        assert out2 == []  # already asked toward the holder
+        pump.send(replies)
+        pump.drain()
+        assert (2, None) in pump.grants

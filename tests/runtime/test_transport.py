@@ -1,0 +1,124 @@
+"""Tests for the threaded in-process transport."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.messages import Envelope, ReleaseMessage
+from repro.core.modes import LockMode
+from repro.errors import SimulationError
+from repro.runtime.transport import ThreadedTransport
+
+
+def _release(sender=0):
+    return ReleaseMessage(lock_id="L", sender=sender, new_mode=LockMode.NONE)
+
+
+class TestThreadedTransport:
+    def test_delivery_to_handler(self):
+        transport = ThreadedTransport()
+        received = threading.Event()
+        transport.register(0, lambda msg: [])
+        transport.register(1, lambda msg: received.set() or [])
+        transport.start()
+        try:
+            transport.send(0, [Envelope(1, _release())])
+            assert received.wait(timeout=5.0)
+        finally:
+            transport.stop()
+
+    def test_replies_flow_back(self):
+        transport = ThreadedTransport()
+        round_trip = threading.Event()
+        transport.register(0, lambda msg: round_trip.set() or [])
+        transport.register(1, lambda msg: [Envelope(0, _release(sender=1))])
+        transport.start()
+        try:
+            transport.send(0, [Envelope(1, _release())])
+            assert round_trip.wait(timeout=5.0)
+        finally:
+            transport.stop()
+
+    def test_fifo_order_per_pair(self):
+        transport = ThreadedTransport()
+        received = []
+        done = threading.Event()
+
+        def handler(msg):
+            received.append(msg.sender)
+            if len(received) == 20:
+                done.set()
+            return []
+
+        transport.register(0, lambda msg: [])
+        transport.register(1, handler)
+        transport.start()
+        try:
+            for index in range(20):
+                transport.send(
+                    0,
+                    [Envelope(1, ReleaseMessage(
+                        lock_id="L", sender=index, new_mode=LockMode.NONE
+                    ))],
+                )
+            assert done.wait(timeout=5.0)
+            assert received == list(range(20))
+        finally:
+            transport.stop()
+
+    def test_message_counter_excludes_self_sends(self):
+        transport = ThreadedTransport()
+        transport.register(0, lambda msg: [])
+        transport.register(1, lambda msg: [])
+        transport.start()
+        try:
+            transport.send(0, [Envelope(1, _release()), Envelope(0, _release())])
+            transport.drain()
+            assert transport.messages_sent == 1
+        finally:
+            transport.stop()
+
+    def test_unregistered_destination_rejected(self):
+        transport = ThreadedTransport()
+        transport.register(0, lambda msg: [])
+        transport.start()
+        try:
+            with pytest.raises(SimulationError):
+                transport.send(0, [Envelope(7, _release())])
+        finally:
+            transport.stop()
+
+    def test_registration_after_start_rejected(self):
+        transport = ThreadedTransport()
+        transport.register(0, lambda msg: [])
+        transport.start()
+        try:
+            with pytest.raises(SimulationError):
+                transport.register(1, lambda msg: [])
+        finally:
+            transport.stop()
+
+    def test_stop_is_idempotent(self):
+        transport = ThreadedTransport()
+        transport.register(0, lambda msg: [])
+        transport.start()
+        transport.stop()
+        transport.stop()
+
+    def test_observer_invoked_off_the_hot_path(self):
+        observed = []
+        transport = ThreadedTransport(
+            observer=lambda s, d, m: observed.append((s, d))
+        )
+        transport.register(0, lambda msg: [])
+        transport.register(1, lambda msg: [])
+        transport.start()
+        try:
+            transport.send(0, [Envelope(1, _release())])
+            transport.drain()
+            assert observed == [(0, 1)]
+        finally:
+            transport.stop()

@@ -1,0 +1,128 @@
+"""Tests for the CORBA-style LockSet facade."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.errors import LockUsageError
+from repro.runtime.cluster import ThreadedHierarchicalCluster
+from repro.services.lockset import HierarchicalLockSet, LockSet, LockSetFactory
+from repro.verification.invariants import CompatibilityMonitor
+
+TIMEOUT = 20.0
+
+
+@pytest.fixture()
+def cluster():
+    monitor = CompatibilityMonitor()
+    with ThreadedHierarchicalCluster(3, monitor=monitor) as instance:
+        instance.test_monitor = monitor
+        yield instance
+    # Exiting the context stops the transport threads.
+
+
+class TestLockSet:
+    def test_lock_unlock(self, cluster):
+        lockset = LockSet(cluster.client(1), "res")
+        lockset.lock(LockMode.W, timeout=TIMEOUT)
+        lockset.unlock(LockMode.W)
+        cluster.test_monitor.assert_all_released()
+
+    def test_held_context_manager(self, cluster):
+        lockset = LockSet(cluster.client(1), "res")
+        with lockset.held(LockMode.R, timeout=TIMEOUT):
+            holds = cluster.test_monitor.current_holds("res")
+            assert (1, LockMode.R) in holds
+        cluster.test_monitor.assert_all_released()
+
+    def test_held_releases_on_exception(self, cluster):
+        lockset = LockSet(cluster.client(1), "res")
+        with pytest.raises(RuntimeError):
+            with lockset.held(LockMode.R, timeout=TIMEOUT):
+                raise RuntimeError("app error")
+        cluster.test_monitor.assert_all_released()
+
+    def test_attempt_lock_no_pending_on_failure(self, cluster):
+        lockset = LockSet(cluster.client(1), "res")
+        assert not lockset.attempt_lock(LockMode.R)
+        # A normal lock afterwards works (no stuck pending request).
+        lockset.lock(LockMode.R, timeout=TIMEOUT)
+        lockset.unlock(LockMode.R)
+
+    def test_change_mode_upgrade(self, cluster):
+        lockset = LockSet(cluster.client(1), "res")
+        lockset.lock(LockMode.U, timeout=TIMEOUT)
+        lockset.change_mode(LockMode.U, LockMode.W, timeout=TIMEOUT)
+        lockset.unlock(LockMode.W)
+        cluster.test_monitor.assert_all_released()
+
+    def test_change_mode_downgrade(self, cluster):
+        lockset = LockSet(cluster.client(1), "res")
+        lockset.lock(LockMode.W, timeout=TIMEOUT)
+        lockset.change_mode(LockMode.W, LockMode.R)
+        lockset.unlock(LockMode.R)
+        cluster.test_monitor.assert_all_released()
+
+    def test_change_mode_strengthen_rejected(self, cluster):
+        lockset = LockSet(cluster.client(1), "res")
+        lockset.lock(LockMode.R, timeout=TIMEOUT)
+        with pytest.raises(LockUsageError):
+            lockset.change_mode(LockMode.R, LockMode.W)
+        lockset.unlock(LockMode.R)
+
+
+class TestHierarchicalLockSet:
+    def test_lock_takes_intents_on_ancestors(self, cluster):
+        lockset = HierarchicalLockSet(cluster.client(1), "db/t/0")
+        lockset.lock(LockMode.W, timeout=TIMEOUT)
+        holds = cluster.test_monitor.current_holds("db")
+        assert (1, LockMode.IW) in holds
+        holds = cluster.test_monitor.current_holds("db/t")
+        assert (1, LockMode.IW) in holds
+        lockset.unlock(LockMode.W)
+        cluster.test_monitor.assert_all_released()
+
+    def test_held_context_manager(self, cluster):
+        lockset = HierarchicalLockSet(cluster.client(2), "db/t/1")
+        with lockset.held(LockMode.R, timeout=TIMEOUT):
+            assert (2, LockMode.R) in cluster.test_monitor.current_holds(
+                "db/t/1"
+            )
+        cluster.test_monitor.assert_all_released()
+
+    def test_disjoint_entry_writers_in_parallel(self, cluster):
+        barrier = threading.Barrier(2, timeout=TIMEOUT)
+        failures = []
+
+        def writer(node, entry):
+            lockset = HierarchicalLockSet(cluster.client(node), f"db/t/{entry}")
+            try:
+                with lockset.held(LockMode.W, timeout=TIMEOUT):
+                    barrier.wait()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(1, 0)),
+            threading.Thread(target=writer, args=(2, 1)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures
+        cluster.test_monitor.assert_all_released()
+
+
+class TestLockSetFactory:
+    def test_creates_both_kinds(self, cluster):
+        factory = LockSetFactory(cluster.client(0))
+        assert isinstance(factory.create("x"), LockSet)
+        assert isinstance(
+            factory.create_hierarchical("db/x"), HierarchicalLockSet
+        )
+        assert factory.create("x").lock_id == "x"
+        assert factory.create_hierarchical("db/x").lock_id == "db/x"

@@ -1,0 +1,165 @@
+"""Tests for the strict-2PL transaction layer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.errors import LockUsageError
+from repro.runtime.cluster import ThreadedHierarchicalCluster
+from repro.services.transaction import Transaction, TransactionManager, TxState
+from repro.verification.invariants import CompatibilityMonitor
+
+TIMEOUT = 20.0
+
+
+@pytest.fixture()
+def cluster():
+    monitor = CompatibilityMonitor()
+    with ThreadedHierarchicalCluster(3, monitor=monitor) as instance:
+        instance.test_monitor = monitor
+        yield instance
+
+
+class TestTransactionLifecycle:
+    def test_commit_releases_everything(self, cluster):
+        tx = TransactionManager(cluster.client(1), timeout=TIMEOUT).begin()
+        tx.read("db/t/0")
+        tx.write("db/t/1")
+        # db:IR, db/t:IR, 0:R from the read; db:IW, db/t:IW, 1:W from the
+        # write (intents escalate, the weaker holds are kept until commit).
+        assert len(tx.holds) == 6
+        tx.commit()
+        assert tx.state is TxState.COMMITTED
+        assert tx.holds == []
+        cluster.test_monitor.assert_all_released()
+
+    def test_abort_releases_everything(self, cluster):
+        tx = TransactionManager(cluster.client(1), timeout=TIMEOUT).begin()
+        tx.write("db/t/0")
+        tx.abort()
+        assert tx.state is TxState.ABORTED
+        cluster.test_monitor.assert_all_released()
+
+    def test_context_manager_commits_on_success(self, cluster):
+        manager = TransactionManager(cluster.client(1), timeout=TIMEOUT)
+        with manager.begin() as tx:
+            tx.read("db/t/0")
+        assert tx.state is TxState.COMMITTED
+        cluster.test_monitor.assert_all_released()
+
+    def test_context_manager_aborts_on_error(self, cluster):
+        manager = TransactionManager(cluster.client(1), timeout=TIMEOUT)
+        with pytest.raises(ValueError):
+            with manager.begin() as tx:
+                tx.read("db/t/0")
+                raise ValueError("app failure")
+        assert tx.state is TxState.ABORTED
+        cluster.test_monitor.assert_all_released()
+
+    def test_operations_after_commit_rejected(self, cluster):
+        tx = TransactionManager(cluster.client(1), timeout=TIMEOUT).begin()
+        tx.commit()
+        with pytest.raises(LockUsageError):
+            tx.read("db/t/0")
+        with pytest.raises(LockUsageError):
+            tx.commit()
+
+
+class TestLockAcquisitionRules:
+    def test_duplicate_reads_reuse_holds(self, cluster):
+        tx = TransactionManager(cluster.client(1), timeout=TIMEOUT).begin()
+        tx.read("db/t/0")
+        holds_after_first = len(tx.holds)
+        tx.read("db/t/0")
+        assert len(tx.holds) == holds_after_first
+        tx.commit()
+
+    def test_read_then_write_same_leaf_rejected(self, cluster):
+        """R → W escalation within one transaction would self-deadlock
+        (the W waits on the transaction's own R); the U mode is the
+        protocol's answer (§3.4), and the API enforces it."""
+
+        tx = TransactionManager(cluster.client(1), timeout=TIMEOUT).begin()
+        tx.read("db/t/0")
+        with pytest.raises(LockUsageError):
+            tx.write("db/t/0")
+        tx.abort()
+        # The supported pattern: declare the write intent up front.
+        tx2 = TransactionManager(cluster.client(1), timeout=TIMEOUT).begin()
+        tx2.read_for_update("db/t/0")
+        tx2.upgrade("db/t/0")
+        tx2.commit()
+        cluster.test_monitor.assert_all_released()
+
+    def test_upgrade_path(self, cluster):
+        tx = TransactionManager(cluster.client(1), timeout=TIMEOUT).begin()
+        tx.read_for_update("db/t/0")
+        assert (("db/t/0", LockMode.U)) in tx.holds
+        tx.upgrade("db/t/0")
+        assert (("db/t/0", LockMode.W)) in tx.holds
+        assert (("db/t/0", LockMode.U)) not in tx.holds
+        tx.commit()
+        cluster.test_monitor.assert_all_released()
+
+    def test_upgrade_without_u_rejected(self, cluster):
+        tx = TransactionManager(cluster.client(1), timeout=TIMEOUT).begin()
+        tx.read("db/t/0")
+        with pytest.raises(LockUsageError):
+            tx.upgrade("db/t/0")
+        tx.abort()
+
+
+class TestConcurrency:
+    def test_disjoint_transactions_run_in_parallel(self, cluster):
+        barrier = threading.Barrier(2, timeout=TIMEOUT)
+        failures = []
+
+        def worker(node, entry):
+            manager = TransactionManager(cluster.client(node), timeout=TIMEOUT)
+            try:
+                with manager.begin() as tx:
+                    tx.write(f"db/t/{entry}")
+                    barrier.wait()  # both writers hold their leaves at once
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(1, 0)),
+            threading.Thread(target=worker, args=(2, 1)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures
+        cluster.test_monitor.assert_all_released()
+
+    def test_conflicting_transactions_serialize(self, cluster):
+        order = []
+        lock = threading.Lock()
+
+        def worker(node):
+            manager = TransactionManager(cluster.client(node), timeout=TIMEOUT)
+            with manager.begin() as tx:
+                tx.write("db/t/0")
+                with lock:
+                    order.append(("enter", node))
+                with lock:
+                    order.append(("exit", node))
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        # Strict alternation: enter/exit pairs never interleave.
+        for i in range(0, len(order), 2):
+            assert order[i][0] == "enter"
+            assert order[i + 1][0] == "exit"
+            assert order[i][1] == order[i + 1][1]
+        cluster.test_monitor.assert_all_released()

@@ -1,0 +1,121 @@
+"""Tests for the simulated point-to-point network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import Envelope, ReleaseMessage
+from repro.core.modes import LockMode
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.rng import Exponential, Fixed, derive_rng
+
+
+def _release(lock_id="L", sender=0, mode=LockMode.NONE):
+    return ReleaseMessage(lock_id=lock_id, sender=sender, new_mode=mode)
+
+
+class TestDelivery:
+    def test_message_reaches_handler(self):
+        sim = Simulator()
+        network = Network(sim, latency=Fixed(0.1))
+        received = []
+        network.register(0, lambda msg: [])
+        network.register(1, lambda msg: received.append(msg) or [])
+        network.send(0, [Envelope(1, _release())])
+        sim.run()
+        assert len(received) == 1
+        assert sim.now == pytest.approx(0.1)
+
+    def test_replies_are_transmitted(self):
+        sim = Simulator()
+        network = Network(sim, latency=Fixed(0.1))
+        received_at_zero = []
+        network.register(
+            0, lambda msg: received_at_zero.append(msg) or []
+        )
+        network.register(1, lambda msg: [Envelope(0, _release(sender=1))])
+        network.send(0, [Envelope(1, _release())])
+        sim.run()
+        assert len(received_at_zero) == 1
+        assert sim.now == pytest.approx(0.2)
+
+    def test_unregistered_destination_rejected(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.register(0, lambda msg: [])
+        with pytest.raises(SimulationError):
+            network.send(0, [Envelope(9, _release())])
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.register(0, lambda msg: [])
+        with pytest.raises(SimulationError):
+            network.register(0, lambda msg: [])
+
+    def test_self_messages_bypass_the_wire(self):
+        sim = Simulator()
+        network = Network(sim, latency=Fixed(5.0))
+        received = []
+        network.register(0, lambda msg: received.append(sim.now) or [])
+        network.send(0, [Envelope(0, _release())])
+        sim.run()
+        assert received == [0.0]
+        assert network.messages_sent == 0
+
+
+class TestFifoPerPair:
+    def test_order_preserved_despite_random_latency(self):
+        sim = Simulator()
+        network = Network(
+            sim, latency=Exponential(0.150), rng=derive_rng(3, "net")
+        )
+        received = []
+        network.register(0, lambda msg: [])
+        network.register(
+            1, lambda msg: received.append(msg.sender) or []
+        )
+        for index in range(50):
+            network.send(
+                0, [Envelope(1, _release(sender=index))]
+            )
+        sim.run()
+        assert received == list(range(50))
+
+    def test_different_pairs_are_independent(self):
+        sim = Simulator()
+        network = Network(sim, latency=Fixed(0.1))
+        received = []
+        network.register(0, lambda msg: [])
+        network.register(2, lambda msg: [])
+        network.register(
+            1, lambda msg: received.append(msg.sender) or []
+        )
+        network.send(0, [Envelope(1, _release(sender=100))])
+        network.send(2, [Envelope(1, _release(sender=200))])
+        sim.run()
+        assert sorted(received) == [100, 200]
+
+
+class TestObservation:
+    def test_observer_sees_every_wire_message(self):
+        sim = Simulator()
+        observed = []
+        network = Network(
+            sim,
+            latency=Fixed(0.01),
+            observer=lambda s, d, m: observed.append((s, d)),
+        )
+        network.register(0, lambda msg: [])
+        network.register(1, lambda msg: [])
+        network.send(0, [Envelope(1, _release()), Envelope(1, _release())])
+        network.send(0, [Envelope(0, _release())])  # local: not observed
+        sim.run()
+        assert observed == [(0, 1), (0, 1)]
+        assert network.messages_sent == 2
+
+    def test_mean_latency_exposed(self):
+        network = Network(Simulator(), latency=Exponential(0.150))
+        assert network.mean_latency == pytest.approx(0.150)

@@ -1,0 +1,96 @@
+"""Randomized soak tests: many seeds × cluster sizes × protocol options.
+
+Each case runs the full airline workload on the simulator with the
+compatibility monitor attached and quiescence verified — a broad random
+search for protocol races beyond what the scenario-based explorer covers.
+The seeds are fixed, so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automaton import FULL_PROTOCOL, ProtocolOptions
+from repro.core.lockspace import hashed_token_home
+from repro.core.modes import LockMode
+from repro.experiments.ablations import run_with_options
+from repro.experiments.common import run_hierarchical, run_naimi_same_work
+from repro.workload.spec import WorkloadSpec
+
+#: Write-heavy mix that stresses token transfers, freezing and upgrades.
+STRESS_MIX = (
+    (LockMode.IR, 0.30),
+    (LockMode.R, 0.15),
+    (LockMode.U, 0.15),
+    (LockMode.IW, 0.25),
+    (LockMode.W, 0.15),
+)
+
+
+class TestHierarchicalSoak:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("nodes", [3, 7])
+    def test_paper_mix_random_seeds(self, seed, nodes):
+        spec = WorkloadSpec(ops_per_node=15, seed=1000 + seed)
+        result = run_hierarchical(nodes, spec)
+        assert result.metrics.operations == nodes * 15
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_stress_mix_random_seeds(self, seed):
+        spec = WorkloadSpec(
+            ops_per_node=15, seed=2000 + seed, mode_mix=STRESS_MIX,
+            locality=0.3,
+        )
+        result = run_hierarchical(6, spec)
+        assert result.metrics.operations == 6 * 15
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            ProtocolOptions(freezing=False),
+            ProtocolOptions(local_queues=False),
+            ProtocolOptions(child_grants=False),
+            ProtocolOptions(local_reentry=False),
+            ProtocolOptions(
+                freezing=False, local_queues=False,
+                child_grants=False, local_reentry=False,
+            ),
+        ],
+        ids=["no-freeze", "no-queues", "no-child-grants", "no-reentry", "bare"],
+    )
+    @pytest.mark.parametrize("seed", [3001, 3002, 3003])
+    def test_every_ablation_stays_safe(self, options, seed):
+        spec = WorkloadSpec(
+            ops_per_node=12, seed=seed, mode_mix=STRESS_MIX, locality=0.3
+        )
+        result = run_with_options(6, spec, options)
+        assert result.metrics.operations == 6 * 12
+
+    @pytest.mark.parametrize("entries", [1, 2, 13])
+    def test_entry_count_variations(self, entries):
+        spec = WorkloadSpec(ops_per_node=12, seed=4000, entries=entries)
+        result = run_hierarchical(5, spec)
+        assert result.metrics.operations == 5 * 12
+
+    def test_single_node_cluster_degenerates_cleanly(self):
+        spec = WorkloadSpec(ops_per_node=20, seed=4100)
+        result = run_hierarchical(1, spec)
+        # Everything resolves locally at the token node: zero messages.
+        assert result.metrics.total_messages == 0
+
+    def test_upgrade_heavy_mix(self):
+        spec = WorkloadSpec(
+            ops_per_node=10, seed=4200,
+            mode_mix=((LockMode.U, 0.6), (LockMode.IR, 0.4)),
+        )
+        result = run_hierarchical(5, spec)
+        upgrades = [r for r in result.metrics.requests if r.kind == "U->W"]
+        assert upgrades  # Rule 7 exercised under contention
+
+
+class TestNaimiSoak:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_work_random_seeds(self, seed):
+        spec = WorkloadSpec(ops_per_node=10, seed=5000 + seed)
+        result = run_naimi_same_work(5, spec)
+        assert result.metrics.operations == 5 * 10

@@ -1,0 +1,151 @@
+"""Tests for wait-for-graph deadlock detection."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.runtime.cluster import ThreadedHierarchicalCluster
+from repro.verification.deadlock import (
+    Deadlock,
+    DeadlockWatchdog,
+    WaitForGraphMonitor,
+)
+
+TIMEOUT = 20.0
+
+
+class TestWaitForGraph:
+    def test_no_waits_no_deadlock(self):
+        monitor = WaitForGraphMonitor()
+        monitor.on_grant(0.0, 0, "a", LockMode.W)
+        assert monitor.find_deadlock() is None
+
+    def test_simple_wait_is_not_a_deadlock(self):
+        monitor = WaitForGraphMonitor()
+        monitor.on_grant(0.0, 0, "a", LockMode.W)
+        monitor.on_request(0.1, 1, "a", LockMode.W)
+        assert monitor.find_deadlock() is None
+        assert monitor.waiting_nodes() == [1]
+
+    def test_ab_ba_cycle_detected(self):
+        monitor = WaitForGraphMonitor()
+        monitor.on_grant(0.0, 0, "a", LockMode.W)
+        monitor.on_grant(0.0, 1, "b", LockMode.W)
+        monitor.on_request(0.1, 0, "b", LockMode.W)
+        monitor.on_request(0.1, 1, "a", LockMode.W)
+        deadlock = monitor.find_deadlock()
+        assert deadlock is not None
+        assert set(deadlock.nodes) == {0, 1}
+        assert set(deadlock.locks) == {"a", "b"}
+        assert "deadlock cycle" in str(deadlock)
+
+    def test_compatible_wait_makes_no_edge(self):
+        monitor = WaitForGraphMonitor()
+        monitor.on_grant(0.0, 0, "a", LockMode.IR)
+        monitor.on_request(0.1, 1, "a", LockMode.R)  # compatible: no edge
+        assert monitor.find_deadlock() is None
+
+    def test_grant_clears_the_wait(self):
+        monitor = WaitForGraphMonitor()
+        monitor.on_grant(0.0, 0, "a", LockMode.W)
+        monitor.on_request(0.1, 1, "a", LockMode.W)
+        monitor.on_release(0.2, 0, "a", LockMode.W)
+        monitor.on_grant(0.3, 1, "a", LockMode.W)
+        assert monitor.waiting_nodes() == []
+        assert monitor.find_deadlock() is None
+
+    def test_three_party_cycle(self):
+        monitor = WaitForGraphMonitor()
+        for node, lock in ((0, "a"), (1, "b"), (2, "c")):
+            monitor.on_grant(0.0, node, lock, LockMode.W)
+        monitor.on_request(0.1, 0, "b", LockMode.W)
+        monitor.on_request(0.1, 1, "c", LockMode.W)
+        monitor.on_request(0.1, 2, "a", LockMode.W)
+        deadlock = monitor.find_deadlock()
+        assert deadlock is not None
+        assert set(deadlock.nodes) == {0, 1, 2}
+
+    def test_self_wait_excluded(self):
+        """A node waiting on a lock it also holds (e.g. another of its
+        threads) is not a wait-for edge to itself."""
+
+        monitor = WaitForGraphMonitor()
+        monitor.on_grant(0.0, 0, "a", LockMode.R)
+        monitor.on_request(0.1, 0, "a", LockMode.W)
+        assert monitor.find_deadlock() is None
+
+
+class TestWatchdogOnRealCluster:
+    def test_detects_real_ab_ba_deadlock(self):
+        """Two clients acquire two W locks in opposite orders — the classic
+        application deadlock the hierarchy ordering is meant to prevent —
+        and the watchdog reports the cycle."""
+
+        monitor = WaitForGraphMonitor()
+        detected = threading.Event()
+        found: list = []
+
+        def on_deadlock(deadlock: Deadlock) -> None:
+            found.append(deadlock)
+            detected.set()
+
+        with ThreadedHierarchicalCluster(3, monitor=monitor) as cluster:
+            watchdog = DeadlockWatchdog(monitor, on_deadlock, poll_interval=0.02)
+            watchdog.start()
+            barrier = threading.Barrier(2, timeout=TIMEOUT)
+
+            def worker(node: int, first: str, second: str) -> None:
+                client = cluster.client(node)
+                client.acquire(first, LockMode.W, timeout=TIMEOUT)
+                barrier.wait()  # both hold their first lock
+                try:
+                    client.acquire(second, LockMode.W, timeout=3.0)
+                except TimeoutError:
+                    pass  # expected: we are deadlocked until detection
+
+            threads = [
+                threading.Thread(target=worker, args=(1, "a", "b")),
+                threading.Thread(target=worker, args=(2, "b", "a")),
+            ]
+            for thread in threads:
+                thread.start()
+            assert detected.wait(timeout=10.0), "watchdog missed the deadlock"
+            watchdog.stop()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert found
+        assert set(found[0].nodes) == {1, 2}
+        assert set(found[0].locks) == {"a", "b"}
+
+    def test_quiet_on_healthy_workload(self):
+        monitor = WaitForGraphMonitor()
+        alarms: list = []
+        with ThreadedHierarchicalCluster(3, monitor=monitor) as cluster:
+            watchdog = DeadlockWatchdog(
+                monitor, alarms.append, poll_interval=0.01
+            )
+            watchdog.start()
+
+            def worker(node: int) -> None:
+                client = cluster.client(node)
+                for index in range(10):
+                    # Ordered acquisition: no deadlock possible.
+                    client.acquire("x", LockMode.W, timeout=TIMEOUT)
+                    client.acquire("y", LockMode.W, timeout=TIMEOUT)
+                    client.release("y", LockMode.W)
+                    client.release("x", LockMode.W)
+
+            threads = [
+                threading.Thread(target=worker, args=(n,)) for n in (1, 2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            time.sleep(0.1)
+            watchdog.stop()
+        assert alarms == []

@@ -1,0 +1,131 @@
+"""Tests for the runtime safety monitors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.errors import InvariantViolation
+from repro.verification.invariants import (
+    CompatibilityMonitor,
+    FifoObserver,
+    MonitorSet,
+    MutualExclusionMonitor,
+)
+
+
+class TestCompatibilityMonitor:
+    def test_compatible_holds_accepted(self):
+        monitor = CompatibilityMonitor()
+        monitor.on_grant(0.0, 0, "t", LockMode.IR)
+        monitor.on_grant(0.1, 1, "t", LockMode.R)
+        monitor.on_grant(0.2, 2, "t", LockMode.U)
+        assert monitor.grants == 3
+
+    def test_conflicting_grant_raises(self):
+        monitor = CompatibilityMonitor()
+        monitor.on_grant(0.0, 0, "t", LockMode.R)
+        with pytest.raises(InvariantViolation):
+            monitor.on_grant(0.1, 1, "t", LockMode.W)
+
+    def test_release_unblocks_conflicts(self):
+        monitor = CompatibilityMonitor()
+        monitor.on_grant(0.0, 0, "t", LockMode.R)
+        monitor.on_release(0.1, 0, "t", LockMode.R)
+        monitor.on_grant(0.2, 1, "t", LockMode.W)  # fine now
+
+    def test_unmatched_release_raises(self):
+        monitor = CompatibilityMonitor()
+        with pytest.raises(InvariantViolation):
+            monitor.on_release(0.0, 0, "t", LockMode.R)
+
+    def test_locks_are_independent(self):
+        monitor = CompatibilityMonitor()
+        monitor.on_grant(0.0, 0, "a", LockMode.W)
+        monitor.on_grant(0.1, 1, "b", LockMode.W)  # different lock: fine
+
+    def test_same_node_duplicate_holds_tracked(self):
+        monitor = CompatibilityMonitor()
+        monitor.on_grant(0.0, 0, "t", LockMode.IR)
+        monitor.on_grant(0.1, 0, "t", LockMode.IR)
+        monitor.on_release(0.2, 0, "t", LockMode.IR)
+        assert monitor.current_holds("t") == [(0, LockMode.IR)]
+
+    def test_assert_all_released(self):
+        monitor = CompatibilityMonitor()
+        monitor.on_grant(0.0, 0, "t", LockMode.R)
+        with pytest.raises(InvariantViolation):
+            monitor.assert_all_released()
+        monitor.on_release(0.1, 0, "t", LockMode.R)
+        monitor.assert_all_released()
+
+    def test_max_concurrency_tracked(self):
+        monitor = CompatibilityMonitor()
+        monitor.on_grant(0.0, 0, "t", LockMode.IR)
+        monitor.on_grant(0.1, 1, "t", LockMode.IR)
+        monitor.on_release(0.2, 0, "t", LockMode.IR)
+        monitor.on_grant(0.3, 2, "t", LockMode.IR)
+        assert monitor.max_concurrency["t"] == 2
+
+
+class TestMutualExclusionMonitor:
+    def test_single_holder_ok(self):
+        monitor = MutualExclusionMonitor()
+        monitor.on_grant(0.0, 0, "g", LockMode.W)
+        monitor.on_release(0.1, 0, "g", LockMode.W)
+        monitor.on_grant(0.2, 1, "g", LockMode.W)
+        assert monitor.grants == 2
+
+    def test_second_holder_raises(self):
+        monitor = MutualExclusionMonitor()
+        monitor.on_grant(0.0, 0, "g", LockMode.W)
+        with pytest.raises(InvariantViolation):
+            monitor.on_grant(0.1, 1, "g", LockMode.W)
+
+    def test_wrong_releaser_raises(self):
+        monitor = MutualExclusionMonitor()
+        monitor.on_grant(0.0, 0, "g", LockMode.W)
+        with pytest.raises(InvariantViolation):
+            monitor.on_release(0.1, 1, "g", LockMode.W)
+
+    def test_assert_all_released(self):
+        monitor = MutualExclusionMonitor()
+        monitor.on_grant(0.0, 0, "g", LockMode.W)
+        with pytest.raises(InvariantViolation):
+            monitor.assert_all_released()
+
+
+class TestFifoObserver:
+    def test_records_grant_sequence(self):
+        observer = FifoObserver()
+        observer.on_grant(0.0, 2, "t", LockMode.R)
+        observer.on_grant(1.0, 5, "t", LockMode.W)
+        events = observer.grants_for("t")
+        assert [(e.node, e.mode) for e in events] == [
+            (2, LockMode.R),
+            (5, LockMode.W),
+        ]
+
+    def test_locks_tracked_separately(self):
+        observer = FifoObserver()
+        observer.on_grant(0.0, 0, "a", LockMode.R)
+        observer.on_grant(0.1, 1, "b", LockMode.R)
+        assert len(observer.grants_for("a")) == 1
+        assert len(observer.grants_for("b")) == 1
+
+
+class TestMonitorSet:
+    def test_fans_out_to_all(self):
+        compat = CompatibilityMonitor()
+        fifo = FifoObserver()
+        monitor_set = MonitorSet([compat, fifo])
+        monitor_set.on_grant(0.0, 0, "t", LockMode.R)
+        monitor_set.on_release(0.1, 0, "t", LockMode.R)
+        assert compat.grants == 1
+        assert len(fifo.grants_for("t")) == 1
+
+    def test_violation_from_any_member_propagates(self):
+        monitor_set = MonitorSet([CompatibilityMonitor()])
+        monitor_set.on_grant(0.0, 0, "t", LockMode.W)
+        with pytest.raises(InvariantViolation):
+            monitor_set.on_grant(0.1, 1, "t", LockMode.R)

@@ -1,0 +1,88 @@
+"""Exhaustive multi-granularity scenarios: safety AND deadlock freedom.
+
+These check the property single-lock exploration cannot see: chained
+acquisitions (table intent, then entry) never deadlock under any message
+interleaving, including when table-level requests freeze modes while
+entry traffic is in flight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automaton import ProtocolOptions
+from repro.core.modes import LockMode as M
+from repro.verification.multilock import explore_hierarchical
+
+T = "t"        # the table lock
+E0, E1 = "t/0", "t/1"  # entry locks
+
+
+class TestHierarchicalOperations:
+    def test_disjoint_entry_writers(self):
+        stats = explore_hierarchical(
+            3,
+            {
+                1: [((T, M.IW), (E0, M.W))],
+                2: [((T, M.IW), (E1, M.W))],
+            },
+        )
+        assert stats.terminal_states >= 1
+
+    def test_entry_reader_vs_entry_writer_same_entry(self):
+        stats = explore_hierarchical(
+            3,
+            {
+                1: [((T, M.IR), (E0, M.R))],
+                2: [((T, M.IW), (E0, M.W))],
+            },
+        )
+        assert stats.terminal_states >= 1
+
+    def test_table_writer_vs_entry_reader(self):
+        """A table-level W excludes intent holders; the entry reader's
+        two-step acquisition must not deadlock against it."""
+
+        stats = explore_hierarchical(
+            3,
+            {
+                1: [((T, M.IR), (E0, M.R))],
+                2: [((T, M.W),)],
+            },
+        )
+        assert stats.terminal_states >= 1
+
+    def test_table_reader_vs_entry_writer(self):
+        stats = explore_hierarchical(
+            3,
+            {
+                1: [((T, M.IW), (E0, M.W))],
+                2: [((T, M.R),)],
+            },
+            max_states=1_000_000,
+        )
+        assert stats.terminal_states >= 1
+
+    def test_sequential_ops_per_node(self):
+        stats = explore_hierarchical(
+            2,
+            {
+                1: [((T, M.IR), (E0, M.R)), ((T, M.IW), (E0, M.W))],
+                0: [((T, M.R),)],
+            },
+        )
+        assert stats.terminal_states >= 1
+
+    def test_no_freezing_still_safe_and_live(self):
+        """Finite scenarios terminate without freezing (fairness, not
+        liveness, is what Rule 6 buys on finite workloads)."""
+
+        stats = explore_hierarchical(
+            3,
+            {
+                1: [((T, M.IR), (E0, M.R))],
+                2: [((T, M.W),)],
+            },
+            options=ProtocolOptions(freezing=False),
+        )
+        assert stats.terminal_states >= 1

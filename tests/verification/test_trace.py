@@ -1,0 +1,91 @@
+"""Tests for the structured trace recorder."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.sim.cluster import SimHierarchicalCluster
+from repro.sim.engine import Simulator, Timeout, run_processes
+from repro.verification.trace import (
+    GRANT,
+    MESSAGE,
+    RELEASE,
+    REQUEST,
+    TraceEvent,
+    TraceRecorder,
+)
+
+
+def _recorded_run():
+    sim = Simulator()
+    recorder = TraceRecorder()
+    cluster = SimHierarchicalCluster(3, sim=sim, monitor=recorder)
+    cluster.network._observer = recorder.message_observer(lambda: sim.now)
+
+    def body(node):
+        client = cluster.client(node)
+        yield client.acquire("db/t", LockMode.R)
+        yield Timeout(sim, 0.01)
+        client.release("db/t", LockMode.R)
+
+    run_processes(sim, [body(1), body(2)])
+    return recorder
+
+
+class TestTraceEvent:
+    def test_json_round_trip(self):
+        event = TraceEvent(
+            time=1.25, category=GRANT, node=3, lock_id="db/t",
+            mode=LockMode.IW, detail="x",
+        )
+        assert TraceEvent.from_json(event.to_json()) == event
+
+    def test_message_event_round_trip(self):
+        event = TraceEvent(
+            time=0.5, category=MESSAGE, node=0, lock_id="L",
+            mode=None, detail="GrantMessage->2",
+        )
+        assert TraceEvent.from_json(event.to_json()) == event
+
+
+class TestTraceRecorder:
+    def test_records_full_lifecycle(self):
+        recorder = _recorded_run()
+        summary = recorder.summary()
+        assert summary[REQUEST] == 2
+        assert summary[GRANT] == 2
+        assert summary[RELEASE] == 2
+        assert summary.get(MESSAGE, 0) > 0
+
+    def test_events_are_time_ordered_per_lock(self):
+        recorder = _recorded_run()
+        events = recorder.events_for_lock("db/t")
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_grant_latencies_pair_up(self):
+        recorder = _recorded_run()
+        latencies = recorder.grant_latencies()
+        assert len(latencies) == 2
+        assert all(latency >= 0 for latency in latencies)
+
+    def test_dump_and_load_round_trip(self):
+        recorder = _recorded_run()
+        buffer = io.StringIO()
+        count = recorder.dump(buffer)
+        assert count == len(recorder.events)
+        buffer.seek(0)
+        loaded = TraceRecorder.load(buffer)
+        assert loaded == recorder.events
+
+    def test_empty_trace(self):
+        recorder = TraceRecorder()
+        assert recorder.summary() == {}
+        assert recorder.grant_latencies() == []
+        buffer = io.StringIO()
+        assert recorder.dump(buffer) == 0
+        buffer.seek(0)
+        assert TraceRecorder.load(buffer) == []

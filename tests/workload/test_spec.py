@@ -1,0 +1,101 @@
+"""Tests for the workload specification and mode mix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modes import LockMode
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_rng
+from repro.workload.generator import draw_operation
+from repro.workload.spec import PAPER_MODE_MIX, WorkloadSpec
+
+
+class TestWorkloadSpecValidation:
+    def test_defaults_are_the_paper_parameters(self):
+        spec = WorkloadSpec()
+        assert spec.cs_mean == pytest.approx(0.015)
+        assert spec.idle_mean == pytest.approx(0.150)
+        assert spec.latency_mean == pytest.approx(0.150)
+        assert spec.mode_mix == PAPER_MODE_MIX
+
+    def test_paper_mode_mix_probabilities(self):
+        mix = dict(PAPER_MODE_MIX)
+        assert mix[LockMode.IR] == pytest.approx(0.80)
+        assert mix[LockMode.R] == pytest.approx(0.10)
+        assert mix[LockMode.U] == pytest.approx(0.04)
+        assert mix[LockMode.IW] == pytest.approx(0.05)
+        assert mix[LockMode.W] == pytest.approx(0.01)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_entries_default_to_node_count(self):
+        assert WorkloadSpec().entry_count(17) == 17
+        assert WorkloadSpec(entries=5).entry_count(17) == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ops_per_node": -1},
+            {"cs_mean": -0.1},
+            {"latency_mean": 0.0},
+            {"locality": 1.5},
+            {"locality": -0.1},
+            {"entries": 0},
+            {"mode_mix": ((LockMode.R, 0.0),)},
+            {"mode_mix": ((LockMode.NONE, 1.0),)},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**kwargs)
+
+
+class TestOperationDraws:
+    def test_mode_frequencies_match_mix(self):
+        spec = WorkloadSpec()
+        rng = derive_rng(1, "mix")
+        counts = {}
+        for _ in range(20_000):
+            op = draw_operation(rng, spec, node_id=0, num_entries=10)
+            counts[op.mode] = counts.get(op.mode, 0) + 1
+        assert counts[LockMode.IR] / 20_000 == pytest.approx(0.80, abs=0.02)
+        assert counts[LockMode.R] / 20_000 == pytest.approx(0.10, abs=0.02)
+        assert counts[LockMode.IW] / 20_000 == pytest.approx(0.05, abs=0.01)
+
+    def test_intent_draws_have_entries(self):
+        spec = WorkloadSpec()
+        rng = derive_rng(2, "ops")
+        for _ in range(500):
+            op = draw_operation(rng, spec, node_id=3, num_entries=8)
+            if op.mode in (LockMode.IR, LockMode.IW):
+                assert op.is_entry_op
+                assert 0 <= op.entry < 8
+            else:
+                assert not op.is_entry_op
+                assert op.entry is None
+
+    def test_full_locality_pins_home_entry(self):
+        spec = WorkloadSpec(locality=1.0)
+        rng = derive_rng(3, "local")
+        for _ in range(200):
+            op = draw_operation(rng, spec, node_id=5, num_entries=8)
+            if op.is_entry_op:
+                assert op.entry == 5
+
+    def test_home_entry_wraps_modulo_entries(self):
+        spec = WorkloadSpec(locality=1.0)
+        rng = derive_rng(4, "wrap")
+        for _ in range(100):
+            op = draw_operation(rng, spec, node_id=11, num_entries=4)
+            if op.is_entry_op:
+                assert op.entry == 11 % 4
+
+    def test_zero_locality_spreads_entries(self):
+        spec = WorkloadSpec(locality=0.0)
+        rng = derive_rng(5, "spread")
+        entries = set()
+        for _ in range(500):
+            op = draw_operation(rng, spec, node_id=0, num_entries=16)
+            if op.is_entry_op:
+                entries.add(op.entry)
+        assert len(entries) > 8
