@@ -10,10 +10,14 @@ Runs any of the paper's experiments from the shell:
 * ``ablations``— the A1-A4 design-choice studies,
 * ``priority`` — the strict-priority arbitration extension study,
 * ``related``  — §5's dynamic-vs-static token-tree comparison,
-* ``all``      — everything above, in order.
+* ``all``      — everything above, in order,
+* ``report``   — render an observability trace written by ``--trace-out``.
 
 ``--quick`` switches the sweeps to CI scale (a few seconds total);
 ``--nodes N`` overrides the node counts with a single cluster size.
+``--trace-out run.jsonl`` attaches the observability layer to the
+figure/headline experiments and dumps spans + time series as JSONL;
+``python -m repro report run.jsonl`` renders that file as text tables.
 """
 
 from __future__ import annotations
@@ -23,16 +27,26 @@ import sys
 from typing import List, Sequence
 
 from .experiments import ablations, headline, priority, related_work, tables
-from .experiments.common import PAPER_NODE_COUNTS, QUICK_NODE_COUNTS
+from .experiments.common import (
+    PAPER_NODE_COUNTS,
+    QUICK_NODE_COUNTS,
+    RunResult,
+    write_run_traces,
+)
 from .experiments.fig5_message_overhead import run_fig5
 from .experiments.fig6_latency import run_fig6
 from .experiments.fig7_breakdown import run_fig7
+from .obs.export import load_runs_from_path
+from .obs.report import render_report
 from .workload.spec import WorkloadSpec
 
 EXPERIMENTS = (
     "tables", "fig5", "fig6", "fig7", "headline", "ablations",
     "priority", "related",
 )
+
+#: Experiments that can carry the observability layer (``--trace-out``).
+OBSERVABLE = ("fig5", "fig6", "fig7", "headline")
 
 
 def _parse(argv: Sequence[str]) -> argparse.Namespace:
@@ -42,8 +56,15 @@ def _parse(argv: Sequence[str]) -> argparse.Namespace:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all",),
-        help="which paper artifact to regenerate",
+        choices=EXPERIMENTS + ("all", "report"),
+        help="which paper artifact to regenerate, or 'report' to render "
+        "an observability trace",
+    )
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="JSONL trace file to render (report subcommand only)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -60,13 +81,35 @@ def _parse(argv: Sequence[str]) -> argparse.Namespace:
     parser.add_argument(
         "--seed", type=int, default=2003, help="workload seed",
     )
-    return parser.parse_args(argv)
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write an observability JSONL trace of the runs "
+        f"(experiments: {', '.join(OBSERVABLE)})",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "report" and args.trace is None:
+        parser.error("report needs a trace file: python -m repro report run.jsonl")
+    if args.experiment != "report" and args.trace is not None:
+        parser.error(f"unexpected argument {args.trace!r}")
+    return args
 
 
 def main(argv: Sequence[str] = ()) -> int:
     """Entry point; returns a process exit status."""
 
     args = _parse(list(argv) or sys.argv[1:])
+    if args.experiment == "report":
+        try:
+            runs = load_runs_from_path(args.trace)
+        except OSError as exc:
+            print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:  # bad JSON or unknown series payload
+            print(f"error: {args.trace} is not a trace file: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(render_report(runs))
+        return 0
     counts: List[int]
     if args.nodes is not None:
         counts = [args.nodes]
@@ -76,18 +119,28 @@ def main(argv: Sequence[str] = ()) -> int:
         counts = list(PAPER_NODE_COUNTS)
     ops = args.ops if args.ops is not None else (15 if args.quick else 30)
     spec = WorkloadSpec(ops_per_node=ops, seed=args.seed)
+    observe = args.trace_out is not None
+    observed: List[RunResult] = []
     wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in wanted:
         if name == "tables":
             print(tables.render_all())
         elif name == "fig5":
-            print(run_fig5(counts, spec).render())
+            result = run_fig5(counts, spec, observe=observe)
+            observed.extend(result.all_runs())
+            print(result.render())
         elif name == "fig6":
-            print(run_fig6(counts, spec).render())
+            result = run_fig6(counts, spec, observe=observe)
+            observed.extend(result.all_runs())
+            print(result.render())
         elif name == "fig7":
-            print(run_fig7(counts, spec).render())
+            result = run_fig7(counts, spec, observe=observe)
+            observed.extend(result.all_runs())
+            print(result.render())
         elif name == "headline":
-            print(headline.run_headline(max(counts), spec).render())
+            result = headline.run_headline(max(counts), spec, observe=observe)
+            observed.extend(result.all_runs())
+            print(result.render())
         elif name == "ablations":
             ablations.main()
         elif name == "priority":
@@ -96,6 +149,20 @@ def main(argv: Sequence[str] = ()) -> int:
             quick_counts = (2, 4, 8, 16) if args.quick else (2, 4, 8, 16, 32, 64)
             print(related_work.run_related_work(quick_counts).render())
         print()
+    if args.trace_out is not None:
+        if not observed:
+            print(
+                f"note: --trace-out only instruments {', '.join(OBSERVABLE)}; "
+                "nothing to write",
+                file=sys.stderr,
+            )
+        else:
+            lines = write_run_traces(args.trace_out, observed)
+            print(
+                f"wrote {lines} trace lines for {len(observed)} runs "
+                f"to {args.trace_out}",
+                file=sys.stderr,
+            )
     return 0
 
 

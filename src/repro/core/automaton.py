@@ -38,6 +38,7 @@ import dataclasses
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import LockUsageError, ProtocolError
+from ..obs.sink import ENQUEUED, FROZEN, GRANTED, ISSUED, RELEASED, ObsSink
 from .clock import LamportClock
 from .messages import (
     Envelope,
@@ -169,10 +170,30 @@ class HierarchicalLockAutomaton:
         #: Optional trace callback ``(node_id, event, detail)`` for the
         #: verification tooling; None in production paths.
         self.trace_hook: Optional[Callable[[NodeId, str, str], None]] = None
+        #: Optional observability sink (see :mod:`repro.obs`); ``None``
+        #: keeps every hook site a single attribute test.
+        self.obs: Optional[ObsSink] = None
+        self._local_serial = 0
 
     def _trace(self, event: str, detail: str = "") -> None:
         if self.trace_hook is not None:
             self.trace_hook(self._node_id, event, detail)
+
+    # -- observability gauges (no-ops while ``self.obs`` is None) ------
+
+    def _obs_queue(self) -> None:
+        if self.obs is not None:
+            self.obs.queue_depth(self._node_id, self._lock_id, len(self._queue))
+
+    def _obs_copyset(self) -> None:
+        if self.obs is not None:
+            self.obs.copyset_size(
+                self._node_id, self._lock_id, len(self._children)
+            )
+
+    def _obs_frozen(self) -> None:
+        if self.obs is not None:
+            self.obs.freeze_size(self._node_id, self._lock_id, len(self._frozen))
 
     # ------------------------------------------------------------------
     # Introspection (read-only views used by tests, monitors, metrics).
@@ -328,6 +349,8 @@ class HierarchicalLockAutomaton:
             raise LockUsageError("cannot release U while an upgrade is pending")
         owned_before = self.owned_mode()
         self._held[mode] -= 1
+        if self.obs is not None:
+            self.obs.phase(self._node_id, self._lock_id, None, RELEASED, mode)
         return self._after_owned_maybe_changed(owned_before)
 
     def upgrade(self, ctx: object = None) -> List[Envelope]:
@@ -353,6 +376,10 @@ class HierarchicalLockAutomaton:
             raise LockUsageError("a request is already pending on this lock")
         if self._upgrade_possible_now():
             self._held[LockMode.U] -= 1
+            if self.obs is not None:
+                self.obs.phase(
+                    self._node_id, self._lock_id, None, RELEASED, LockMode.U
+                )
             self._acquire_locally(LockMode.W, ctx)
             return []
         timestamp = self._clock.tick()
@@ -369,6 +396,13 @@ class HierarchicalLockAutomaton:
         # Upgrades take precedence over queued requests (§3.4): every
         # queued conflicting request is blocked on this node's U anyway.
         self._queue.insert(0, request)
+        if self.obs is not None:
+            key = request.request_id
+            self.obs.phase(self._node_id, self._lock_id, key, ISSUED, LockMode.W)
+            self.obs.phase(
+                self._node_id, self._lock_id, key, ENQUEUED, LockMode.W
+            )
+            self._obs_queue()
         return self._refresh_frozen()
 
     def downgrade(self, held: LockMode, to: LockMode) -> List[Envelope]:
@@ -402,6 +436,14 @@ class HierarchicalLockAutomaton:
         owned_before = self.owned_mode()
         self._held[held] -= 1
         self._held[to] = self._held.get(to, 0) + 1
+        if self.obs is not None:
+            # The old hold's span closes; the weakened hold is a fresh
+            # locally-granted span so a later release() can match it.
+            self.obs.phase(self._node_id, self._lock_id, None, RELEASED, held)
+            self._local_serial += 1
+            key = ("L", self._node_id, self._local_serial)
+            self.obs.phase(self._node_id, self._lock_id, key, ISSUED, to)
+            self.obs.phase(self._node_id, self._lock_id, key, GRANTED, to)
         return self._after_owned_maybe_changed(owned_before)
 
     # ------------------------------------------------------------------
@@ -488,6 +530,15 @@ class HierarchicalLockAutomaton:
             # Defensive update so the new parent's copyset entry dominates
             # our actual owned mode (it normally already does).
             out.append(self._release_to(msg.sender, owned_now))
+        if self.obs is not None:
+            self.obs.phase(
+                self._node_id,
+                self._lock_id,
+                pending.request_id,
+                GRANTED,
+                pending.mode,
+            )
+            self._obs_frozen()
         self._listener(self._lock_id, pending.mode, ctx)
         out.extend(self._drain_queue_nontoken())
         return out
@@ -527,6 +578,17 @@ class HierarchicalLockAutomaton:
         ]
         merged.sort(key=self._queue_sort_key)
         self._queue = merged
+        if self.obs is not None:
+            self.obs.phase(
+                self._node_id,
+                self._lock_id,
+                pending.request_id,
+                GRANTED,
+                pending.mode,
+            )
+            self._obs_queue()
+            self._obs_copyset()
+            self._obs_frozen()
         self._listener(self._lock_id, pending.mode, ctx)
         out.extend(self._check_queue())
         return out
@@ -543,6 +605,7 @@ class HierarchicalLockAutomaton:
             self._children.pop(msg.sender, None)
         else:
             self._children[msg.sender] = msg.new_mode
+        self._obs_copyset()
         return self._after_owned_maybe_changed(owned_before)
 
     def _handle_freeze(self, msg: FreezeMessage) -> List[Envelope]:
@@ -553,6 +616,7 @@ class HierarchicalLockAutomaton:
             return []
         old = self._frozen
         self._frozen = msg.frozen
+        self._obs_frozen()
         return self._propagate_freeze(old, msg.frozen)
 
     # ------------------------------------------------------------------
@@ -570,7 +634,7 @@ class HierarchicalLockAutomaton:
                 raise ProtocolError("token node lost track of its own request")
             self._pending = None
             self._pending_ctx = None
-            self._acquire_locally(msg.mode, ctx)
+            self._acquire_locally(msg.mode, ctx, key=msg.request_id)
             return []
         if token_transfer_required(owned, msg.mode):
             return self._transfer_token(msg)
@@ -581,6 +645,7 @@ class HierarchicalLockAutomaton:
 
         recorded = self._children.get(msg.origin, LockMode.NONE)
         self._children[msg.origin] = max_mode((recorded, msg.mode))
+        self._obs_copyset()
         attachment_seq = fresh_attachment_seq()
         self._child_seqs[msg.origin] = attachment_seq
         return Envelope(
@@ -599,11 +664,13 @@ class HierarchicalLockAutomaton:
         """Hand the token (and local queue) to the requester (Rule 3.2)."""
 
         self._children.pop(msg.origin, None)
+        self._obs_copyset()
         # Filter out releases the requester sent before becoming the root.
         self._child_seqs[msg.origin] = fresh_attachment_seq()
         prev_owner_mode = self.owned_mode()
         queue = tuple(self._queue)
         self._queue = []
+        self._obs_queue()
         self._has_token = False
         self._parent = msg.origin
         self._attach_seq = fresh_attachment_seq()
@@ -619,10 +686,23 @@ class HierarchicalLockAutomaton:
         )
         return [Envelope(msg.origin, token)]
 
-    def _acquire_locally(self, mode: LockMode, ctx: object) -> None:
-        """Enter the critical section without messages (Rule 2 / self-grant)."""
+    def _acquire_locally(
+        self, mode: LockMode, ctx: object, key: object = None
+    ) -> None:
+        """Enter the critical section without messages (Rule 2 / self-grant).
+
+        *key* identifies the span of an already-issued request being
+        served from the queue; ``None`` means a zero-message local grant,
+        whose span is minted here so it still appears in traces.
+        """
 
         self._held[mode] = self._held.get(mode, 0) + 1
+        if self.obs is not None:
+            if key is None:
+                self._local_serial += 1
+                key = ("L", self._node_id, self._local_serial)
+                self.obs.phase(self._node_id, self._lock_id, key, ISSUED, mode)
+            self.obs.phase(self._node_id, self._lock_id, key, GRANTED, mode)
         self._listener(self._lock_id, mode, ctx)
 
     # ------------------------------------------------------------------
@@ -645,6 +725,15 @@ class HierarchicalLockAutomaton:
         self._queue.append(msg)
         if self._options.priority_scheduling:
             self._queue.sort(key=self._queue_sort_key)
+        if self.obs is not None:
+            self.obs.phase(
+                msg.origin, self._lock_id, msg.request_id, ENQUEUED, msg.mode
+            )
+            if msg.mode in self._frozen:
+                self.obs.phase(
+                    msg.origin, self._lock_id, msg.request_id, FROZEN, msg.mode
+                )
+            self._obs_queue()
 
     def _check_queue(self) -> List[Envelope]:
         """Serve the local queue head-first at the token node (Fig. 4).
@@ -670,7 +759,15 @@ class HierarchicalLockAutomaton:
                 self._pending = None
                 self._pending_ctx = None
                 self._held[LockMode.U] -= 1
-                self._acquire_locally(LockMode.W, ctx)
+                if self.obs is not None:
+                    self.obs.phase(
+                        self._node_id,
+                        self._lock_id,
+                        None,
+                        RELEASED,
+                        LockMode.U,
+                    )
+                self._acquire_locally(LockMode.W, ctx, key=head.request_id)
                 continue
             if not token_can_grant(owned, head.mode):
                 break
@@ -681,12 +778,13 @@ class HierarchicalLockAutomaton:
                     raise ProtocolError("token node lost track of its request")
                 self._pending = None
                 self._pending_ctx = None
-                self._acquire_locally(head.mode, ctx)
+                self._acquire_locally(head.mode, ctx, key=head.request_id)
                 continue
             if token_transfer_required(owned, head.mode):
                 out.extend(self._transfer_token(head))
                 return out  # The queue travelled with the token.
             out.append(self._grant_copy(head))
+        self._obs_queue()
         out.extend(self._refresh_frozen())
         return out
 
@@ -695,6 +793,8 @@ class HierarchicalLockAutomaton:
 
         out: List[Envelope] = []
         queued, self._queue = self._queue, []
+        if queued:
+            self._obs_queue()
         for msg in queued:
             owned = self.owned_mode()
             if (
@@ -762,6 +862,7 @@ class HierarchicalLockAutomaton:
             return []
         old = self._frozen
         self._frozen = new
+        self._obs_frozen()
         return self._propagate_freeze(old, new)
 
     def _propagate_freeze(
@@ -807,6 +908,10 @@ class HierarchicalLockAutomaton:
         )
         self._pending = request
         self._pending_ctx = ctx
+        if self.obs is not None:
+            self.obs.phase(
+                self._node_id, self._lock_id, request.request_id, ISSUED, mode
+            )
         return request
 
     def _forward(self, msg: RequestMessage) -> Envelope:

@@ -85,6 +85,9 @@ class LockSpace:
         self._options = options
         self._clock = LamportClock()
         self._automata: Dict[LockId, HierarchicalLockAutomaton] = {}
+        #: Optional observability sink propagated to every automaton this
+        #: space creates (set before first use; None = zero-cost no-op).
+        self.obs = None
 
     @property
     def node_id(self) -> NodeId:
@@ -120,6 +123,7 @@ class LockSpace:
             listener=self._listener,
             options=self._options,
         )
+        automaton.obs = self.obs
         self._automata[lock_id] = automaton
         return automaton
 

@@ -9,11 +9,13 @@ three entry points below correspond to the paper's three curves.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, IO, List, Optional, Sequence
 
 from ..core.lockspace import hashed_token_home
 from ..errors import ConfigurationError
 from ..metrics import MetricsCollector
+from ..obs.collect import RunObserver
+from ..obs.export import write_run
 from ..sim.cluster import SimHierarchicalCluster, SimNaimiCluster
 from ..sim.engine import Process, Simulator
 from ..sim.rng import Exponential, derive_rng
@@ -43,6 +45,8 @@ class RunResult:
     metrics: MetricsCollector
     sim_time: float
     events: int
+    #: Attached when the run was started with ``observe=True``.
+    observer: Optional[RunObserver] = None
 
     def message_overhead(self) -> float:
         """Messages per lock request (Figure 5 y-axis)."""
@@ -54,12 +58,56 @@ class RunResult:
 
         return self.metrics.latency_factor(self.spec.latency_mean)
 
+    def trace_meta(self) -> Dict[str, object]:
+        """Run-section metadata for the observability JSONL export."""
+
+        return {
+            "label": self.protocol,
+            "protocol": self.protocol,
+            "nodes": self.num_nodes,
+            "ops": self.spec.ops_per_node,
+            "seed": self.spec.seed,
+            "sim_time": round(self.sim_time, 6),
+            "events": self.events,
+            # The metrics layer's request count is the denominator of
+            # every per-request figure (DESIGN.md §6); record it so
+            # `repro report` agrees with MetricsCollector exactly.
+            "requests": self.metrics.total_requests,
+            "messages": self.metrics.total_messages,
+        }
+
+    def write_trace(self, stream: IO[str]) -> int:
+        """Append this run's observability section to a JSONL stream."""
+
+        if self.observer is None:
+            raise ConfigurationError(
+                "run was not observed; pass observe=True (or --trace-out)"
+            )
+        return write_run(stream, self.observer, self.trace_meta())
+
+
+def write_run_traces(path: str, results: Sequence[RunResult]) -> int:
+    """Write every observed run in *results* to *path*; returns lines."""
+
+    lines = 0
+    with open(path, "w", encoding="utf-8") as stream:
+        for result in results:
+            if result.observer is not None:
+                lines += result.write_trace(stream)
+    return lines
+
 
 def _drive(
     sim: Simulator, bodies: List, budget: int
 ) -> None:
     processes = [Process(sim, body) for body in bodies]
     sim.run(max_events=budget)
+    for index, process in enumerate(processes):
+        if process.error is not None:
+            raise ConfigurationError(
+                f"client process {index} crashed: "
+                f"{type(process.error).__name__}: {process.error}"
+            ) from process.error
     blocked = [i for i, p in enumerate(processes) if not p.done.triggered]
     if blocked:
         raise ConfigurationError(
@@ -72,11 +120,13 @@ def run_hierarchical(
     spec: WorkloadSpec,
     check_invariants: bool = True,
     event_budget: int = DEFAULT_EVENT_BUDGET,
+    observe: bool = False,
 ) -> RunResult:
     """Run the airline workload under the hierarchical protocol."""
 
     sim = Simulator()
     metrics = MetricsCollector()
+    observer = RunObserver(clock=lambda: sim.now) if observe else None
     compat = CompatibilityMonitor()
     monitor = MonitorSet([compat]) if check_invariants else None
     cluster = SimHierarchicalCluster(
@@ -87,6 +137,7 @@ def run_hierarchical(
         token_home=hashed_token_home(num_nodes),
         monitor=monitor,
         metrics=metrics,
+        obs=observer,
     )
     entries = spec.entry_count(num_nodes)
     bodies = [
@@ -111,6 +162,7 @@ def run_hierarchical(
         metrics=metrics,
         sim_time=sim.now,
         events=sim.events_processed,
+        observer=observer,
     )
 
 
@@ -121,9 +173,11 @@ def _run_naimi(
     protocol: str,
     check_invariants: bool,
     event_budget: int,
+    observe: bool = False,
 ) -> RunResult:
     sim = Simulator()
     metrics = MetricsCollector()
+    observer = RunObserver(clock=lambda: sim.now) if observe else None
     mutex = MutualExclusionMonitor()
     monitor = MonitorSet([mutex]) if check_invariants else None
     cluster = SimNaimiCluster(
@@ -134,6 +188,7 @@ def _run_naimi(
         token_home=hashed_token_home(num_nodes),
         monitor=monitor,
         metrics=metrics,
+        obs=observer,
     )
     entries = spec.entry_count(num_nodes)
     bodies = [
@@ -158,6 +213,7 @@ def _run_naimi(
         metrics=metrics,
         sim_time=sim.now,
         events=sim.events_processed,
+        observer=observer,
     )
 
 
@@ -166,12 +222,13 @@ def run_naimi_same_work(
     spec: WorkloadSpec,
     check_invariants: bool = True,
     event_budget: int = DEFAULT_EVENT_BUDGET,
+    observe: bool = False,
 ) -> RunResult:
     """Run the airline workload under Naimi *same work*."""
 
     return _run_naimi(
         num_nodes, spec, naimi_same_work_client, "naimi-same-work",
-        check_invariants, event_budget,
+        check_invariants, event_budget, observe=observe,
     )
 
 
@@ -180,12 +237,13 @@ def run_naimi_pure(
     spec: WorkloadSpec,
     check_invariants: bool = True,
     event_budget: int = DEFAULT_EVENT_BUDGET,
+    observe: bool = False,
 ) -> RunResult:
     """Run the airline workload under Naimi *pure* (one global token)."""
 
     return _run_naimi(
         num_nodes, spec, naimi_pure_client, "naimi-pure",
-        check_invariants, event_budget,
+        check_invariants, event_budget, observe=observe,
     )
 
 
@@ -207,6 +265,7 @@ def sweep(
     node_counts: Sequence[int],
     spec: WorkloadSpec,
     check_invariants: bool = True,
+    observe: bool = False,
 ) -> List[RunResult]:
     """Run *protocol* at every node count and return the results."""
 
@@ -214,5 +273,6 @@ def sweep(
     if runner is None:
         raise ConfigurationError(f"unknown protocol {protocol!r}")
     return [
-        runner(n, spec, check_invariants=check_invariants) for n in node_counts
+        runner(n, spec, check_invariants=check_invariants, observe=observe)
+        for n in node_counts
     ]

@@ -44,6 +44,11 @@ class Fig5Result:
     overhead: Dict[str, List[float]]  # protocol → msgs/request per n
     runs: Dict[str, List[RunResult]]
 
+    def all_runs(self) -> List[RunResult]:
+        """Every underlying run, in protocol then node-count order."""
+
+        return [run for protocol in PROTOCOLS for run in self.runs[protocol]]
+
     def checks(self) -> List:
         """The paper's qualitative claims, evaluated on this data."""
 
@@ -97,11 +102,14 @@ def run_fig5(
     node_counts: Sequence[int] = PAPER_NODE_COUNTS,
     spec: WorkloadSpec = WorkloadSpec(),
     check_invariants: bool = True,
+    observe: bool = False,
 ) -> Fig5Result:
     """Run the Figure 5 sweep and return its data."""
 
     runs = {
-        protocol: sweep(protocol, node_counts, spec, check_invariants)
+        protocol: sweep(
+            protocol, node_counts, spec, check_invariants, observe=observe
+        )
         for protocol in PROTOCOLS
     }
     overhead = {

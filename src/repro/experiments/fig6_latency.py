@@ -44,6 +44,11 @@ class Fig6Result:
     latency_factor: Dict[str, List[float]]
     runs: Dict[str, List[RunResult]]
 
+    def all_runs(self) -> List[RunResult]:
+        """Every underlying run, in protocol then node-count order."""
+
+        return [run for protocol in PROTOCOLS for run in self.runs[protocol]]
+
     def checks(self) -> List:
         """The paper's qualitative claims, evaluated on this data."""
 
@@ -92,11 +97,14 @@ def run_fig6(
     node_counts: Sequence[int] = PAPER_NODE_COUNTS,
     spec: WorkloadSpec = WorkloadSpec(),
     check_invariants: bool = True,
+    observe: bool = False,
 ) -> Fig6Result:
     """Run the Figure 6 sweep and return its data."""
 
     runs = {
-        protocol: sweep(protocol, node_counts, spec, check_invariants)
+        protocol: sweep(
+            protocol, node_counts, spec, check_invariants, observe=observe
+        )
         for protocol in PROTOCOLS
     }
     latency_factor = {

@@ -37,6 +37,11 @@ class Fig7Result:
     breakdown: Dict[str, List[float]]  # message type → msgs/request per n
     runs: List[RunResult]
 
+    def all_runs(self) -> List[RunResult]:
+        """Every underlying run, in node-count order."""
+
+        return list(self.runs)
+
     def checks(self) -> List:
         """The paper's qualitative claims, evaluated on this data."""
 
@@ -77,11 +82,14 @@ def run_fig7(
     node_counts: Sequence[int] = PAPER_NODE_COUNTS,
     spec: WorkloadSpec = WorkloadSpec(),
     check_invariants: bool = True,
+    observe: bool = False,
 ) -> Fig7Result:
     """Run the Figure 7 sweep and return its data."""
 
     runs = [
-        run_hierarchical(n, spec, check_invariants=check_invariants)
+        run_hierarchical(
+            n, spec, check_invariants=check_invariants, observe=observe
+        )
         for n in node_counts
     ]
     breakdown: Dict[str, List[float]] = {kind: [] for kind in MESSAGE_TYPES}

@@ -26,6 +26,11 @@ class HeadlineResult:
     pure: RunResult
     same_work: RunResult
 
+    def all_runs(self) -> List[RunResult]:
+        """The three underlying runs in rendering order."""
+
+        return [self.ours, self.pure, self.same_work]
+
     def message_saving(self) -> float:
         """Relative message saving of ours vs. Naimi pure (paper: ~20 %)."""
 
@@ -89,15 +94,17 @@ class HeadlineResult:
 
 
 def run_headline(
-    num_nodes: int = 120, spec: WorkloadSpec = WorkloadSpec()
+    num_nodes: int = 120,
+    spec: WorkloadSpec = WorkloadSpec(),
+    observe: bool = False,
 ) -> HeadlineResult:
     """Run the three protocols at *num_nodes* and compare."""
 
     return HeadlineResult(
         num_nodes=num_nodes,
-        ours=run_hierarchical(num_nodes, spec),
-        pure=run_naimi_pure(num_nodes, spec),
-        same_work=run_naimi_same_work(num_nodes, spec),
+        ours=run_hierarchical(num_nodes, spec, observe=observe),
+        pure=run_naimi_pure(num_nodes, spec, observe=observe),
+        same_work=run_naimi_same_work(num_nodes, spec, observe=observe),
     )
 
 

@@ -10,28 +10,107 @@ figure in the paper).
 
 from __future__ import annotations
 
-import dataclasses
 from collections import Counter
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..obs.sink import GRANTED, ISSUED
+from ..obs.spans import RequestSpan
 from .stats import Summary, summarize
 
 
-@dataclasses.dataclass(frozen=True)
 class RequestRecord:
-    """One completed lock request."""
+    """One completed lock request, backed by its lifecycle phases.
 
-    node: int
-    kind: str           # e.g. "IR", "R", "U", "IW", "W", "entry", "table"
-    issued_at: float
-    granted_at: float
-    lock: str = ""      # the lock the request was for (fairness analysis)
+    Historically a flat ``(issued_at, granted_at)`` pair; now a thin view
+    over a span's ``(phase, timestamp)`` transitions so richer phases
+    (enqueued, frozen, released) survive into the metrics layer.  The old
+    constructor shape — ``RequestRecord(node, kind, issued_at, granted_at,
+    lock)`` — still works and produces a two-phase record.
+    """
+
+    __slots__ = ("node", "kind", "lock", "phases")
+
+    def __init__(
+        self,
+        node: int,
+        kind: str,          # e.g. "IR", "R", "U", "IW", "W", "entry", "table"
+        issued_at: Optional[float] = None,
+        granted_at: Optional[float] = None,
+        lock: str = "",     # the lock the request was for (fairness analysis)
+        phases: Optional[Iterable[Tuple[str, float]]] = None,
+    ) -> None:
+        if phases is None:
+            if issued_at is None or granted_at is None:
+                raise ValueError(
+                    "RequestRecord needs issued_at+granted_at or phases"
+                )
+            phases = ((ISSUED, issued_at), (GRANTED, granted_at))
+        self.node = node
+        self.kind = kind
+        self.lock = lock
+        self.phases: Tuple[Tuple[str, float], ...] = tuple(
+            (name, float(time)) for name, time in phases
+        )
+
+    @classmethod
+    def from_span(
+        cls, span: RequestSpan, kind: Optional[str] = None, lock: str = ""
+    ) -> "RequestRecord":
+        """Build a record from an observability span (must be granted)."""
+
+        if span.granted_at is None:
+            raise ValueError("cannot record a span that was never granted")
+        return cls(
+            node=span.node,
+            kind=kind if kind is not None else span.kind,
+            lock=lock or span.lock,
+            phases=span.phases,
+        )
+
+    def time_of(self, phase: str) -> Optional[float]:
+        """Timestamp of the first transition into *phase*, if recorded."""
+
+        for name, time in self.phases:
+            if name == phase:
+                return time
+        return None
+
+    @property
+    def issued_at(self) -> float:
+        """When the request was issued (first phase as a fallback)."""
+
+        issued = self.time_of(ISSUED)
+        return issued if issued is not None else self.phases[0][1]
+
+    @property
+    def granted_at(self) -> float:
+        """When the request was granted (last phase as a fallback)."""
+
+        granted = self.time_of(GRANTED)
+        return granted if granted is not None else self.phases[-1][1]
 
     @property
     def latency(self) -> float:
         """Seconds from issue to grant."""
 
         return self.granted_at - self.issued_at
+
+    def _key(self) -> Tuple:
+        return (self.node, self.kind, self.lock, self.phases)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestRecord):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RequestRecord(node={self.node}, kind={self.kind!r}, "
+            f"lock={self.lock!r}, phases={self.phases!r})"
+        )
 
 
 class MetricsCollector:
@@ -77,6 +156,13 @@ class MetricsCollector:
             )
         )
 
+    def record_span(
+        self, span: RequestSpan, kind: Optional[str] = None, lock: str = ""
+    ) -> None:
+        """Record one completed request straight from its span."""
+
+        self.requests.append(RequestRecord.from_span(span, kind=kind, lock=lock))
+
     def record_operation(self) -> None:
         """Record one completed application-level operation."""
 
@@ -117,8 +203,19 @@ class MetricsCollector:
         return summarize(values)
 
     def latency_factor(self, base_latency: float) -> float:
-        """Mean latency as a multiple of *base_latency* (Figure 6's y-axis)."""
+        """Mean latency as a multiple of *base_latency* (Figure 6's y-axis).
 
-        if not self.requests or base_latency <= 0:
+        Raises :class:`ValueError` on a non-positive *base_latency*: a
+        zero baseline means the experiment never measured one, and
+        silently returning 0.0 used to render a flat-zero latency curve
+        instead of flagging the misconfiguration.
+        """
+
+        if base_latency <= 0:
+            raise ValueError(
+                f"base_latency must be positive, got {base_latency!r} "
+                "(was the baseline latency ever measured?)"
+            )
+        if not self.requests:
             return 0.0
         return self.latency_summary().mean / base_latency

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 from ..core.messages import Envelope, LockId, NodeId
 from ..errors import LockUsageError, ProtocolError
+from ..obs.sink import ENQUEUED, GRANTED, ISSUED, RELEASED, ObsSink
 from .messages import NaimiMessage, NaimiRequestMessage, NaimiTokenMessage
 
 #: Signature of the grant listener: ``(lock_id, ctx)``.
@@ -64,6 +65,9 @@ class NaimiAutomaton:
         self._requesting = False
         self._ctx: object = None
         self._listener = listener
+        #: Optional observability sink (see :mod:`repro.obs`).  Span key
+        #: is ``(lock_id, origin)`` — one outstanding request per node.
+        self.obs: Optional[ObsSink] = None
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -129,6 +133,11 @@ class NaimiAutomaton:
             )
         self._requesting = True
         self._ctx = ctx
+        if self.obs is not None:
+            self.obs.phase(
+                self._node_id, self._lock_id, (self._lock_id, self._node_id),
+                ISSUED,
+            )
         if self._last is None:
             if not self._has_token:
                 raise ProtocolError("root without token cannot self-grant")
@@ -155,6 +164,8 @@ class NaimiAutomaton:
                 f"node {self._node_id} is not in the CS of {self._lock_id}"
             )
         self._in_cs = False
+        if self.obs is not None:
+            self.obs.phase(self._node_id, self._lock_id, None, RELEASED)
         if self._next is None:
             return []  # Keep the token until someone asks.
         successor = self._next
@@ -197,6 +208,15 @@ class NaimiAutomaton:
                         f"node {self._node_id} already has a successor"
                     )
                 self._next = msg.origin
+                if self.obs is not None:
+                    # The requester just joined the distributed queue (it
+                    # became the token holder's successor).
+                    self.obs.phase(
+                        msg.origin,
+                        self._lock_id,
+                        (self._lock_id, msg.origin),
+                        ENQUEUED,
+                    )
             else:
                 self._has_token = False
                 out.append(
@@ -238,6 +258,11 @@ class NaimiAutomaton:
 
         self._requesting = False
         self._in_cs = True
+        if self.obs is not None:
+            self.obs.phase(
+                self._node_id, self._lock_id, (self._lock_id, self._node_id),
+                GRANTED,
+            )
         ctx, self._ctx = self._ctx, None
         self._listener(self._lock_id, ctx)
 

@@ -29,6 +29,9 @@ class NaimiLockSpace:
         self._token_home = token_home
         self._listener = listener
         self._automata: Dict[LockId, NaimiAutomaton] = {}
+        #: Optional observability sink propagated to every automaton this
+        #: space creates (set before first use; None = zero-cost no-op).
+        self.obs = None
 
     @property
     def node_id(self) -> NodeId:
@@ -49,6 +52,7 @@ class NaimiLockSpace:
             last=None if home == self._node_id else home,
             listener=self._listener,
         )
+        automaton.obs = self.obs
         self._automata[lock_id] = automaton
         return automaton
 

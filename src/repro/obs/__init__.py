@@ -1,0 +1,56 @@
+"""Unified observability: request spans, time series, export, reporting.
+
+Layer map::
+
+    sink.py     ObsSink hook surface (base class == null sink)
+    spans.py    RequestSpan lifecycle records
+    series.py   WindowedCounter / GaugeSeries / Histogram primitives
+    collect.py  RunObserver — the concrete collector
+    export.py   JSONL writer/loader (extends verification/trace format)
+    report.py   text-table rendering for `python -m repro report`
+
+Instrumented components hold an ``obs`` attribute that is ``None`` by
+default and guard every hook call with ``if self.obs is not None`` — the
+zero-cost contract that keeps benchmarks honest.
+"""
+
+from .collect import RunObserver
+from .export import RunTrace, load_runs, load_runs_from_path, write_run
+from .report import render_report, render_run
+from .series import DEFAULT_WINDOW, GaugeSeries, Histogram, WindowedCounter
+from .sink import (
+    ENQUEUED,
+    FROZEN,
+    GRANTED,
+    ISSUED,
+    NULL_SINK,
+    PHASES,
+    RELEASED,
+    ObsSink,
+    SpanKey,
+)
+from .spans import RequestSpan
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "ENQUEUED",
+    "FROZEN",
+    "GRANTED",
+    "ISSUED",
+    "NULL_SINK",
+    "PHASES",
+    "RELEASED",
+    "GaugeSeries",
+    "Histogram",
+    "ObsSink",
+    "RequestSpan",
+    "RunObserver",
+    "RunTrace",
+    "SpanKey",
+    "WindowedCounter",
+    "load_runs",
+    "load_runs_from_path",
+    "render_report",
+    "render_run",
+    "write_run",
+]

@@ -1,0 +1,186 @@
+"""The concrete observability collector: spans + time series for one run.
+
+A :class:`RunObserver` is an :class:`~repro.obs.sink.ObsSink` that owns a
+clock (the simulator's virtual ``now`` or a wall clock) and materializes
+everything the hooks emit:
+
+* request-lifecycle **spans** (issue → enqueue → freeze → grant →
+  release), keyed by the protocol's span key while in flight and matched
+  to releases by (node, lock, mode) afterwards;
+* windowed **series** — messages by type, per-peer traffic, queue depth,
+  copyset size, freeze occupancy, engine events/sec, bytes on wire — and
+  a send-latency histogram for real transports.
+
+One observer instance serves a whole cluster (every automaton, the
+network and the engine share it), which is what makes cross-layer
+correlation by timestamp possible.  A mutex makes it safe for the
+threaded transports; the simulator path never contends.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.messages import LockId, NodeId
+from ..core.modes import LockMode
+from .series import (
+    DEFAULT_WINDOW,
+    GaugeSeries,
+    Histogram,
+    WindowedCounter,
+)
+from .sink import GRANTED, RELEASED, ObsSink, SpanKey
+from .spans import RequestSpan
+
+#: ``() -> float`` time source; the simulator's ``lambda: sim.now`` or a
+#: monotonic wall clock.
+Clock = Callable[[], float]
+
+
+class RunObserver(ObsSink):
+    """Collects spans and time series for one run."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        window: float = DEFAULT_WINDOW,
+    ) -> None:
+        if clock is None:
+            start = _time.monotonic()
+            clock = lambda: _time.monotonic() - start  # noqa: E731
+        self._clock = clock
+        self._mutex = threading.Lock()
+        #: Every span ever opened, in issue order (complete or not).
+        self.spans: List[RequestSpan] = []
+        self._open: Dict[SpanKey, RequestSpan] = {}
+        self._granted: Dict[Tuple[NodeId, LockId, str], Deque[RequestSpan]] = {}
+        self.messages = WindowedCounter(window)
+        self.peer_messages = WindowedCounter(window)
+        self.wire_bytes = WindowedCounter(window)
+        self.engine_events = WindowedCounter(window)
+        self.queue_depth_series = GaugeSeries(window)
+        self.copyset_series = GaugeSeries(window)
+        self.freeze_series = GaugeSeries(window)
+        self.send_latency = Histogram()
+        self._last_engine_events = 0
+
+    # -- request lifecycle ------------------------------------------------
+
+    def phase(
+        self,
+        node: NodeId,
+        lock_id: LockId,
+        key: Optional[SpanKey],
+        phase: str,
+        mode: Optional[LockMode] = None,
+    ) -> None:
+        now = self._clock()
+        with self._mutex:
+            if phase == RELEASED:
+                self._close(node, lock_id, mode, now)
+                return
+            span = self._open.get(key)
+            if span is None:
+                kind = str(mode) if mode is not None else "?"
+                span = RequestSpan(node=node, lock=lock_id, kind=kind)
+                self._open[key] = span
+                self.spans.append(span)
+            span.mark(phase, now)
+            if phase == GRANTED:
+                del self._open[key]
+                slot = (span.node, span.lock, span.kind)
+                self._granted.setdefault(slot, deque()).append(span)
+
+    def _close(
+        self,
+        node: NodeId,
+        lock_id: LockId,
+        mode: Optional[LockMode],
+        now: float,
+    ) -> None:
+        """Match a release to the oldest granted-unreleased span."""
+
+        kind = str(mode) if mode is not None else "?"
+        waiting = self._granted.get((node, lock_id, kind))
+        if waiting:
+            waiting.popleft().mark(RELEASED, now)
+
+    # -- protocol gauges --------------------------------------------------
+
+    def queue_depth(self, node: NodeId, lock_id: LockId, depth: int) -> None:
+        self.queue_depth_series.sample(self._clock(), depth)
+
+    def copyset_size(self, node: NodeId, lock_id: LockId, size: int) -> None:
+        self.copyset_series.sample(self._clock(), size)
+
+    def freeze_size(self, node: NodeId, lock_id: LockId, size: int) -> None:
+        self.freeze_series.sample(self._clock(), size)
+
+    # -- wire traffic -----------------------------------------------------
+
+    def message(self, sender: NodeId, dest: NodeId, label: str) -> None:
+        now = self._clock()
+        with self._mutex:
+            self.messages.add(now, label)
+            self.peer_messages.add(now, f"{sender}->{dest}")
+
+    def wire_sent(
+        self, sender: NodeId, dest: NodeId, nbytes: int, seconds: float
+    ) -> None:
+        now = self._clock()
+        with self._mutex:
+            if nbytes:
+                self.wire_bytes.add(now, "sent", nbytes)
+            self.send_latency.record(seconds)
+
+    def wire_received(self, node: NodeId, nbytes: int) -> None:
+        if not nbytes:
+            return
+        now = self._clock()
+        with self._mutex:
+            self.wire_bytes.add(now, "received", nbytes)
+
+    # -- engine -----------------------------------------------------------
+
+    def engine_tick(self, now: float, events: int) -> None:
+        delta = events - self._last_engine_events
+        self._last_engine_events = events
+        if delta > 0:
+            self.engine_events.add(now, "events", delta)
+
+    # -- exports ----------------------------------------------------------
+
+    def completed_spans(self) -> List[RequestSpan]:
+        """Spans that reached at least the granted phase."""
+
+        return [span for span in self.spans if span.granted_at is not None]
+
+    def counters(self) -> Dict[str, WindowedCounter]:
+        """Non-empty windowed counters by canonical name."""
+
+        named = {
+            "messages": self.messages,
+            "peer_messages": self.peer_messages,
+            "wire_bytes": self.wire_bytes,
+            "engine_events": self.engine_events,
+        }
+        return {name: series for name, series in named.items() if series}
+
+    def gauges(self) -> Dict[str, GaugeSeries]:
+        """Non-empty gauge series by canonical name."""
+
+        named = {
+            "queue_depth": self.queue_depth_series,
+            "copyset_size": self.copyset_series,
+            "freeze_size": self.freeze_series,
+        }
+        return {name: series for name, series in named.items() if series}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Non-empty histograms by canonical name."""
+
+        named = {"send_latency": self.send_latency}
+        return {name: series for name, series in named.items() if series}

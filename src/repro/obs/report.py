@@ -1,0 +1,214 @@
+"""Text-table reporting over reloaded run traces (`repro report`).
+
+Renders, per run section of a JSONL trace file:
+
+* **per-phase latency percentiles** — each lifecycle segment a request
+  can spend time in (issue→grant, enqueue→grant, freeze→grant,
+  grant→release) summarized over all completed spans;
+* **Fig. 7-style message breakdown** — wire messages by type, with
+  per-request averages using the run's recorded request count;
+* **queue-depth timeline** — the windowed gauge as (time, mean, max)
+  rows, condensed to a bounded number of lines;
+* engine throughput and wire-level sections when the corresponding
+  series were recorded.
+
+Everything is plain text for terminals and log files; no plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.stats import summarize
+from .export import RunTrace
+from .series import GaugeSeries
+from .sink import ENQUEUED, FROZEN, GRANTED, ISSUED, RELEASED
+from .spans import RequestSpan
+
+#: Lifecycle segments reported, as (label, start_phase, end_phase).
+SEGMENTS: Tuple[Tuple[str, str, str], ...] = (
+    ("issued->granted", ISSUED, GRANTED),
+    ("issued->enqueued", ISSUED, ENQUEUED),
+    ("enqueued->granted", ENQUEUED, GRANTED),
+    ("frozen->granted", FROZEN, GRANTED),
+    ("granted->released", GRANTED, RELEASED),
+)
+
+#: Longest timeline rendered before adjacent windows get merged.
+MAX_TIMELINE_ROWS = 40
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a padded text table (first column left-aligned)."""
+
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _phase_rows(spans: Sequence[RequestSpan]) -> List[List[str]]:
+    rows: List[List[str]] = []
+    for label, start, end in SEGMENTS:
+        samples = [w for s in spans if (w := s.wait(start, end)) is not None]
+        if not samples:
+            continue
+        stats = summarize(samples)
+        rows.append(
+            [
+                label,
+                str(stats.count),
+                f"{stats.mean:.4f}",
+                f"{stats.p50:.4f}",
+                f"{stats.p95:.4f}",
+                f"{stats.maximum:.4f}",
+            ]
+        )
+    return rows
+
+
+def _message_rows(run: RunTrace) -> List[List[str]]:
+    totals = run.message_totals()
+    if not totals:
+        return []
+    requests = run.requests
+    grand_total = sum(totals.values())
+    rows = []
+    for label, count in sorted(totals.items(), key=lambda kv: -kv[1]):
+        per_request = count / requests if requests else 0.0
+        share = 100.0 * count / grand_total if grand_total else 0.0
+        rows.append([label, str(count), f"{per_request:.3f}", f"{share:.1f}%"])
+    per_request = grand_total / requests if requests else 0.0
+    rows.append(["TOTAL", str(grand_total), f"{per_request:.3f}", "100.0%"])
+    return rows
+
+
+def _condense(
+    timeline: List[Tuple[float, float, float]], max_rows: int
+) -> List[Tuple[float, float, float]]:
+    """Merge adjacent windows until at most *max_rows* remain."""
+
+    if len(timeline) <= max_rows:
+        return timeline
+    stride = -(-len(timeline) // max_rows)  # ceil division
+    merged: List[Tuple[float, float, float]] = []
+    for start in range(0, len(timeline), stride):
+        chunk = timeline[start : start + stride]
+        mean = sum(row[1] for row in chunk) / len(chunk)
+        peak = max(row[2] for row in chunk)
+        merged.append((chunk[0][0], mean, peak))
+    return merged
+
+
+def _timeline_rows(gauge: GaugeSeries) -> List[List[str]]:
+    return [
+        [f"{time:.1f}", f"{mean:.2f}", f"{peak:.0f}"]
+        for time, mean, peak in _condense(gauge.timeline(), MAX_TIMELINE_ROWS)
+    ]
+
+
+def _meta_line(run: RunTrace) -> str:
+    parts = []
+    for key in ("protocol", "nodes", "ops", "seed", "requests", "sim_time"):
+        value = run.meta.get(key)
+        if value is not None:
+            parts.append(f"{key}={value}")
+    return "  ".join(parts)
+
+
+def render_run(run: RunTrace) -> str:
+    """Render the full report for one run section."""
+
+    out: List[str] = []
+    out.append(f"== {run.label} ==")
+    meta = _meta_line(run)
+    if meta:
+        out.append(meta)
+
+    completed = [s for s in run.spans if s.granted_at is not None]
+    out.append("")
+    out.append(f"-- request phases ({len(completed)} completed spans) --")
+    phase_rows = _phase_rows(run.spans)
+    if phase_rows:
+        out.append(
+            _table(["segment", "n", "mean", "p50", "p95", "max"], phase_rows)
+        )
+    else:
+        out.append("(no spans recorded)")
+
+    message_rows = _message_rows(run)
+    out.append("")
+    out.append(f"-- message breakdown (per {run.requests} requests) --")
+    if message_rows:
+        out.append(
+            _table(["message", "count", "msgs/req", "share"], message_rows)
+        )
+    else:
+        out.append("(no messages recorded)")
+
+    queue = run.gauges.get("queue_depth")
+    if queue is not None:
+        out.append("")
+        out.append(f"-- queue depth timeline (peak {queue.peak():.0f}) --")
+        out.append(_table(["t", "mean", "max"], _timeline_rows(queue)))
+
+    for name, title in (
+        ("copyset_size", "copyset size"),
+        ("freeze_size", "freeze occupancy"),
+    ):
+        gauge = run.gauges.get(name)
+        if gauge is not None:
+            out.append("")
+            out.append(f"-- {title} (peak {gauge.peak():.0f}) --")
+            out.append(_table(["t", "mean", "max"], _timeline_rows(gauge)))
+
+    engine = run.counters.get("engine_events")
+    if engine is not None:
+        rows = engine.items()
+        total = engine.total()
+        span_seconds = (
+            rows[-1][0] - rows[0][0] + engine.window if rows else 0.0
+        )
+        rate = total / span_seconds if span_seconds > 0 else 0.0
+        out.append("")
+        out.append(
+            f"-- engine: {total} events over {span_seconds:.1f}s "
+            f"({rate:.0f} events/s) --"
+        )
+
+    wire = run.counters.get("wire_bytes")
+    latency = run.histograms.get("send_latency")
+    if wire is not None or latency is not None:
+        out.append("")
+        sent = wire.total("sent") if wire is not None else 0
+        received = wire.total("received") if wire is not None else 0
+        line = f"-- wire: {sent} B sent, {received} B received"
+        if latency is not None and latency.count:
+            line += (
+                f"; send latency mean {latency.mean * 1e6:.1f}us"
+                f" p95 {latency.quantile(0.95) * 1e6:.1f}us"
+            )
+        out.append(line + " --")
+
+    return "\n".join(out)
+
+
+def render_report(runs: Sequence[RunTrace]) -> str:
+    """Render every run section of a trace file."""
+
+    if not runs:
+        return "(empty trace: no run sections found)"
+    return "\n\n".join(render_run(run) for run in runs)

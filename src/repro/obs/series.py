@@ -1,0 +1,242 @@
+"""Windowed time-series primitives: counters, gauges and histograms.
+
+Run-level aggregates (what :class:`~repro.metrics.MetricsCollector`
+keeps) answer *how much*; these answer *when*.  All three classes bucket
+by fixed-width time windows so a long run serializes to a bounded number
+of rows regardless of event count.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+#: Default bucketing window (simulated seconds for sim runs).
+DEFAULT_WINDOW = 1.0
+
+
+class WindowedCounter:
+    """Monotonic counts by label, bucketed into fixed time windows.
+
+    Used for wire messages by type, bytes on wire, per-peer traffic and
+    engine events — anything that accumulates.
+    """
+
+    def __init__(self, window: float = DEFAULT_WINDOW) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._buckets: Dict[int, Counter] = {}
+
+    def add(self, time: float, label: str, value: int = 1) -> None:
+        """Count *value* occurrences of *label* at *time*."""
+
+        bucket = self._buckets.setdefault(int(time // self.window), Counter())
+        bucket[label] += value
+
+    def total(self, label: Optional[str] = None) -> int:
+        """Sum over all windows, for one label or all of them."""
+
+        if label is None:
+            return sum(sum(c.values()) for c in self._buckets.values())
+        return sum(c.get(label, 0) for c in self._buckets.values())
+
+    def totals(self) -> Dict[str, int]:
+        """Per-label sums over the whole run (Figure 7's numerators)."""
+
+        merged: Counter = Counter()
+        for bucket in self._buckets.values():
+            merged.update(bucket)
+        return dict(sorted(merged.items()))
+
+    def labels(self) -> List[str]:
+        """Every label seen, sorted."""
+
+        return sorted(self.totals())
+
+    def items(self) -> List[Tuple[float, Dict[str, int]]]:
+        """``(window_start_time, {label: count})`` rows, time-ordered."""
+
+        return [
+            (index * self.window, dict(sorted(bucket.items())))
+            for index, bucket in sorted(self._buckets.items())
+        ]
+
+    def __bool__(self) -> bool:
+        return bool(self._buckets)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "type": "counter",
+            "window": self.window,
+            "buckets": {
+                str(index): dict(bucket)
+                for index, bucket in sorted(self._buckets.items())
+            },
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, object]) -> "WindowedCounter":
+        series = WindowedCounter(window=payload["window"])
+        for index, bucket in payload["buckets"].items():
+            series._buckets[int(index)] = Counter(bucket)
+        return series
+
+
+class GaugeSeries:
+    """Windowed samples of an instantaneous gauge (queue depth, copyset
+    size, freeze occupancy): per window keeps count, sum and max."""
+
+    def __init__(self, window: float = DEFAULT_WINDOW) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        # bucket index → [sample_count, sample_sum, sample_max]
+        self._buckets: Dict[int, List[float]] = {}
+
+    def sample(self, time: float, value: float) -> None:
+        """Record one observation of the gauge at *time*."""
+
+        index = int(time // self.window)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            self._buckets[index] = [1, value, value]
+        else:
+            bucket[0] += 1
+            bucket[1] += value
+            if value > bucket[2]:
+                bucket[2] = value
+
+    def timeline(self) -> List[Tuple[float, float, float]]:
+        """``(window_start_time, mean, max)`` rows, time-ordered."""
+
+        return [
+            (index * self.window, total / count, maximum)
+            for index, (count, total, maximum) in sorted(self._buckets.items())
+        ]
+
+    def peak(self) -> float:
+        """Largest value ever sampled (0.0 when empty)."""
+
+        return max((b[2] for b in self._buckets.values()), default=0.0)
+
+    def __bool__(self) -> bool:
+        return bool(self._buckets)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "type": "gauge",
+            "window": self.window,
+            "buckets": {
+                str(index): list(bucket)
+                for index, bucket in sorted(self._buckets.items())
+            },
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, object]) -> "GaugeSeries":
+        series = GaugeSeries(window=payload["window"])
+        for index, bucket in payload["buckets"].items():
+            series._buckets[int(index)] = list(bucket)
+        return series
+
+
+class Histogram:
+    """Log₂-bucketed histogram for strictly positive samples (latencies,
+    frame sizes).  Bucket *i* covers ``[2^i, 2^(i+1))`` scaled by
+    ``resolution``; all mass below ``resolution`` lands in bucket 0."""
+
+    def __init__(self, resolution: float = 1e-6) -> None:
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.resolution = resolution
+        self._buckets: Counter = Counter()
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+
+    def record(self, value: float) -> None:
+        """Add one sample (negative samples are clamped to zero)."""
+
+        value = max(0.0, value)
+        index = (
+            0
+            if value < self.resolution
+            else int(math.log2(value / self.resolution)) + 1
+        )
+        self._buckets[index] += 1
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all recorded samples (0.0 when empty)."""
+
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Upper edge of the bucket holding the *fraction* quantile."""
+
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = fraction * self.count
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                return self.resolution * (2.0 ** index)
+        return self.maximum
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    # -- serialization ---------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "resolution": self.resolution,
+            "count": self.count,
+            "total": self.total,
+            "max": self.maximum,
+            "buckets": {
+                str(index): count
+                for index, count in sorted(self._buckets.items())
+            },
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, object]) -> "Histogram":
+        histogram = Histogram(resolution=payload["resolution"])
+        histogram.count = payload["count"]
+        histogram.total = payload["total"]
+        histogram.maximum = payload["max"]
+        for index, count in payload["buckets"].items():
+            histogram._buckets[int(index)] = count
+        return histogram
+
+
+#: Payload ``type`` tag → deserializer, for the JSONL loader.
+SERIES_TYPES = {
+    "counter": WindowedCounter.from_payload,
+    "gauge": GaugeSeries.from_payload,
+    "histogram": Histogram.from_payload,
+}
+
+
+def series_from_payload(payload: Dict[str, object]):
+    """Rebuild any series class from its :meth:`to_payload` output."""
+
+    loader = SERIES_TYPES.get(payload.get("type"))
+    if loader is None:
+        raise ValueError(f"unknown series type {payload.get('type')!r}")
+    return loader(payload)

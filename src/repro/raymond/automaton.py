@@ -21,6 +21,7 @@ from typing import Callable, Deque, List, Optional, Union
 
 from ..core.messages import Envelope, LockId, NodeId
 from ..errors import LockUsageError, ProtocolError
+from ..obs.sink import ENQUEUED, GRANTED, ISSUED, RELEASED, ObsSink
 from .messages import (
     RaymondMessage,
     RaymondPrivilegeMessage,
@@ -70,6 +71,9 @@ class RaymondAutomaton:
         self._using = False
         self._ctx: object = None
         self._listener = listener
+        #: Optional observability sink (see :mod:`repro.obs`).  Span key
+        #: is ``(lock_id, node)`` — one outstanding request per node.
+        self.obs: Optional[ObsSink] = None
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -129,6 +133,13 @@ class RaymondAutomaton:
             )
         self._ctx = ctx
         self._request_q.append(SELF)
+        if self.obs is not None:
+            key = (self._lock_id, self._node_id)
+            self.obs.phase(self._node_id, self._lock_id, key, ISSUED)
+            self.obs.phase(self._node_id, self._lock_id, key, ENQUEUED)
+            self.obs.queue_depth(
+                self._node_id, self._lock_id, len(self._request_q)
+            )
         out: List[Envelope] = []
         out.extend(self._assign_privilege())
         out.extend(self._make_request())
@@ -142,6 +153,8 @@ class RaymondAutomaton:
                 f"node {self._node_id} is not in the CS of {self._lock_id}"
             )
         self._using = False
+        if self.obs is not None:
+            self.obs.phase(self._node_id, self._lock_id, None, RELEASED)
         out: List[Envelope] = []
         out.extend(self._assign_privilege())
         out.extend(self._make_request())
@@ -162,6 +175,10 @@ class RaymondAutomaton:
         out: List[Envelope] = []
         if isinstance(message, RaymondRequestMessage):
             self._request_q.append(message.sender)
+            if self.obs is not None:
+                self.obs.queue_depth(
+                    self._node_id, self._lock_id, len(self._request_q)
+                )
         elif isinstance(message, RaymondPrivilegeMessage):
             if self._holder is None:
                 raise ProtocolError(
@@ -183,8 +200,19 @@ class RaymondAutomaton:
         if self._holder is not None or self._using or not self._request_q:
             return []
         head = self._request_q.popleft()
+        if self.obs is not None:
+            self.obs.queue_depth(
+                self._node_id, self._lock_id, len(self._request_q)
+            )
         if head == SELF:
             self._using = True
+            if self.obs is not None:
+                self.obs.phase(
+                    self._node_id,
+                    self._lock_id,
+                    (self._lock_id, self._node_id),
+                    GRANTED,
+                )
             ctx, self._ctx = self._ctx, None
             self._listener(self._lock_id, ctx)
             return []

@@ -26,6 +26,9 @@ class RaymondLockSpace:
         self._topology = topology
         self._listener = listener
         self._automata: Dict[LockId, RaymondAutomaton] = {}
+        #: Optional observability sink propagated to every automaton this
+        #: space creates (set before first use; None = zero-cost no-op).
+        self.obs = None
 
     @property
     def node_id(self) -> NodeId:
@@ -45,6 +48,7 @@ class RaymondLockSpace:
             holder=self._topology[self._node_id],
             listener=self._listener,
         )
+        automaton.obs = self.obs
         self._automata[lock_id] = automaton
         return automaton
 

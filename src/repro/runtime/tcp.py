@@ -22,10 +22,12 @@ import pickle
 import socket
 import struct
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..core.messages import Envelope, NodeId
 from ..errors import SimulationError
+from ..obs.sink import ObsSink
 from .transport import MessageHandler, MessageObserver
 
 _HEADER = struct.Struct(">I")
@@ -73,9 +75,14 @@ class TcpTransport:
         self,
         host: str = "127.0.0.1",
         observer: Optional[MessageObserver] = None,
+        obs: Optional[ObsSink] = None,
     ) -> None:
         self._host = host
         self._observer = observer
+        #: Optional observability sink: frames are reported as ``message``
+        #: plus ``wire_sent(frame bytes, serialize+send seconds)`` and
+        #: ``wire_received(frame bytes)`` on the reader side.
+        self.obs = obs
         self._handlers: Dict[NodeId, MessageHandler] = {}
         self._servers: Dict[NodeId, socket.socket] = {}
         self._addresses: Dict[NodeId, Tuple[str, int]] = {}
@@ -180,6 +187,7 @@ class TcpTransport:
                 continue
             if self._observer is not None:
                 self._observer(sender, dest, envelope.message)
+            started = time.perf_counter()
             payload = pickle.dumps((sender, envelope.message))
             sock = self._connection(sender, dest)
             try:
@@ -190,6 +198,14 @@ class TcpTransport:
                 raise SimulationError(
                     f"send {sender}→{dest} failed: {exc}"
                 ) from exc
+            if self.obs is not None:
+                self.obs.message(sender, dest, type(envelope.message).__name__)
+                self.obs.wire_sent(
+                    sender,
+                    dest,
+                    _HEADER.size + len(payload),
+                    time.perf_counter() - started,
+                )
             with self._count_lock:
                 self._messages_sent += 1
 
@@ -232,6 +248,10 @@ class TcpTransport:
                     return
                 if payload is None:
                     return
+                if self.obs is not None:
+                    self.obs.wire_received(
+                        node_id, _HEADER.size + len(payload)
+                    )
                 _sender, message = pickle.loads(payload)
                 replies = handler(message)
                 if replies:

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.messages import Envelope, NodeId
 from ..errors import SimulationError
+from ..obs.sink import ObsSink
 from ..sim.rng import Distribution
 
 #: Handler signature, identical to the simulator's.
@@ -41,11 +42,15 @@ class ThreadedTransport:
         delay: Optional[Distribution] = None,
         seed: int = 0,
         observer: Optional[MessageObserver] = None,
+        obs: Optional[ObsSink] = None,
     ) -> None:
         self._delay = delay
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
         self._observer = observer
+        #: Optional observability sink: cross-node traffic is reported as
+        #: ``message`` plus ``wire_sent(nbytes=0, enqueue→dispatch latency)``.
+        self.obs = obs
         self._inboxes: Dict[NodeId, "queue.Queue"] = {}
         self._handlers: Dict[NodeId, MessageHandler] = {}
         self._threads: Dict[NodeId, threading.Thread] = {}
@@ -110,7 +115,15 @@ class ThreadedTransport:
                     self._messages_sent += 1
                 if self._observer is not None:
                     self._observer(sender, envelope.dest, envelope.message)
-            self._inboxes[envelope.dest].put((sender, envelope))
+                if self.obs is not None:
+                    self.obs.message(
+                        sender,
+                        envelope.dest,
+                        type(envelope.message).__name__,
+                    )
+            self._inboxes[envelope.dest].put(
+                (sender, envelope, time.perf_counter())
+            )
 
     def drain(self, poll: float = 0.001, settle_rounds: int = 3) -> None:
         """Block until every inbox has stayed empty for a few polls.
@@ -134,7 +147,11 @@ class ThreadedTransport:
             item = inbox.get()
             if item is _STOP:
                 return
-            sender, envelope = item
+            sender, envelope, enqueued_at = item
+            if self.obs is not None and sender != node_id:
+                self.obs.wire_sent(
+                    sender, node_id, 0, time.perf_counter() - enqueued_at
+                )
             if self._delay is not None and sender != node_id:
                 with self._rng_lock:
                     pause = self._delay.sample(self._rng)

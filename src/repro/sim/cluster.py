@@ -27,6 +27,7 @@ from ..core.messages import LockId, NodeId, message_type_label
 from ..core.modes import LockMode
 from ..errors import ConfigurationError, InvariantViolation
 from ..metrics import MetricsCollector
+from ..obs.sink import ObsSink
 from ..naimi.lockspace import NaimiLockSpace
 from ..naimi.messages import naimi_message_type_label
 from ..raymond.lockspace import RaymondLockSpace
@@ -57,6 +58,7 @@ class _BaseCluster:
         seed: int = 0,
         monitor: Optional[Monitor] = None,
         metrics: Optional[MetricsCollector] = None,
+        obs: Optional[ObsSink] = None,
     ) -> None:
         if num_nodes < 1:
             raise ConfigurationError("a cluster needs at least one node")
@@ -64,6 +66,11 @@ class _BaseCluster:
         self.sim = sim if sim is not None else Simulator()
         self.monitor = monitor
         self.metrics = metrics
+        #: Observability sink shared by every automaton, the network
+        #: observer and the engine tick hook (None = not collecting).
+        self.obs = obs
+        if obs is not None:
+            self.sim.tick_hook = obs.engine_tick
         self._latency = latency if latency is not None else Exponential(0.150)
         self.network = Network(
             self.sim,
@@ -81,6 +88,11 @@ class _BaseCluster:
     def _observe_message(self, sender: NodeId, dest: NodeId, message) -> None:
         if self.metrics is not None:
             self.metrics.count_message(self._label(message))
+        if self.obs is not None:
+            # Same observation point and same label as the metrics
+            # counter, so per-type totals in traces match
+            # MetricsCollector.message_overhead_by_type exactly.
+            self.obs.message(sender, dest, self._label(message))
 
     def _label(self, message) -> str:  # overridden per protocol
         raise NotImplementedError
@@ -162,10 +174,11 @@ class SimHierarchicalCluster(_BaseCluster):
         monitor: Optional[Monitor] = None,
         metrics: Optional[MetricsCollector] = None,
         options: ProtocolOptions = FULL_PROTOCOL,
+        obs: Optional[ObsSink] = None,
     ) -> None:
         super().__init__(
             num_nodes, sim=sim, latency=latency, seed=seed,
-            monitor=monitor, metrics=metrics,
+            monitor=monitor, metrics=metrics, obs=obs,
         )
         self.lockspaces: Dict[NodeId, LockSpace] = {}
         for node_id in range(num_nodes):
@@ -175,6 +188,7 @@ class SimHierarchicalCluster(_BaseCluster):
                 listener=self._make_listener(node_id),
                 options=options,
             )
+            lockspace.obs = obs
             self.lockspaces[node_id] = lockspace
             self.network.register(node_id, lockspace.handle)
         self.clients = [HierClient(self, n) for n in range(num_nodes)]
@@ -291,10 +305,11 @@ class SimNaimiCluster(_BaseCluster):
         token_home: TokenHomeFn = default_token_home,
         monitor: Optional[Monitor] = None,
         metrics: Optional[MetricsCollector] = None,
+        obs: Optional[ObsSink] = None,
     ) -> None:
         super().__init__(
             num_nodes, sim=sim, latency=latency, seed=seed,
-            monitor=monitor, metrics=metrics,
+            monitor=monitor, metrics=metrics, obs=obs,
         )
         self.lockspaces: Dict[NodeId, NaimiLockSpace] = {}
         for node_id in range(num_nodes):
@@ -303,6 +318,7 @@ class SimNaimiCluster(_BaseCluster):
                 token_home=token_home,
                 listener=self._make_listener(node_id),
             )
+            lockspace.obs = obs
             self.lockspaces[node_id] = lockspace
             self.network.register(node_id, lockspace.handle)
         self.clients = [NaimiClient(self, n) for n in range(num_nodes)]
@@ -391,10 +407,11 @@ class SimRaymondCluster(_BaseCluster):
         topology: Optional[Topology] = None,
         monitor: Optional[Monitor] = None,
         metrics: Optional[MetricsCollector] = None,
+        obs: Optional[ObsSink] = None,
     ) -> None:
         super().__init__(
             num_nodes, sim=sim, latency=latency, seed=seed,
-            monitor=monitor, metrics=metrics,
+            monitor=monitor, metrics=metrics, obs=obs,
         )
         self.topology = (
             topology if topology is not None else balanced_binary_tree(num_nodes)
@@ -407,6 +424,7 @@ class SimRaymondCluster(_BaseCluster):
                 topology=self.topology,
                 listener=self._make_listener(node_id),
             )
+            lockspace.obs = obs
             self.lockspaces[node_id] = lockspace
             self.network.register(node_id, lockspace.handle)
         self.clients = [RaymondClient(self, n) for n in range(num_nodes)]

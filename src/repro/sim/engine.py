@@ -28,6 +28,9 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        #: Optional observability hook called as ``(now, events_processed)``
+        #: after every callback; ``None`` keeps the loop untouched.
+        self.tick_hook: Optional[Callable[[float, int], None]] = None
 
     @property
     def now(self) -> float:
@@ -73,9 +76,13 @@ class Simulator:
                 return
             heapq.heappop(self._heap)
             self._now = time
-            callback()
+            # Count the event as soon as it is dequeued so the counter
+            # stays accurate even if the callback raises.
             self._processed += 1
             budget -= 1
+            callback()
+            if self.tick_hook is not None:
+                self.tick_hook(self._now, self._processed)
         if self._heap and budget <= 0:
             raise SimulationError(
                 f"simulation exceeded the event budget at t={self._now:.3f}; "
@@ -176,14 +183,21 @@ class Process:
         except StopIteration:
             self.done.trigger()
             return
-        except BaseException as exc:  # surface process crashes loudly
+        except BaseException as exc:
+            # Do NOT re-raise: this runs inside a scheduled callback, and
+            # unwinding Simulator.run mid-drain would abandon every other
+            # process.  The crash is captured here and surfaced by
+            # run_processes (or whoever inspects ``error``).
             self.error = exc
             self.done.trigger()
-            raise
+            return
         if not isinstance(waitable, SimEvent):
-            raise SimulationError(
+            self.error = SimulationError(
                 f"process yielded {type(waitable).__name__}, expected SimEvent"
             )
+            self._body.close()
+            self.done.trigger()
+            return
         waitable.add_callback(self._step)
 
 
@@ -193,6 +207,12 @@ def run_processes(sim: Simulator, bodies: List[ProcessBody],
 
     processes = [Process(sim, body) for body in bodies]
     sim.run(max_events=max_events)
+    for process in processes:
+        if process.error is not None:
+            raise SimulationError(
+                f"a simulation process crashed: "
+                f"{type(process.error).__name__}: {process.error}"
+            ) from process.error
     for process in processes:
         if not process.done.triggered:
             raise SimulationError(

@@ -5,6 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.metrics import MetricsCollector
+from repro.metrics.collector import RequestRecord
+from repro.obs.sink import ENQUEUED, GRANTED, ISSUED
+from repro.obs.spans import RequestSpan
 
 
 class TestMessageCounting:
@@ -58,6 +61,18 @@ class TestLatency:
     def test_latency_factor_empty_is_zero(self):
         assert MetricsCollector().latency_factor(0.150) == 0.0
 
+    def test_latency_factor_rejects_zero_baseline(self):
+        # A zero baseline used to silently produce a flat-zero curve;
+        # now it flags the misconfiguration loudly.
+        collector = MetricsCollector()
+        collector.record_request(0, "R", 0.0, 0.30)
+        with pytest.raises(ValueError, match="base_latency"):
+            collector.latency_factor(0.0)
+
+    def test_latency_factor_rejects_negative_baseline(self):
+        with pytest.raises(ValueError, match="base_latency"):
+            MetricsCollector().latency_factor(-0.1)
+
     def test_latency_summary_filters_by_kind(self):
         collector = MetricsCollector()
         collector.record_request(0, "R", 0.0, 1.0)
@@ -71,3 +86,38 @@ class TestLatency:
         collector.record_operation()
         collector.record_operation()
         assert collector.operations == 2
+
+
+class TestSpanBackedRecords:
+    def test_legacy_constructor_builds_two_phase_record(self):
+        record = RequestRecord(0, "R", issued_at=1.0, granted_at=3.0)
+        assert record.phases == ((ISSUED, 1.0), (GRANTED, 3.0))
+        assert record.latency == pytest.approx(2.0)
+
+    def test_constructor_requires_times_or_phases(self):
+        with pytest.raises(ValueError):
+            RequestRecord(0, "R")
+
+    def test_record_preserves_intermediate_phases(self):
+        record = RequestRecord(
+            2, "W", lock="db/t",
+            phases=[(ISSUED, 0.0), (ENQUEUED, 0.1), (GRANTED, 0.4)],
+        )
+        assert record.time_of(ENQUEUED) == pytest.approx(0.1)
+        assert record.latency == pytest.approx(0.4)
+
+    def test_record_span_feeds_latency_summary(self):
+        span = RequestSpan(node=1, lock="db/t", kind="IW")
+        span.mark(ISSUED, 0.0)
+        span.mark(ENQUEUED, 0.2)
+        span.mark(GRANTED, 0.6)
+        collector = MetricsCollector()
+        collector.record_span(span)
+        assert collector.total_requests == 1
+        assert collector.latency_summary("IW").mean == pytest.approx(0.6)
+
+    def test_record_span_rejects_ungranted_span(self):
+        span = RequestSpan(node=1, lock="db/t", kind="R")
+        span.mark(ISSUED, 0.0)
+        with pytest.raises(ValueError, match="granted"):
+            MetricsCollector().record_span(span)

@@ -1,0 +1,133 @@
+"""Tests for the RunObserver collector and the null sink contract."""
+
+from __future__ import annotations
+
+from repro.obs.collect import RunObserver
+from repro.obs.sink import (
+    ENQUEUED,
+    FROZEN,
+    GRANTED,
+    ISSUED,
+    NULL_SINK,
+    RELEASED,
+    ObsSink,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _observer():
+    clock = FakeClock()
+    return RunObserver(clock=clock), clock
+
+
+class TestNullSink:
+    def test_every_hook_is_a_noop(self):
+        sink = ObsSink()
+        sink.phase(0, "L", "k", ISSUED)
+        sink.phase(0, "L", None, RELEASED, "R")
+        sink.queue_depth(0, "L", 3)
+        sink.copyset_size(0, "L", 2)
+        sink.freeze_size(0, "L", 1)
+        sink.message(0, 1, "request")
+        sink.wire_sent(0, 1, 64, 0.001)
+        sink.wire_received(1, 64)
+        sink.engine_tick(1.0, 10)
+
+    def test_shared_null_singleton(self):
+        assert isinstance(NULL_SINK, ObsSink)
+
+
+class TestSpanCollection:
+    def test_full_lifecycle_with_freeze_is_monotonic(self):
+        observer, clock = _observer()
+        key = ("req", 1)
+        observer.phase(1, "db/t", key, ISSUED, "IW")
+        clock.now = 0.2
+        observer.phase(1, "db/t", key, ENQUEUED, "IW")
+        observer.phase(1, "db/t", key, FROZEN, "IW")
+        clock.now = 1.0
+        observer.phase(1, "db/t", key, GRANTED, "IW")
+        clock.now = 1.4
+        observer.phase(1, "db/t", None, RELEASED, "IW")
+        (span,) = observer.spans
+        assert span.is_monotonic()
+        assert [name for name, _t in span.phases] == [
+            ISSUED, ENQUEUED, FROZEN, GRANTED, RELEASED,
+        ]
+        assert span.latency == 1.0
+        assert observer.completed_spans() == [span]
+
+    def test_release_matches_oldest_granted_span(self):
+        observer, clock = _observer()
+        for index, key in enumerate(("a", "b")):
+            clock.now = float(index)
+            observer.phase(0, "L", key, ISSUED, "R")
+            observer.phase(0, "L", key, GRANTED, "R")
+        clock.now = 5.0
+        observer.phase(0, "L", None, RELEASED, "R")
+        first, second = observer.spans
+        assert first.released_at == 5.0
+        assert second.released_at is None
+
+    def test_release_requires_matching_mode(self):
+        observer, clock = _observer()
+        observer.phase(0, "L", "k", ISSUED, "R")
+        observer.phase(0, "L", "k", GRANTED, "R")
+        clock.now = 1.0
+        observer.phase(0, "L", None, RELEASED, "W")  # wrong mode: no match
+        assert observer.spans[0].released_at is None
+
+    def test_unknown_key_opens_span_lazily(self):
+        observer, _clock = _observer()
+        observer.phase(2, "L", "late", GRANTED, "U")
+        (span,) = observer.spans
+        assert span.kind == "U"
+        assert span.granted_at is not None
+
+
+class TestSeriesCollection:
+    def test_messages_and_peers(self):
+        observer, clock = _observer()
+        observer.message(0, 1, "request")
+        clock.now = 0.4
+        observer.message(1, 0, "grant")
+        assert observer.messages.totals() == {"request": 1, "grant": 1}
+        assert observer.peer_messages.totals() == {"0->1": 1, "1->0": 1}
+        assert "messages" in observer.counters()
+
+    def test_gauges_sampled_under_canonical_names(self):
+        observer, _clock = _observer()
+        observer.queue_depth(0, "L", 4)
+        observer.copyset_size(0, "L", 2)
+        observer.freeze_size(0, "L", 1)
+        gauges = observer.gauges()
+        assert gauges["queue_depth"].peak() == 4
+        assert gauges["copyset_size"].peak() == 2
+        assert gauges["freeze_size"].peak() == 1
+
+    def test_engine_tick_records_deltas(self):
+        observer, _clock = _observer()
+        observer.engine_tick(0.5, 10)
+        observer.engine_tick(1.5, 25)
+        assert observer.engine_events.total("events") == 25
+
+    def test_wire_metrics(self):
+        observer, _clock = _observer()
+        observer.wire_sent(0, 1, 128, 0.002)
+        observer.wire_received(1, 128)
+        assert observer.wire_bytes.totals() == {"sent": 128, "received": 128}
+        assert observer.send_latency.count == 1
+        assert "send_latency" in observer.histograms()
+
+    def test_empty_series_omitted_from_accessors(self):
+        observer, _clock = _observer()
+        assert observer.counters() == {}
+        assert observer.gauges() == {}
+        assert observer.histograms() == {}

@@ -1,0 +1,61 @@
+"""Tests for the `repro report` renderer, including the end-to-end
+guarantee that its message breakdown matches the metrics layer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.experiments.common import run_hierarchical
+from repro.obs.export import load_runs, write_run
+from repro.obs.report import render_report, render_run
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    spec = WorkloadSpec(ops_per_node=5, seed=11)
+    return run_hierarchical(4, spec, observe=True)
+
+
+@pytest.fixture(scope="module")
+def loaded(observed_run):
+    buffer = io.StringIO()
+    write_run(buffer, observed_run.observer, observed_run.trace_meta())
+    buffer.seek(0)
+    (run,) = load_runs(buffer)
+    return run
+
+
+class TestReportRendering:
+    def test_sections_present(self, loaded):
+        text = render_run(loaded)
+        assert "request phases" in text
+        assert "message breakdown" in text
+        assert "issued->granted" in text
+        assert "queue depth timeline" in text
+
+    def test_message_totals_match_metrics(self, observed_run, loaded):
+        # The acceptance criterion: per-type counts reloaded from the
+        # trace equal MetricsCollector's counters for the same run.
+        assert loaded.message_totals() == dict(
+            observed_run.metrics.message_counts
+        )
+        per_request = observed_run.metrics.message_overhead_by_type()
+        assert loaded.requests == observed_run.metrics.total_requests
+        for label, total in loaded.message_totals().items():
+            assert total / loaded.requests == pytest.approx(
+                per_request[label]
+            )
+
+    def test_spans_reload_monotonic(self, loaded):
+        assert loaded.spans
+        assert all(span.is_monotonic() for span in loaded.spans)
+
+    def test_render_report_joins_runs(self, loaded):
+        text = render_report([loaded, loaded])
+        assert text.count("hierarchical (4 nodes)") == 2
+
+    def test_empty_report(self):
+        assert "empty trace" in render_report([])

@@ -1,0 +1,69 @@
+"""Tests for request-lifecycle spans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.sink import ENQUEUED, FROZEN, GRANTED, ISSUED, RELEASED
+from repro.obs.spans import RequestSpan
+
+
+class TestSpanLifecycle:
+    def test_full_lifecycle_phases(self):
+        span = RequestSpan(node=1, lock="db/t", kind="W")
+        span.mark(ISSUED, 0.0)
+        span.mark(ENQUEUED, 0.1)
+        span.mark(GRANTED, 0.5)
+        span.mark(RELEASED, 0.7)
+        assert span.issued_at == 0.0
+        assert span.granted_at == 0.5
+        assert span.released_at == 0.7
+        assert span.latency == pytest.approx(0.5)
+        assert span.wait(ENQUEUED, GRANTED) == pytest.approx(0.4)
+
+    def test_frozen_then_granted_is_monotonic(self):
+        # The ISSUE's canonical case: a request blocked by Rule 6 freezing
+        # must still produce phases in lifecycle order.
+        span = RequestSpan(node=2, lock="db/t", kind="IW")
+        span.mark(ISSUED, 1.0)
+        span.mark(ENQUEUED, 1.2)
+        span.mark(FROZEN, 1.2)
+        span.mark(GRANTED, 2.5)
+        span.mark(RELEASED, 2.8)
+        assert span.is_monotonic()
+        times = [time for _phase, time in span.phases]
+        assert times == sorted(times)
+
+    def test_mark_is_idempotent_per_phase(self):
+        span = RequestSpan(node=0, lock="L", kind="R")
+        span.mark(ISSUED, 0.0)
+        span.mark(ISSUED, 9.0)
+        assert span.phases == [(ISSUED, 0.0)]
+
+    def test_out_of_order_phases_detected(self):
+        span = RequestSpan(node=0, lock="L", kind="R")
+        span.mark(GRANTED, 0.5)
+        span.mark(ISSUED, 0.6)
+        assert not span.is_monotonic()
+
+    def test_backwards_timestamps_detected(self):
+        span = RequestSpan(node=0, lock="L", kind="R")
+        span.mark(ISSUED, 1.0)
+        span.mark(GRANTED, 0.5)
+        assert not span.is_monotonic()
+
+    def test_incomplete_span_has_no_latency(self):
+        span = RequestSpan(node=0, lock="L", kind="R")
+        span.mark(ISSUED, 0.0)
+        assert span.granted_at is None
+        assert span.latency is None
+        assert span.released_at is None
+
+
+class TestSpanSerialization:
+    def test_payload_round_trip(self):
+        span = RequestSpan(node=3, lock="db/t", kind="U")
+        span.mark(ISSUED, 0.25)
+        span.mark(GRANTED, 0.75)
+        rebuilt = RequestSpan.from_payload(span.to_payload())
+        assert rebuilt == span

@@ -184,9 +184,19 @@ class TestProcess:
         def body():
             yield "not an event"
 
-        Process(sim, body())
-        with pytest.raises(SimulationError):
-            sim.run()
+        with pytest.raises(SimulationError, match="expected SimEvent"):
+            run_processes(sim, [body()])
+
+    def test_yielding_non_event_captured_on_process(self):
+        sim = Simulator()
+
+        def body():
+            yield "not an event"
+
+        process = Process(sim, body())
+        sim.run()
+        assert isinstance(process.error, SimulationError)
+        assert process.done.triggered
 
     def test_blocked_process_detected(self):
         sim = Simulator()
@@ -197,16 +207,48 @@ class TestProcess:
         with pytest.raises(SimulationError):
             run_processes(sim, [body()])
 
-    def test_process_exception_propagates(self):
+    def test_process_exception_captured_not_reraised(self):
+        # A crashing process must not unwind Simulator.run mid-drain:
+        # other processes keep running and the crash lands on `error`.
+        sim = Simulator()
+        survivor_done = []
+
+        def crasher():
+            yield Timeout(sim, 0.1)
+            raise ValueError("boom")
+
+        def survivor():
+            yield Timeout(sim, 0.5)
+            survivor_done.append(True)
+
+        crash_proc = Process(sim, crasher())
+        Process(sim, survivor())
+        sim.run()
+        assert isinstance(crash_proc.error, ValueError)
+        assert crash_proc.done.triggered
+        assert survivor_done == [True]
+
+    def test_process_exception_surfaced_by_run_processes(self):
         sim = Simulator()
 
         def body():
             yield Timeout(sim, 0.1)
             raise ValueError("boom")
 
-        Process(sim, body())
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError, match="crashed"):
+            run_processes(sim, [body()])
+
+    def test_events_processed_accurate_after_callback_raise(self):
+        sim = Simulator()
+
+        def explode():
+            raise RuntimeError("raw callback failure")
+
+        sim.schedule(0.0, explode)
+        with pytest.raises(RuntimeError):
             sim.run()
+        # The dequeued event is counted even though its callback raised.
+        assert sim.events_processed == 1
 
     def test_determinism_across_runs(self):
         def trace_run():
