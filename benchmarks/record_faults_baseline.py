@@ -1,0 +1,134 @@
+"""Record the recovery stack's overhead baseline into BENCH_faults.json.
+
+Runs the deterministic chaos workload twice per seed — once fault-free
+(plan ``none``) and once under a 1 % drop plan (``drop1``) — and records
+message overhead and grant latency for each, plus the delta.  Later PRs
+diff against the checked-in file to catch recovery-path regressions
+(retransmission storms, latency blowups) that the pass/fail chaos
+verdict alone would hide.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_faults_baseline.py \
+        [--out BENCH_faults.json]
+
+Everything is seed-deterministic, so reruns on the same code produce an
+identical file (the environment block excepted).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from typing import Dict, List
+
+from repro.faults.chaos import run_chaos
+
+SEEDS = (0, 7, 13)
+PLANS = ("none", "drop1")
+NODES = 5
+DURATION = 20.0
+LOCKS = 3
+
+
+def _one_run(plan: str, seed: int) -> Dict[str, object]:
+    verdict = run_chaos(
+        plan=plan, seed=seed, nodes=NODES, duration=DURATION, locks=LOCKS
+    )
+    data = verdict.data
+    requests = data["requests"]
+    recovery = data["recovery"]
+    faults = data["faults"]
+    issued = int(requests["issued"])  # type: ignore[index]
+    sent = int(faults["messages_sent"])  # type: ignore[index]
+    return {
+        "seed": seed,
+        "ok": data["ok"],
+        "requests": issued,
+        "granted": requests["granted"],  # type: ignore[index]
+        "messages_sent": sent,
+        "messages_per_request": round(sent / issued, 3) if issued else None,
+        "messages_dropped": faults["messages_dropped"],  # type: ignore[index]
+        "latency_mean": data["latency"]["mean"],  # type: ignore[index]
+        "latency_p95": data["latency"]["p95"],  # type: ignore[index]
+        "app_retransmits": recovery["app_retransmits"],  # type: ignore[index]
+        "channel_retransmits": recovery["channel_retransmits"],  # type: ignore[index]
+        "duplicates_dropped": recovery["duplicates_dropped"],  # type: ignore[index]
+    }
+
+
+def record(out_path: str) -> Dict[str, object]:
+    runs: Dict[str, List[Dict[str, object]]] = {p: [] for p in PLANS}
+    for plan in PLANS:
+        for seed in SEEDS:
+            runs[plan].append(_one_run(plan, seed))
+
+    def _mean(plan: str, field: str) -> float:
+        values = [float(r[field]) for r in runs[plan]]  # type: ignore[arg-type]
+        return round(sum(values) / len(values), 4)
+
+    summary = {
+        plan: {
+            "messages_per_request": _mean(plan, "messages_per_request"),
+            "latency_mean": _mean(plan, "latency_mean"),
+            "latency_p95": _mean(plan, "latency_p95"),
+        }
+        for plan in PLANS
+    }
+    clean, lossy = summary["none"], summary["drop1"]
+    summary["overhead"] = {
+        "messages_per_request_factor": round(
+            lossy["messages_per_request"] / clean["messages_per_request"], 3
+        ),
+        "latency_mean_factor": round(
+            lossy["latency_mean"] / clean["latency_mean"], 3
+        ),
+    }
+
+    report = {
+        "benchmark": "faults_baseline",
+        "config": {
+            "plans": list(PLANS),
+            "seeds": list(SEEDS),
+            "nodes": NODES,
+            "duration": DURATION,
+            "locks": LOCKS,
+        },
+        "summary": summary,
+        "runs": runs,
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_faults.json")
+    args = parser.parse_args(argv)
+    report = record(args.out)
+    summary = report["summary"]
+    for plan in PLANS:
+        stats = summary[plan]  # type: ignore[index]
+        print(
+            f"{plan:>6}: {stats['messages_per_request']:.2f} msgs/req, "
+            f"mean latency {stats['latency_mean'] * 1000:.1f} ms, "
+            f"p95 {stats['latency_p95'] * 1000:.1f} ms"
+        )
+    overhead = summary["overhead"]  # type: ignore[index]
+    print(
+        f"drop1/none: {overhead['messages_per_request_factor']}x messages, "
+        f"{overhead['latency_mean_factor']}x mean latency -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,7 +11,9 @@ Runs any of the paper's experiments from the shell:
 * ``priority`` — the strict-priority arbitration extension study,
 * ``related``  — §5's dynamic-vs-static token-tree comparison,
 * ``all``      — everything above, in order,
-* ``report``   — render an observability trace written by ``--trace-out``.
+* ``report``   — render an observability trace written by ``--trace-out``,
+* ``chaos``    — run a fault-injection scenario and print its verdict
+  (see ``python -m repro chaos --help`` and docs/FAULTS.md).
 
 ``--quick`` switches the sweeps to CI scale (a few seconds total);
 ``--nodes N`` overrides the node counts with a single cluster size.
@@ -47,6 +49,102 @@ EXPERIMENTS = (
 
 #: Experiments that can carry the observability layer (``--trace-out``).
 OBSERVABLE = ("fig5", "fig6", "fig7", "headline")
+
+
+def _chaos_main(argv: Sequence[str]) -> int:
+    """``python -m repro chaos``: one fault scenario, one verdict."""
+
+    from .faults.chaos import run_chaos
+    from .faults.plan import NAMED_PLANS
+    from .obs.collect import RunObserver
+    from .obs.export import write_run
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run a scripted workload under a fault plan and "
+        "report Rule-1 safety plus eventual-grant liveness.",
+    )
+    parser.add_argument(
+        "--plan", default="smoke", choices=sorted(NAMED_PLANS),
+        help="canned fault plan (default: smoke)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="run seed: workload, latency and fault streams all derive "
+        "from it, so failures replay bit-for-bit",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=5, help="cluster size (default: 5)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="issue-window length in simulated seconds (default: 30)",
+    )
+    parser.add_argument(
+        "--locks", type=int, default=3,
+        help="distinct locks in the workload (default: 3)",
+    )
+    parser.add_argument(
+        "--grace", type=float, default=15.0,
+        help="drain window after the issue window (default: 15)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full verdict as JSON instead of a summary",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write an observability JSONL trace of the run",
+    )
+    args = parser.parse_args(list(argv))
+    obs = RunObserver() if args.trace_out is not None else None
+    verdict = run_chaos(
+        plan=args.plan,
+        seed=args.seed,
+        nodes=args.nodes,
+        duration=args.duration,
+        locks=args.locks,
+        grace=args.grace,
+        obs=obs,
+    )
+    if args.trace_out is not None and obs is not None:
+        meta = {
+            "label": f"chaos:{args.plan}",
+            "plan": args.plan,
+            "nodes": args.nodes,
+            "seed": args.seed,
+            "sim_time": verdict.data["sim_time"],
+        }
+        with open(args.trace_out, "w", encoding="utf-8") as stream:
+            lines = write_run(stream, obs, meta)
+        print(f"wrote {lines} trace lines to {args.trace_out}",
+              file=sys.stderr)
+    if args.json:
+        print(verdict.to_json())
+    else:
+        data = verdict.data
+        inv = data["invariants"]
+        req = data["requests"]
+        rec = data["recovery"]
+        status = "OK" if verdict.ok else "FAIL"
+        print(
+            f"chaos {args.plan} seed={args.seed} nodes={args.nodes}: {status}"
+        )
+        print(
+            f"  rule1 violations: {inv['rule1_violations']}"
+            + (f" ({inv['violation']})" if inv["violation"] else "")
+        )
+        print(
+            f"  requests: {req['granted']}/{req['issued']} granted, "
+            f"{req['outstanding']} outstanding, "
+            f"{req['abandoned_by_crash']} abandoned by crash"
+        )
+        print(
+            f"  recovery: {rec['suspect_events']} suspects, "
+            f"{len(rec['regenerations'])} regenerations, "
+            f"{rec['app_retransmits']} request retransmits"
+        )
+    return 0 if verdict.ok else 1
 
 
 def _parse(argv: Sequence[str]) -> argparse.Namespace:
@@ -97,7 +195,12 @@ def _parse(argv: Sequence[str]) -> argparse.Namespace:
 def main(argv: Sequence[str] = ()) -> int:
     """Entry point; returns a process exit status."""
 
-    args = _parse(list(argv) or sys.argv[1:])
+    raw = list(argv) or sys.argv[1:]
+    if raw and raw[0] == "chaos":
+        # The chaos harness has its own flag set (fault plan, drain
+        # window, verdict format); route before the experiment parser.
+        return _chaos_main(raw[1:])
+    args = _parse(raw)
     if args.experiment == "report":
         try:
             runs = load_runs_from_path(args.trace)

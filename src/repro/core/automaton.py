@@ -35,10 +35,19 @@ DESIGN.md §3 and §6:
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import LockUsageError, ProtocolError
-from ..obs.sink import ENQUEUED, FROZEN, GRANTED, ISSUED, RELEASED, ObsSink
+from ..obs.sink import (
+    ENQUEUED,
+    FROZEN,
+    GRANTED,
+    ISSUED,
+    RELEASED,
+    RETRANSMITTED,
+    ObsSink,
+)
 from .clock import LamportClock
 from .messages import (
     Envelope,
@@ -103,10 +112,23 @@ class ProtocolOptions:
     #: priorities deliberately allow a high-priority stream to defer
     #: low-priority requests indefinitely.
     priority_scheduling: bool = False
+    #: Extension (off by default = the published protocol, which assumes
+    #: reliable FIFO delivery): make every handler idempotent under
+    #: message duplication and retransmission, and enable the recovery
+    #: hooks (:meth:`evict_child`, :meth:`regenerate_token`, ...) used by
+    #: :mod:`repro.faults`.  Duplicate requests are answered by re-sending
+    #: the original grant (same attachment epoch); duplicate grants,
+    #: tokens and stale-epoch tokens are dropped instead of raising
+    #: :class:`~repro.errors.ProtocolError`.
+    recovery: bool = False
 
 
 #: The full protocol as published.
 FULL_PROTOCOL = ProtocolOptions()
+
+#: How many past grants each automaton remembers for duplicate-request
+#: replay under ``recovery`` (bounded so long runs stay O(1) per node).
+RECENT_GRANT_MEMORY = 128
 
 
 class HierarchicalLockAutomaton:
@@ -167,6 +189,16 @@ class HierarchicalLockAutomaton:
         # (see GrantMessage's docstring for the race this prevents).
         self._attach_seq = 0
         self._child_seqs: Dict[NodeId, int] = {}
+        # Recovery state (only consulted under ``options.recovery``):
+        # the token incarnation floor — tokens with a lower epoch are
+        # stale copies from before a regeneration — and a bounded memory
+        # of grants issued, so a duplicated/retransmitted request can be
+        # answered by replaying the original grant verbatim (same mode,
+        # same attachment epoch) instead of minting a conflicting one.
+        self._token_epoch = 0
+        self._recent_grants: "OrderedDict[object, Tuple[LockMode, int]]" = (
+            OrderedDict()
+        )
         #: Optional trace callback ``(node_id, event, detail)`` for the
         #: verification tooling; None in production paths.
         self.trace_hook: Optional[Callable[[NodeId, str, str], None]] = None
@@ -222,6 +254,18 @@ class HierarchicalLockAutomaton:
         """Current parent pointer (``None`` at the token node)."""
 
         return self._parent
+
+    @property
+    def token_epoch(self) -> int:
+        """Highest token incarnation observed (recovery extension)."""
+
+        return self._token_epoch
+
+    @property
+    def recent_grant_keys(self) -> Tuple[object, ...]:
+        """Request ids of remembered grants (for explorer signatures)."""
+
+        return tuple(self._recent_grants)
 
     @property
     def children(self) -> Dict[NodeId, LockMode]:
@@ -478,6 +522,21 @@ class HierarchicalLockAutomaton:
         """Rule 3 (grant), Rule 4 (queue/forward) for an incoming request."""
 
         self._clock.observe(msg.request_id.timestamp)
+        if self._options.recovery:
+            if msg.origin == self._node_id and (
+                self._pending is None
+                or self._pending.request_id != msg.request_id
+            ):
+                # An echo of our own request that is no longer pending
+                # (duplicated in flight, or retransmitted after the grant
+                # raced it).  Re-granting it would corrupt the granter's
+                # copyset record for us; the request is already settled.
+                return []
+            if msg.request_id in self._recent_grants:
+                return [self._replay_grant(msg)]
+            if any(q.request_id == msg.request_id for q in self._queue):
+                # Already queued here; the retransmit changes nothing.
+                return []
         owned = self.owned_mode()
         if self._has_token:
             if token_can_grant(owned, msg.mode) and msg.mode not in self._frozen:
@@ -505,6 +564,30 @@ class HierarchicalLockAutomaton:
         """A granted copy arrives: attach below the granter, serve queue."""
 
         if self._pending is None or self._pending.request_id != msg.request_id:
+            if self._options.recovery:
+                if (
+                    self._parent == msg.sender
+                    and self._attach_seq == msg.attachment_seq
+                ):
+                    # Replay of the attachment we already live under.
+                    return []
+                if self._parent == msg.sender:
+                    # The granter re-answered a stale queued duplicate and
+                    # re-recorded us under a fresh attachment epoch; adopt
+                    # it and re-assert our true owned mode, otherwise our
+                    # future releases look stale and the copyset leaks.
+                    self._attach_seq = msg.attachment_seq
+                    return [
+                        self._release_to(msg.sender, self.owned_mode())
+                    ]
+                # A granter we are not attached under just recorded us as
+                # a child; erase that ghost entry or its copyset pins an
+                # owned mode nobody holds.
+                return [
+                    self._release_to(
+                        msg.sender, LockMode.NONE, msg.attachment_seq
+                    )
+                ]
             raise ProtocolError(
                 f"node {self._node_id} received an unexpected grant "
                 f"for {self._lock_id}"
@@ -546,11 +629,23 @@ class HierarchicalLockAutomaton:
     def _handle_token(self, msg: TokenMessage) -> List[Envelope]:
         """The token arrives: become the root, merge queues, serve them."""
 
+        if self._options.recovery and msg.epoch < self._token_epoch:
+            # A stale token from before a regeneration; discard it so the
+            # lock space cannot end up with two live tokens.
+            return []
         if self._has_token:
+            if self._options.recovery:
+                return []  # Duplicate of the transfer we already received.
             raise ProtocolError(
                 f"node {self._node_id} received a token it already holds"
             )
         if self._pending is None or self._pending.request_id != msg.request_id:
+            if self._options.recovery:
+                # The sender answered a stale queued duplicate of a
+                # request that was settled another way.  The token is
+                # nonetheless genuine — discarding it would wedge the
+                # lock space forever — so take custody without granting.
+                return self._adopt_token(msg)
             raise ProtocolError(
                 f"node {self._node_id} received an unexpected token "
                 f"for {self._lock_id}"
@@ -562,6 +657,7 @@ class HierarchicalLockAutomaton:
         self._has_token = True
         self._parent = None
         self._frozen = msg.frozen
+        self._token_epoch = msg.epoch
         self._attach_seq = fresh_attachment_seq()
         if old_parent is not None and old_parent != msg.sender:
             if owned_before is not LockMode.NONE:
@@ -577,6 +673,15 @@ class HierarchicalLockAutomaton:
             q for q in msg.queue if q.request_id != pending.request_id
         ]
         merged.sort(key=self._queue_sort_key)
+        if self._options.recovery:
+            # A duplicated request may have been queued at two different
+            # hops and now meet in the merged queue; keep the first.
+            seen, unique = set(), []
+            for entry in merged:
+                if entry.request_id not in seen:
+                    seen.add(entry.request_id)
+                    unique.append(entry)
+            merged = unique
         self._queue = merged
         if self.obs is not None:
             self.obs.phase(
@@ -590,6 +695,52 @@ class HierarchicalLockAutomaton:
             self._obs_copyset()
             self._obs_frozen()
         self._listener(self._lock_id, pending.mode, ctx)
+        out.extend(self._check_queue())
+        return out
+
+    def _adopt_token(self, msg: TokenMessage) -> List[Envelope]:
+        """Take custody of a token that answers no pending request of ours.
+
+        Recovery-only sibling of the tail of :meth:`_handle_token`: become
+        the root, absorb the travelling queue and the previous owner's
+        copyset record, enqueue our own outstanding request (if any) so it
+        is served locally, and run the queue.  No grant is delivered —
+        the request the sender thought it was answering was settled
+        through another path.
+        """
+
+        out: List[Envelope] = []
+        owned_before = self.owned_mode()
+        old_parent = self._parent
+        old_seq = self._attach_seq
+        self._has_token = True
+        self._parent = None
+        self._frozen = msg.frozen
+        self._token_epoch = msg.epoch
+        self._attach_seq = fresh_attachment_seq()
+        if old_parent is not None and old_parent != msg.sender:
+            if owned_before is not LockMode.NONE:
+                out.append(self._release_to(old_parent, LockMode.NONE, old_seq))
+        self._child_seqs[msg.sender] = msg.prev_owner_seq
+        if msg.prev_owner_mode is not LockMode.NONE:
+            self._children[msg.sender] = msg.prev_owner_mode
+        merged = list(self._queue) + list(msg.queue)
+        if self._pending is not None and not any(
+            q.request_id == self._pending.request_id for q in merged
+        ):
+            merged.append(self._pending)
+        merged.sort(key=self._queue_sort_key)
+        seen, unique = set(), []
+        for entry in merged:
+            if entry.request_id not in seen:
+                seen.add(entry.request_id)
+                unique.append(entry)
+        self._queue = unique
+        if self.obs is not None:
+            self.obs.fault("adopt-token", self._node_id)
+            self._obs_queue()
+            self._obs_copyset()
+            self._obs_frozen()
         out.extend(self._check_queue())
         return out
 
@@ -631,6 +782,8 @@ class HierarchicalLockAutomaton:
             # The token node's own queued request becomes servable.
             pending, ctx = self._pending, self._pending_ctx
             if pending is None or pending.request_id != msg.request_id:
+                if self._options.recovery:
+                    return []  # A duplicate of an already-served request.
                 raise ProtocolError("token node lost track of its own request")
             self._pending = None
             self._pending_ctx = None
@@ -648,12 +801,39 @@ class HierarchicalLockAutomaton:
         self._obs_copyset()
         attachment_seq = fresh_attachment_seq()
         self._child_seqs[msg.origin] = attachment_seq
+        if self._options.recovery:
+            self._recent_grants[msg.request_id] = (msg.mode, attachment_seq)
+            while len(self._recent_grants) > RECENT_GRANT_MEMORY:
+                self._recent_grants.popitem(last=False)
         return Envelope(
             msg.origin,
             GrantMessage(
                 lock_id=self._lock_id,
                 sender=self._node_id,
                 mode=msg.mode,
+                request_id=msg.request_id,
+                frozen=self._frozen,
+                attachment_seq=attachment_seq,
+            ),
+        )
+
+    def _replay_grant(self, msg: RequestMessage) -> Envelope:
+        """Re-answer a duplicated request with its original grant.
+
+        The replay carries the **same** attachment epoch as the first
+        grant: minting a fresh one would out-date the child's recorded
+        epoch and make its subsequent releases look stale (a silent
+        copyset leak).  The duplicate grant itself is dropped by the
+        (recovery-mode) receiver if the original already arrived.
+        """
+
+        mode, attachment_seq = self._recent_grants[msg.request_id]
+        return Envelope(
+            msg.origin,
+            GrantMessage(
+                lock_id=self._lock_id,
+                sender=self._node_id,
+                mode=mode,
                 request_id=msg.request_id,
                 frozen=self._frozen,
                 attachment_seq=attachment_seq,
@@ -683,6 +863,7 @@ class HierarchicalLockAutomaton:
             queue=queue,
             frozen=self._frozen,
             prev_owner_seq=self._attach_seq,
+            epoch=self._token_epoch,
         )
         return [Envelope(msg.origin, token)]
 
@@ -755,6 +936,8 @@ class HierarchicalLockAutomaton:
                 self._queue.pop(0)
                 pending, ctx = self._pending, self._pending_ctx
                 if pending is None or pending.request_id != head.request_id:
+                    if self._options.recovery:
+                        continue  # Stale duplicate in the queue.
                     raise ProtocolError("upgrade request lost its context")
                 self._pending = None
                 self._pending_ctx = None
@@ -775,6 +958,8 @@ class HierarchicalLockAutomaton:
             if head.origin == self._node_id:
                 pending, ctx = self._pending, self._pending_ctx
                 if pending is None or pending.request_id != head.request_id:
+                    if self._options.recovery:
+                        continue  # Stale duplicate in the queue.
                     raise ProtocolError("token node lost track of its request")
                 self._pending = None
                 self._pending_ctx = None
@@ -924,6 +1109,176 @@ class HierarchicalLockAutomaton:
         return Envelope(
             self._parent, dataclasses.replace(msg, sender=self._node_id)
         )
+
+    # ------------------------------------------------------------------
+    # Recovery hooks (driven by repro.faults.recovery.RecoveryManager;
+    # all require ``ProtocolOptions.recovery``).
+    # ------------------------------------------------------------------
+
+    def _require_recovery(self) -> None:
+        if not self._options.recovery:
+            raise ProtocolError(
+                "recovery hooks need ProtocolOptions(recovery=True)"
+            )
+
+    def evict_child(self, node: NodeId) -> List[Envelope]:
+        """Forget a crashed child: drop its copyset entry and its requests.
+
+        The dead subtree's holds are gone with it, so the owned mode may
+        weaken — which can unblock the local queue (token node) or emit a
+        release to the parent (Rule 5.2), exactly as if the child had
+        released cleanly.
+        """
+
+        self._require_recovery()
+        owned_before = self.owned_mode()
+        self._children.pop(node, None)
+        self._child_seqs.pop(node, None)
+        before = len(self._queue)
+        self._queue = [q for q in self._queue if q.origin != node]
+        if len(self._queue) != before:
+            self._obs_queue()
+        self._obs_copyset()
+        out = self._after_owned_maybe_changed(owned_before)
+        out.extend(self._refresh_frozen())
+        return out
+
+    def reattach(self, new_parent: NodeId, detach: bool = False) -> List[Envelope]:
+        """Re-home an orphan under *new_parent* after its parent died.
+
+        Announces the orphan's whole surviving subtree via a release (so
+        the new parent's copyset dominates it), then re-forwards anything
+        in flight: the node's own pending request and every foreign
+        request it had queued (their grants may have died with the old
+        parent).  Request duplication is safe — that is what recovery
+        mode's dedup is for.
+
+        With *detach* the old parent is assumed alive (this is an escape
+        from a stale subtree, not a death) and receives a NONE release
+        under the old attachment seq so its copyset entry for this node
+        is withdrawn rather than left pinned.
+        """
+
+        self._require_recovery()
+        if self._has_token or new_parent == self._node_id:
+            return []
+        old_parent, old_seq = self._parent, self._attach_seq
+        self._parent = new_parent
+        self._attach_seq = fresh_attachment_seq()
+        out: List[Envelope] = []
+        owned = self.owned_mode()
+        if (
+            detach
+            and old_parent is not None
+            and old_parent != new_parent
+            and owned is not LockMode.NONE
+        ):
+            out.append(self._release_to(old_parent, LockMode.NONE, old_seq))
+        if owned is not LockMode.NONE:
+            out.append(self._release_to(new_parent, owned))
+        if self._pending is not None:
+            out.append(self._forward(self._pending))
+        queued, self._queue = self._queue, []
+        if queued:
+            self._obs_queue()
+        for msg in queued:
+            out.append(self._forward(msg))
+        return out
+
+    def regenerate_token(self, epoch: int) -> List[Envelope]:
+        """Become the token node under a fresh incarnation *epoch*.
+
+        Called by the regeneration coordinator once it has established
+        (probe + timeout) that no live node holds the token.  *epoch*
+        must exceed every epoch observed for this lock, so any stale
+        token still in flight from before the crash is discarded on
+        arrival (see :meth:`_handle_token`).
+        """
+
+        self._require_recovery()
+        if self._has_token:
+            raise ProtocolError("cannot regenerate a token this node holds")
+        if epoch < self._token_epoch:
+            raise ProtocolError(
+                f"regeneration epoch {epoch} must reach the observed "
+                f"floor {self._token_epoch}"
+            )
+        # Equality is legal: announcing the regeneration *claim* already
+        # raised this node's own floor to the claimed epoch.
+        self._token_epoch = epoch
+        self._has_token = True
+        self._parent = None
+        self._attach_seq = fresh_attachment_seq()
+        if self._pending is not None and not any(
+            q.request_id == self._pending.request_id for q in self._queue
+        ):
+            self._enqueue(self._pending)
+        if self.obs is not None:
+            self.obs.fault("regenerate", self._node_id)
+        return self._check_queue()
+
+    def retransmit_pending(self) -> List[Envelope]:
+        """Re-send the node's own in-flight request, if any.
+
+        Driven by the recovery manager's per-request retry timer (capped
+        exponential backoff).  A token-holding node's pending request is
+        queued locally and needs no wire retry.
+        """
+
+        self._require_recovery()
+        if self._pending is None or self._has_token or self._parent is None:
+            return []
+        if self.obs is not None:
+            self.obs.phase(
+                self._node_id,
+                self._lock_id,
+                self._pending.request_id,
+                RETRANSMITTED,
+                self._pending.mode,
+            )
+        return [self._forward(self._pending)]
+
+    def observe_epoch(
+        self, epoch: int, token_holder: Optional[NodeId] = None
+    ) -> List[Envelope]:
+        """Learn that a token of incarnation *epoch* exists at *token_holder*.
+
+        Raises this node's epoch floor.  If this node itself holds a
+        *stale* token (a regeneration happened while its token copy was
+        presumed lost), it demotes: relinquishes the token, re-attaches
+        under the announced holder and re-forwards its queue — restoring
+        the single-token invariant without losing any queued request.
+        """
+
+        self._require_recovery()
+        if epoch <= self._token_epoch:
+            return []
+        demote = (
+            self._has_token
+            and token_holder is not None
+            and token_holder != self._node_id
+        )
+        self._token_epoch = epoch
+        if not demote:
+            return []
+        self._has_token = False
+        self._parent = token_holder
+        self._attach_seq = fresh_attachment_seq()
+        out: List[Envelope] = []
+        owned = self.owned_mode()
+        if owned is not LockMode.NONE:
+            out.append(self._release_to(token_holder, owned))
+        queued, self._queue = self._queue, []
+        if queued:
+            self._obs_queue()
+        for msg in queued:
+            if msg.upgrade:
+                # Upgrades never leave their origin; a demoted U holder
+                # is already a broken state the epoch floor is repairing.
+                self._queue.append(msg)
+                continue
+            out.append(self._forward(msg))
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

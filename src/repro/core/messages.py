@@ -121,6 +121,12 @@ class TokenMessage(Message):
     #: Attachment epoch of the old token's new role as the receiver's
     #: child (a freshly minted serial; see GrantMessage.attachment_seq).
     prev_owner_seq: int = 0
+    #: Token incarnation number.  0 for the original token; bumped each
+    #: time the recovery layer regenerates a token presumed lost with a
+    #: crashed node (see docs/FAULTS.md).  Receivers discard tokens whose
+    #: epoch is below their observed floor, which is what makes a stale
+    #: token resurfacing after a regeneration harmless.
+    epoch: int = 0
 
 
 @dataclasses.dataclass(frozen=True)

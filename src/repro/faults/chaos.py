@@ -1,0 +1,199 @@
+"""The chaos harness behind ``python -m repro chaos``.
+
+:func:`run_chaos` runs a scripted multi-lock workload on a
+:class:`~repro.faults.simcluster.ResilientSimCluster` under a
+:class:`~repro.faults.plan.FaultPlan`, with the
+:class:`~repro.verification.invariants.CompatibilityMonitor` attached
+throughout, and distils the outcome into a JSON-friendly verdict:
+
+* **Rule-1 safety** — no two incompatible modes were ever held
+  concurrently, faults or not (the monitor raises the instant this
+  breaks; the verdict records it instead of crashing the harness).
+* **Eventual grant** — every request issued by a node that survived the
+  run was granted by the end of the drain window.  Requests issued by
+  nodes the plan crashed are tallied separately (``abandoned_by_crash``)
+  — a dead requester has no liveness claim.
+
+Everything is seed-deterministic: the workload, the latency stream and
+the fault stream each derive from the run seed, so a failing verdict is
+replayable bit-for-bit with the same CLI arguments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Union
+
+from ..core.modes import LockMode
+from ..errors import InvariantViolation, SimulationError
+from ..obs.collect import RunObserver
+from ..obs.sink import ObsSink
+from ..sim.engine import Process, Timeout
+from ..sim.rng import derive_rng
+from ..verification.invariants import CompatibilityMonitor
+from .plan import FaultPlan, named_plan
+from .recovery import RecoveryConfig
+from .simcluster import ResilientSimCluster
+
+#: Modes the scripted workload draws from (upgrade flows are exercised by
+#: dedicated tests; the chaos workload sticks to plain acquires).
+WORKLOAD_MODES = (LockMode.IR, LockMode.R, LockMode.IW, LockMode.W)
+
+#: Extra simulated time after the issue window for recovery to converge
+#: (covers suspect timeout + probe timeout + several retry backoffs).
+DEFAULT_GRACE = 15.0
+
+
+@dataclasses.dataclass
+class ChaosVerdict:
+    """Outcome of one chaos run."""
+
+    data: Dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        """True iff safety held and liveness converged."""
+
+        return bool(self.data.get("ok"))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the verdict for the CLI."""
+
+        return json.dumps(self.data, indent=indent, sort_keys=True)
+
+
+def run_chaos(
+    plan: Union[str, FaultPlan] = "smoke",
+    seed: int = 0,
+    nodes: int = 5,
+    duration: float = 30.0,
+    locks: int = 3,
+    grace: float = DEFAULT_GRACE,
+    config: Optional[RecoveryConfig] = None,
+    obs: Optional[ObsSink] = None,
+) -> ChaosVerdict:
+    """Run one chaos scenario and return its verdict.
+
+    *plan* is a :class:`FaultPlan` or the name of a canned one (seeded
+    with *seed*).  *duration* bounds the issue window; the simulation
+    then drains for *grace* more seconds so in-flight recovery finishes.
+    """
+
+    if isinstance(plan, str):
+        plan = named_plan(plan, seed)
+    monitor = CompatibilityMonitor()
+    if isinstance(obs, RunObserver):
+        # Spans/series should be stamped in simulated time, not wall time.
+        sim_clock_pending = obs
+    else:
+        sim_clock_pending = None
+    cluster = ResilientSimCluster(
+        num_nodes=nodes,
+        plan=plan,
+        seed=seed,
+        monitor=monitor,
+        config=config if config is not None else RecoveryConfig(),
+        obs=obs,
+    )
+    sim = cluster.sim
+    if sim_clock_pending is not None:
+        sim_clock_pending.bind_clock(lambda: sim.now)
+    #: One record per issued request; mutated by the workload bodies.
+    records: List[Dict[str, object]] = []
+    releases = [0]
+
+    def workload(node: int):
+        rng = derive_rng(seed, "chaos", node)
+        client = cluster.client(node)
+        while sim.now < duration:
+            if cluster.is_crashed(node):
+                return
+            lock_id = f"lock-{rng.randrange(locks)}"
+            mode = WORKLOAD_MODES[rng.randrange(len(WORKLOAD_MODES))]
+            record = {"node": node, "lock": lock_id, "mode": str(mode),
+                      "granted": False, "issued_at": round(sim.now, 6)}
+            records.append(record)
+            try:
+                event = client.acquire(lock_id, mode)
+            except SimulationError:
+                return  # Crashed under our feet.
+            yield event  # Never fires if the node crashes while waiting.
+            record["granted"] = True
+            record["granted_at"] = round(sim.now, 6)
+            yield Timeout(sim, rng.uniform(0.05, 0.30))
+            if cluster.is_crashed(node):
+                return  # Crashed while holding; the monitor was told.
+            client.release(lock_id, mode)
+            releases[0] += 1
+            yield Timeout(sim, rng.uniform(0.05, 0.25))
+
+    processes = [Process(sim, workload(n)) for n in range(nodes)]
+    violation: Optional[str] = None
+    try:
+        sim.run(until=duration + grace)
+    except InvariantViolation as exc:
+        violation = str(exc)
+    process_errors = [
+        f"{type(p.error).__name__}: {p.error}"
+        for p in processes
+        if p.error is not None
+    ]
+
+    issued = len(records)
+    granted = sum(1 for r in records if r["granted"])
+    latencies = sorted(
+        float(r["granted_at"]) - float(r["issued_at"])  # type: ignore[arg-type]
+        for r in records
+        if r["granted"]
+    )
+    ungranted = [r for r in records if not r["granted"]]
+    abandoned = [r for r in ungranted if cluster.is_crashed(int(r["node"]))]
+    outstanding = [r for r in ungranted if not cluster.is_crashed(int(r["node"]))]
+    eventual_grant = violation is None and not outstanding
+    ok = violation is None and eventual_grant and not process_errors
+
+    injector = cluster.network.injector
+    faults: Dict[str, object] = (
+        dict(injector.counters()) if injector is not None else {}
+    )
+    faults["crashes"] = list(cluster.crash_log)
+    faults["messages_sent"] = cluster.network.messages_sent
+    faults["messages_dropped"] = cluster.network.messages_dropped
+
+    data: Dict[str, object] = {
+        "plan": plan.name,
+        "seed": seed,
+        "nodes": nodes,
+        "locks": locks,
+        "duration": duration,
+        "grace": grace,
+        "sim_time": round(sim.now, 6),
+        "ok": ok,
+        "requests": {
+            "issued": issued,
+            "granted": granted,
+            "abandoned_by_crash": len(abandoned),
+            "outstanding": len(outstanding),
+        },
+        "latency": {
+            "mean": round(sum(latencies) / len(latencies), 6)
+            if latencies else None,
+            "p95": round(latencies[int(0.95 * (len(latencies) - 1))], 6)
+            if latencies else None,
+            "max": round(latencies[-1], 6) if latencies else None,
+        },
+        "releases": releases[0],
+        "faults": faults,
+        "recovery": cluster.recovery_stats(),
+        "invariants": {
+            "rule1_violations": 0 if violation is None else 1,
+            "violation": violation,
+            "eventual_grant": eventual_grant,
+        },
+    }
+    if process_errors:
+        data["process_errors"] = process_errors
+    if outstanding:
+        data["outstanding_requests"] = outstanding[:10]
+    return ChaosVerdict(data=data)

@@ -1,0 +1,72 @@
+"""Heartbeat-based failure detection.
+
+Every node beats every peer each ``heartbeat_interval``; a peer silent
+for ``suspect_timeout`` becomes *suspected*.  The detector is timeout-
+based and therefore only eventually accurate: a slow or partitioned peer
+can be suspected while alive (the classic trade-off; see docs/FAULTS.md
+for what the recovery layer does — and refuses to do — about that).
+
+The detector itself is a passive table: the recovery manager feeds it
+``beat()`` on *any* inbound traffic from a peer (heartbeats merely
+guarantee a minimum rate) and polls ``check()`` from its periodic timer.
+Suspicion is reversible — traffic from a suspected peer un-suspects it,
+which is what lets a falsely-accused node rejoin quietly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..core.messages import NodeId
+
+
+class HeartbeatDetector:
+    """Tracks last-heard times for a fixed peer set."""
+
+    def __init__(
+        self, peers: Iterable[NodeId], timeout: float, now: float = 0.0
+    ) -> None:
+        #: Initializing ``last_seen`` to creation time grants every peer
+        #: one full timeout of grace before it can be suspected.
+        self._last_seen: Dict[NodeId, float] = {p: now for p in peers}
+        self._timeout = timeout
+        self._suspected: Set[NodeId] = set()
+
+    def beat(self, peer: NodeId, now: float) -> bool:
+        """Record life from *peer*; returns True iff it was un-suspected."""
+
+        if peer not in self._last_seen:
+            return False  # Not a tracked peer (e.g. ourselves).
+        self._last_seen[peer] = now
+        if peer in self._suspected:
+            self._suspected.discard(peer)
+            return True
+        return False
+
+    def check(self, now: float) -> List[NodeId]:
+        """Advance to *now*; returns peers that just became suspected."""
+
+        fresh: List[NodeId] = []
+        for peer, seen in self._last_seen.items():
+            if peer in self._suspected:
+                continue
+            if now - seen >= self._timeout:
+                self._suspected.add(peer)
+                fresh.append(peer)
+        return sorted(fresh)
+
+    def is_suspected(self, peer: NodeId) -> bool:
+        """Current verdict for *peer*."""
+
+        return peer in self._suspected
+
+    @property
+    def suspected(self) -> Set[NodeId]:
+        """Snapshot of all currently suspected peers."""
+
+        return set(self._suspected)
+
+    def live_peers(self) -> List[NodeId]:
+        """Tracked peers not currently suspected, ascending."""
+
+        return sorted(p for p in self._last_seen if p not in self._suspected)

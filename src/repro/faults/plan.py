@@ -1,0 +1,374 @@
+"""Declarative, seed-deterministic fault plans.
+
+A :class:`FaultPlan` is a pure description: a tuple of match-and-act
+:class:`FaultRule` entries (drop / duplicate / delay / reorder), a tuple
+of :class:`Partition` windows and a tuple of :class:`CrashEvent`
+schedules.  Plans carry their own seed; the stateful decision engine
+(:class:`FaultInjector`) draws every probabilistic choice from a private
+``random.Random(seed)`` stream, so the injected fault sequence is a
+deterministic function of the plan and the message sequence — completely
+independent of the latency RNG, which keeps fault-free runs bit-identical
+to runs of the pre-fault code.
+
+Rules match on the *protocol* message type: session wrappers added by the
+reliable channel are transparently unwrapped, so ``message_types=
+frozenset({"grant"})`` hits a grant whether it travels raw (simulator
+without recovery) or inside a session frame (resilient clusters).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.messages import MESSAGE_TYPE_LABELS, NodeId
+
+#: Legacy predicate signature of ``Network(loss_filter=...)``.
+LossFilter = Callable[[NodeId, NodeId, object], bool]
+
+#: Actions a rule can take on a matched message.
+DROP, DUPLICATE, DELAY, REORDER = "drop", "duplicate", "delay", "reorder"
+
+_ACTIONS = frozenset({DROP, DUPLICATE, DELAY, REORDER})
+
+
+def fault_label(message: object) -> str:
+    """Protocol-level label of *message*, looking through session frames.
+
+    Falls back to the lower-cased class name (minus a ``Message`` suffix)
+    for types outside the core Figure-7 label table, so rules can target
+    recovery traffic (``"heartbeat"``, ``"session-ack"``, ...) too.
+    """
+
+    payload = getattr(message, "payload", None)
+    if payload is not None:
+        return fault_label(payload)
+    label = MESSAGE_TYPE_LABELS.get(type(message))
+    if label is not None:
+        return label
+    name = type(message).__name__
+    if name.endswith("Message"):
+        name = name[: -len("Message")]
+    return name.lower()
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One match-and-act entry of a fault plan.
+
+    A message matches when every given constraint holds: its protocol
+    label is in ``message_types`` (``None`` = any), its sender/dest are
+    in the respective sets (``None`` = any), the current time lies in
+    ``[after, until)``, the rule has fired fewer than ``max_count``
+    times, and the optional ``predicate`` returns true.  A matching
+    message then suffers ``action`` with probability ``probability``.
+    """
+
+    action: str
+    probability: float = 1.0
+    message_types: Optional[frozenset] = None
+    senders: Optional[frozenset] = None
+    dests: Optional[frozenset] = None
+    after: float = 0.0
+    until: float = math.inf
+    max_count: Optional[int] = None
+    #: Extra latency in seconds (``delay`` action only).
+    delay: float = 0.25
+    #: Escape hatch for the deprecated ``loss_filter`` shim.
+    predicate: Optional[LossFilter] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+    def matches(
+        self, now: float, sender: NodeId, dest: NodeId, message: object
+    ) -> bool:
+        """Whether this rule's constraints accept the message (ignoring
+        probability and ``max_count``, which the injector owns)."""
+
+        if not self.after <= now < self.until:
+            return False
+        if self.senders is not None and sender not in self.senders:
+            return False
+        if self.dests is not None and dest not in self.dests:
+            return False
+        if (
+            self.message_types is not None
+            and fault_label(message) not in self.message_types
+        ):
+            return False
+        if self.predicate is not None and not self.predicate(
+            sender, dest, message
+        ):
+            return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition:
+    """A bidirectional network partition during ``[start, end)``.
+
+    Messages between ``side_a`` and ``side_b`` (either direction) are
+    dropped while the partition is in force; it heals at ``end``.
+    """
+
+    side_a: frozenset
+    side_b: frozenset
+    start: float = 0.0
+    end: float = math.inf
+
+    def severs(self, now: float, sender: NodeId, dest: NodeId) -> bool:
+        """True iff this partition drops a *sender* → *dest* message now."""
+
+        if not self.start <= now < self.end:
+            return False
+        return (sender in self.side_a and dest in self.side_b) or (
+            sender in self.side_b and dest in self.side_a
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashEvent:
+    """Crash node ``node`` at time ``at``; restart it at ``restart_at``.
+
+    ``restart_at=None`` means the node stays down.  A crash is a full
+    stop: the node loses all volatile protocol state, and a restarted
+    node rejoins with a fresh lock space (see ``docs/FAULTS.md`` for the
+    rejoin semantics and their limits).
+    """
+
+    node: NodeId
+    at: float
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ValueError("restart_at must be after the crash time")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultDecision:
+    """What the injector decided for one message."""
+
+    drop: bool = False
+    #: Total deliveries (1 = normal, 2+ = duplicated).
+    copies: int = 1
+    #: Extra latency added before (each copy of) the delivery.
+    extra_delay: float = 0.0
+    #: Skip the per-pair FIFO floor for this message (sim network only).
+    reorder: bool = False
+
+
+#: The no-fault decision, shared to avoid per-message allocation.
+NO_FAULT = FaultDecision()
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A complete, immutable chaos specification."""
+
+    rules: Tuple[FaultRule, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+    crashes: Tuple[CrashEvent, ...] = ()
+    seed: int = 0
+    name: str = "custom"
+
+    def is_empty(self) -> bool:
+        """True iff the plan can never perturb anything."""
+
+        return not (self.rules or self.partitions or self.crashes)
+
+
+class FaultInjector:
+    """The stateful decision engine bound to one plan.
+
+    One injector serves one network/transport instance; it owns the
+    plan's RNG stream, the per-rule firing counts and the aggregate
+    fault counters reported in chaos verdicts.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed ^ 0xFA017)
+        self._fired: List[int] = [0] * len(plan.rules)
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.reordered = 0
+        self.partitioned = 0
+
+    def decide(
+        self, now: float, sender: NodeId, dest: NodeId, message: object
+    ) -> FaultDecision:
+        """Decide the fate of one message about to cross the fabric."""
+
+        for partition in self.plan.partitions:
+            if partition.severs(now, sender, dest):
+                self.partitioned += 1
+                self.dropped += 1
+                return FaultDecision(drop=True)
+        if not self.plan.rules:
+            return NO_FAULT
+        drop = False
+        copies = 1
+        extra_delay = 0.0
+        reorder = False
+        for index, rule in enumerate(self.plan.rules):
+            if rule.max_count is not None and self._fired[index] >= rule.max_count:
+                continue
+            if not rule.matches(now, sender, dest, message):
+                continue
+            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                continue
+            self._fired[index] += 1
+            if rule.action == DROP:
+                drop = True
+            elif rule.action == DUPLICATE:
+                copies += 1
+            elif rule.action == DELAY:
+                extra_delay += rule.delay
+            elif rule.action == REORDER:
+                reorder = True
+        if drop:
+            self.dropped += 1
+            return FaultDecision(drop=True)
+        if copies == 1 and extra_delay == 0.0 and not reorder:
+            return NO_FAULT
+        if copies > 1:
+            self.duplicated += copies - 1
+        if extra_delay > 0.0:
+            self.delayed += 1
+        if reorder:
+            self.reordered += 1
+        return FaultDecision(
+            copies=copies, extra_delay=extra_delay, reorder=reorder
+        )
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregate fault counts for verdicts and tests."""
+
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "reordered": self.reordered,
+            "partitioned": self.partitioned,
+        }
+
+
+def plan_from_loss_filter(loss_filter: LossFilter) -> FaultPlan:
+    """Wrap a legacy ``Network(loss_filter=...)`` predicate in a plan.
+
+    The shim behind the deprecated constructor argument: the predicate
+    becomes a single unconditional drop rule, so old call sites keep
+    working on top of the fault layer.
+    """
+
+    return FaultPlan(
+        rules=(FaultRule(action=DROP, predicate=loss_filter),),
+        name="loss-filter-shim",
+    )
+
+
+#: Protocol (non-recovery) message labels, for rules that must not touch
+#: heartbeats or session acks.
+PROTOCOL_LABELS = frozenset({"request", "grant", "token", "release", "freeze"})
+
+
+def _smoke_plan(seed: int) -> FaultPlan:
+    """The CI smoke: light loss + duplication + jitter, then a crash.
+
+    Tuned so a 30-second run exercises every recovery path (channel
+    retransmission, dedup, suspicion, token regeneration) while still
+    converging well inside the harness's drain grace.
+    """
+
+    return FaultPlan(
+        rules=(
+            FaultRule(action=DROP, probability=0.02, until=20.0),
+            FaultRule(action=DUPLICATE, probability=0.02, until=20.0),
+            FaultRule(action=DELAY, probability=0.05, delay=0.2, until=20.0),
+        ),
+        crashes=(CrashEvent(node=0, at=10.0),),
+        seed=seed,
+        name="smoke",
+    )
+
+
+def _named(name: str, builder: Callable[[int], FaultPlan]):
+    return name, builder
+
+
+#: Registry of canned plans for the chaos CLI (name -> builder(seed)).
+NAMED_PLANS: Dict[str, Callable[[int], FaultPlan]] = dict(
+    (
+        _named("none", lambda seed: FaultPlan(seed=seed, name="none")),
+        _named("smoke", _smoke_plan),
+        _named(
+            "drop1",
+            lambda seed: FaultPlan(
+                rules=(FaultRule(action=DROP, probability=0.01),),
+                seed=seed,
+                name="drop1",
+            ),
+        ),
+        _named(
+            "dup1",
+            lambda seed: FaultPlan(
+                rules=(FaultRule(action=DUPLICATE, probability=0.01),),
+                seed=seed,
+                name="dup1",
+            ),
+        ),
+        _named(
+            "jitter",
+            lambda seed: FaultPlan(
+                rules=(
+                    FaultRule(action=DELAY, probability=0.10, delay=0.3),
+                    FaultRule(action=REORDER, probability=0.05),
+                ),
+                seed=seed,
+                name="jitter",
+            ),
+        ),
+        _named(
+            "token-crash",
+            lambda seed: FaultPlan(
+                crashes=(CrashEvent(node=0, at=5.0),),
+                seed=seed,
+                name="token-crash",
+            ),
+        ),
+        _named(
+            "partition",
+            lambda seed: FaultPlan(
+                partitions=(
+                    Partition(
+                        side_a=frozenset({0}),
+                        side_b=frozenset({1, 2, 3, 4, 5, 6, 7}),
+                        start=5.0,
+                        end=10.0,
+                    ),
+                ),
+                seed=seed,
+                name="partition",
+            ),
+        ),
+    )
+)
+
+
+def named_plan(name: str, seed: int = 0) -> FaultPlan:
+    """Build the canned plan *name* with *seed* (see :data:`NAMED_PLANS`)."""
+
+    try:
+        builder = NAMED_PLANS[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_PLANS))
+        raise ValueError(f"unknown fault plan {name!r} (known: {known})")
+    return builder(seed)

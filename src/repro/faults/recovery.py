@@ -1,0 +1,637 @@
+"""Failure detection and recovery coordination for one node.
+
+A :class:`RecoveryManager` wraps a node's
+:class:`~repro.core.lockspace.LockSpace` (running with
+``ProtocolOptions(recovery=True)``) and supplies everything the paper's
+protocol assumes away:
+
+* **Reliable FIFO transport** — protocol messages travel through a
+  :class:`~repro.faults.channel.ReliableChannel` (per-pair sequence
+  numbers, cumulative acks, capped-backoff retransmission), so drops,
+  duplicates and reordering on the fabric are invisible to the automata.
+* **Failure detection** — periodic heartbeats feed a
+  :class:`~repro.faults.detector.HeartbeatDetector`; any inbound traffic
+  counts as life.
+* **Request retransmission** — each of the node's own pending requests
+  is re-forwarded on a capped exponential backoff until granted (the
+  duplicates are idempotent at protocol level); this is what survives a
+  request dying in a crashed parent's volatile queue.
+* **Token regeneration** — when a lock's parent is suspected, the
+  automaton evicts the dead subtree and, if the lock is orphaned, the
+  highest-id surviving member coordinates: it probes all live peers for
+  a surviving token and, if none answers, regenerates the token under a
+  higher epoch and broadcasts the new placement so stale-epoch tokens
+  are discarded wherever they resurface (see docs/FAULTS.md for the
+  safety argument and its limits).
+
+The manager is transport-agnostic: it needs only a scheduler
+(``now``/``call_later``) and a raw ``send(dest, message)``, so the same
+class runs under the simulator and the threaded/TCP runtimes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.lockspace import LockSpace
+from ..core.messages import Envelope, LockId, Message, NodeId
+from ..core.modes import LockMode
+from ..obs.sink import ObsSink
+from .channel import ReliableChannel
+from .detector import HeartbeatDetector
+from .messages import (
+    HeartbeatMessage,
+    OrphanReport,
+    ReparentMessage,
+    TokenAck,
+    TokenProbe,
+)
+
+#: Raw fabric send: ``(dest, message)``.
+TransportSend = Callable[[NodeId, Message], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryConfig:
+    """Timing knobs of the recovery layer (seconds).
+
+    Defaults suit the simulator's 150 ms mean latency; the threaded
+    runtime tests shrink everything by an order of magnitude.
+    """
+
+    #: Heartbeat period; also the failure-detector polling period.
+    heartbeat_interval: float = 0.5
+    #: Silence after which a peer is suspected (≥ several heartbeats).
+    suspect_timeout: float = 2.5
+    #: First application-level request retransmit after this long...
+    retry_base: float = 0.75
+    #: ...doubling per retry up to this cap.
+    retry_cap: float = 5.0
+    #: Channel-level frame retransmission backoff (faster: it repairs
+    #: single lost frames, not lost state).
+    channel_retry_base: float = 0.25
+    channel_retry_cap: float = 2.0
+    #: How long the coordinator waits for a TokenAck before regenerating.
+    probe_timeout: float = 1.0
+    #: Pause between claiming a regeneration epoch and serving from the
+    #: regenerated token, during which survivors reattach and re-assert
+    #: their owned modes (the copyset of the dead root is rebuilt from
+    #: their releases; granting earlier could violate Rule 1).
+    regen_settle: float = 1.5
+    #: Orphans re-send their OrphanReport at this period until reparented.
+    orphan_interval: float = 0.5
+
+
+class RecoveryManager:
+    """Per-node recovery engine: channel + detector + token coordinator."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        lockspace: LockSpace,
+        membership: Iterable[NodeId],
+        scheduler,
+        transport_send: TransportSend,
+        config: RecoveryConfig = RecoveryConfig(),
+        obs: Optional[ObsSink] = None,
+        boot: int = 0,
+    ) -> None:
+        self.node_id = node_id
+        self.lockspace = lockspace
+        self.membership = sorted(set(membership))
+        self.config = config
+        self.obs = obs
+        self.boot = boot
+        self._scheduler = scheduler
+        self._transport_send = transport_send
+        self._mutex = threading.RLock()
+        self._running = False
+        peers = [n for n in self.membership if n != node_id]
+        self.detector = HeartbeatDetector(
+            peers, config.suspect_timeout, now=scheduler.now()
+        )
+        self.channel = ReliableChannel(
+            node_id,
+            scheduler,
+            send=self._raw_send,
+            deliver=self._deliver,
+            retry_base=config.channel_retry_base,
+            retry_cap=config.channel_retry_cap,
+            boot=boot,
+            mutex=self._mutex,
+        )
+        #: Per-lock retry timers for this node's own pending request:
+        #: lock_id -> [generation, interval].
+        self._retries: Dict[LockId, List[float]] = {}
+        #: Locks whose parent is suspected and that await a reparent:
+        #: lock_id -> [suspect, generation].
+        self._orphans: Dict[LockId, List[object]] = {}
+        #: Coordinator state per lock being probed:
+        #: lock_id -> {"epoch", "reporters", "generation"}.
+        self._probes: Dict[LockId, Dict[str, object]] = {}
+        #: Last announced token placement: lock_id -> (holder, epoch).
+        #: Replayed to restarted peers so a resurrected stale token home
+        #: demotes itself (see docs/FAULTS.md).
+        self._token_hints: Dict[LockId, Tuple[NodeId, int]] = {}
+        #: Latest boot incarnation seen per peer (restart detection).
+        self._peer_boots: Dict[NodeId, int] = {}
+        # -- verdict / test counters ------------------------------------
+        self.app_retransmits = 0
+        self.suspect_log: List[Tuple[float, NodeId]] = []
+        self.regenerations: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin heartbeating and failure checking."""
+
+        with self._mutex:
+            if self._running:
+                return
+            self._running = True
+        self._heartbeat_tick()
+        self._scheduler.call_later(
+            self.config.heartbeat_interval, self._failure_tick
+        )
+
+    def stop(self) -> None:
+        """Stop all periodic activity (crash simulation / shutdown)."""
+
+        with self._mutex:
+            self._running = False
+            # Invalidate every outstanding one-shot timer.
+            for entry in self._retries.values():
+                entry[0] += 1
+            for entry in self._orphans.values():
+                entry[1] += 1
+            for probe in self._probes.values():
+                probe["generation"] = -1
+
+    # ------------------------------------------------------------------
+    # Sending.
+    # ------------------------------------------------------------------
+
+    def _raw_send(self, dest: NodeId, message: Message) -> None:
+        self._transport_send(dest, message)
+
+    def _send_protocol(self, dest: NodeId, message: Message) -> None:
+        """Protocol traffic rides the reliable channel."""
+
+        self.channel.send(dest, message)
+
+    def _dispatch(self, envelopes: List[Envelope]) -> None:
+        """Ship automaton output: protocol messages, sessioned."""
+
+        for envelope in envelopes:
+            self._send_protocol(envelope.dest, envelope.message)
+
+    # ------------------------------------------------------------------
+    # Application API.
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        lock_id: LockId,
+        mode: LockMode,
+        ctx: object = None,
+        priority: int = 0,
+    ) -> None:
+        """Request *lock_id* in *mode* with retransmission armed."""
+
+        with self._mutex:
+            self._dispatch(self.lockspace.request(lock_id, mode, ctx, priority))
+            if (
+                self.lockspace.automaton(lock_id).pending_mode
+                is not LockMode.NONE
+            ):
+                self._arm_retry(lock_id)
+
+    def release(self, lock_id: LockId, mode: LockMode) -> None:
+        """Release one hold of *mode* on *lock_id*."""
+
+        with self._mutex:
+            self._dispatch(self.lockspace.release(lock_id, mode))
+
+    def upgrade(self, lock_id: LockId, ctx: object = None) -> None:
+        """Upgrade a held ``U`` on *lock_id* to ``W``."""
+
+        with self._mutex:
+            self._dispatch(self.lockspace.upgrade(lock_id, ctx))
+
+    # ------------------------------------------------------------------
+    # Inbound.
+    # ------------------------------------------------------------------
+
+    def handle(self, message: Message) -> List[Envelope]:
+        """Transport sink: consume one message off the fabric.
+
+        Fits the simulator's handler signature by always returning ``[]``
+        — replies go out through :attr:`channel`/raw sends instead, so
+        they too enjoy reliability and fault injection.
+        """
+
+        with self._mutex:
+            if not self._running:
+                return []
+            self._note_life(message.sender, getattr(message, "boot", None))
+            if self.channel.handle(message):
+                return []
+            if isinstance(message, HeartbeatMessage):
+                return []
+            if isinstance(message, OrphanReport):
+                self._on_orphan_report(message)
+            elif isinstance(message, TokenProbe):
+                self._on_token_probe(message)
+            elif isinstance(message, TokenAck):
+                self._on_token_ack(message)
+            elif isinstance(message, ReparentMessage):
+                self._on_reparent(message)
+            else:
+                # A raw (unsessioned) protocol message; tolerated so the
+                # manager can also front a plain reliable transport.
+                self._deliver(message.sender, message)
+        return []
+
+    def _deliver(self, peer: NodeId, payload: Message) -> None:
+        """In-order payload from the channel: run the automaton."""
+
+        with self._mutex:
+            self._dispatch(self.lockspace.handle(payload))
+
+    def _note_life(self, peer: NodeId, boot: Optional[int]) -> None:
+        now = self._scheduler.now()
+        revived = self.detector.beat(peer, now)
+        restarted = False
+        if boot is not None and peer != self.node_id:
+            known = self._peer_boots.get(peer, 0)
+            if boot > known:
+                self._peer_boots[peer] = boot
+                restarted = known > 0 or boot > 0
+        if revived and self.obs is not None:
+            self.obs.fault("unsuspect", peer)
+        if restarted or revived:
+            # A restarted peer rejoins blank; a revived one may sit on
+            # the wrong side of a healed partition.  Replay the known
+            # token placements so a stale token copy over there (a
+            # resurrected token home, or a pre-partition root) demotes
+            # itself immediately.
+            for lock_id, (holder, epoch) in self._token_hints.items():
+                self._raw_send(
+                    peer,
+                    ReparentMessage(
+                        lock_id=lock_id,
+                        sender=self.node_id,
+                        parent=holder,
+                        epoch=epoch,
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Periodic timers.
+    # ------------------------------------------------------------------
+
+    def _heartbeat_tick(self) -> None:
+        with self._mutex:
+            if not self._running:
+                return
+            beat = HeartbeatMessage(
+                lock_id="", sender=self.node_id, boot=self.boot
+            )
+            peers = [n for n in self.membership if n != self.node_id]
+            self._scheduler.call_later(
+                self.config.heartbeat_interval, self._heartbeat_tick
+            )
+        for peer in peers:
+            self._raw_send(peer, beat)
+
+    def _failure_tick(self) -> None:
+        with self._mutex:
+            if not self._running:
+                return
+            fresh = self.detector.check(self._scheduler.now())
+            self._scheduler.call_later(
+                self.config.heartbeat_interval, self._failure_tick
+            )
+            for peer in fresh:
+                self._on_suspect(peer)
+
+    # -- request retransmission -----------------------------------------
+
+    def _arm_retry(self, lock_id: LockId) -> None:
+        entry = self._retries.get(lock_id)
+        if entry is None:
+            entry = self._retries[lock_id] = [0, self.config.retry_base]
+        entry[0] += 1
+        entry[1] = self.config.retry_base
+        generation = entry[0]
+        self._scheduler.call_later(
+            entry[1], lambda: self._retry_fire(lock_id, generation)
+        )
+
+    def _retry_fire(self, lock_id: LockId, generation: int) -> None:
+        with self._mutex:
+            entry = self._retries.get(lock_id)
+            if (
+                not self._running
+                or entry is None
+                or entry[0] != generation
+            ):
+                return
+            automaton = self.lockspace.automaton(lock_id)
+            if automaton.pending_mode is LockMode.NONE:
+                del self._retries[lock_id]
+                return  # Granted in the meantime; retries lazily cancel.
+            out: List[Envelope] = []
+            hint = self._token_hints.get(lock_id)
+            if (
+                entry[1] >= self.config.retry_cap
+                and hint is not None
+                and hint[0] != self.node_id
+                and hint[0] != automaton.parent
+                and not automaton.has_token
+            ):
+                # Backoff is capped: plain retransmission has failed
+                # repeatedly, so the request may be circling a stale
+                # subtree (fault-era reattachments can momentarily cross
+                # into a parent cycle that no longer reaches the token).
+                # Escape by re-homing under the last announced token
+                # lineage — the hint need not name the current holder,
+                # only a node whose parent chain reaches it, which every
+                # past token node's does.
+                out = automaton.reattach(hint[0], detach=True)
+            if not out:
+                out = automaton.retransmit_pending()
+            self.app_retransmits += len(out)
+            self._dispatch(out)
+            entry[1] = min(entry[1] * 2, self.config.retry_cap)
+            self._scheduler.call_later(
+                entry[1], lambda: self._retry_fire(lock_id, generation)
+            )
+
+    # ------------------------------------------------------------------
+    # Failure handling.
+    # ------------------------------------------------------------------
+
+    def _on_suspect(self, peer: NodeId) -> None:
+        now = self._scheduler.now()
+        self.suspect_log.append((now, peer))
+        if self.obs is not None:
+            self.obs.fault("suspect", peer)
+        self.channel.stop_peer(peer)
+        for automaton in list(self.lockspace.automata()):
+            lock_id = automaton.lock_id
+            self._dispatch(automaton.evict_child(peer))
+            if automaton.parent == peer:
+                self._start_orphan(lock_id, peer)
+
+    def _regenerator(self) -> NodeId:
+        """The live node that coordinates regeneration: the highest id
+        among surviving members (every survivor computes the same one,
+        modulo detector disagreement — the protocol tolerates several
+        coordinators, see docs/FAULTS.md)."""
+
+        live = [
+            n
+            for n in self.membership
+            if n == self.node_id or not self.detector.is_suspected(n)
+        ]
+        return max(live)
+
+    def _start_orphan(self, lock_id: LockId, suspect: NodeId) -> None:
+        coordinator = self._regenerator()
+        if coordinator == self.node_id:
+            self._ensure_probe(lock_id, reporter=self.node_id)
+            return
+        entry = self._orphans.get(lock_id)
+        if entry is None:
+            entry = self._orphans[lock_id] = [suspect, 0]
+        entry[0] = suspect
+        entry[1] += 1
+        self._orphan_fire(lock_id, entry[1])
+
+    def _orphan_fire(self, lock_id: LockId, generation: int) -> None:
+        with self._mutex:
+            entry = self._orphans.get(lock_id)
+            if not self._running or entry is None or entry[1] != generation:
+                return
+            coordinator = self._regenerator()
+            if coordinator == self.node_id:
+                # Everyone above us died; we are the coordinator now.
+                del self._orphans[lock_id]
+                self._ensure_probe(lock_id, reporter=self.node_id)
+                return
+            automaton = self.lockspace.automaton(lock_id)
+            report = OrphanReport(
+                lock_id=lock_id,
+                sender=self.node_id,
+                suspect=entry[0],
+                epoch=automaton.token_epoch,
+            )
+            self._scheduler.call_later(
+                self.config.orphan_interval,
+                lambda: self._orphan_fire(lock_id, generation),
+            )
+        self._raw_send(coordinator, report)
+
+    # -- coordinator side -------------------------------------------------
+
+    def _ensure_probe(
+        self, lock_id: LockId, reporter: NodeId, epoch: int = 0
+    ) -> None:
+        automaton = self.lockspace.automaton(lock_id)
+        if automaton.has_token:
+            # No mystery: the token is right here.  Tell the reporter.
+            self._announce(
+                lock_id, self.node_id, automaton.token_epoch, {reporter}
+            )
+            return
+        probe = self._probes.get(lock_id)
+        if probe is not None:
+            probe["reporters"].add(reporter)  # type: ignore[union-attr]
+            probe["epoch"] = max(probe["epoch"], epoch)  # type: ignore
+            return
+        probe = self._probes[lock_id] = {
+            "epoch": max(epoch, automaton.token_epoch),
+            "reporters": {reporter},
+            "generation": 0,
+        }
+        message = TokenProbe(lock_id=lock_id, sender=self.node_id)
+        peers = [
+            n
+            for n in self.membership
+            if n != self.node_id and not self.detector.is_suspected(n)
+        ]
+        for peer in peers:
+            self._raw_send(peer, message)
+        generation = probe["generation"]
+        self._scheduler.call_later(
+            self.config.probe_timeout,
+            lambda: self._probe_deadline(lock_id, generation),
+        )
+
+    def _on_orphan_report(self, msg: OrphanReport) -> None:
+        self._ensure_probe(msg.lock_id, reporter=msg.sender, epoch=msg.epoch)
+
+    def _on_token_probe(self, msg: TokenProbe) -> None:
+        automaton = self.lockspace.automaton(msg.lock_id)
+        if automaton.has_token:
+            self._raw_send(
+                msg.sender,
+                TokenAck(
+                    lock_id=msg.lock_id,
+                    sender=self.node_id,
+                    epoch=automaton.token_epoch,
+                ),
+            )
+
+    def _on_token_ack(self, msg: TokenAck) -> None:
+        probe = self._probes.pop(msg.lock_id, None)
+        if probe is None:
+            return
+        probe["generation"] = -1  # Disarm the deadline.
+        self._announce(
+            msg.lock_id, msg.sender, msg.epoch, probe["reporters"]
+        )
+
+    def _probe_deadline(self, lock_id: LockId, generation: int) -> None:
+        with self._mutex:
+            probe = self._probes.get(lock_id)
+            if (
+                not self._running
+                or probe is None
+                or probe["generation"] != generation
+            ):
+                return
+            automaton = self.lockspace.automaton(lock_id)
+            if automaton.has_token:
+                del self._probes[lock_id]
+                self._announce(
+                    lock_id, self.node_id, automaton.token_epoch,
+                    probe["reporters"],
+                )
+                return
+            live = [
+                n
+                for n in self.membership
+                if n == self.node_id or not self.detector.is_suspected(n)
+            ]
+            if len(live) * 2 <= len(self.membership):
+                # No quorum: we may be the minority side of a partition,
+                # with a perfectly healthy token across the cut.
+                # Regenerating here would fork the lock space, so keep
+                # probing instead — liveness resumes when the fabric
+                # heals (or enough members return).
+                probe["generation"] = generation + 1
+                message = TokenProbe(lock_id=lock_id, sender=self.node_id)
+                for peer in live:
+                    if peer != self.node_id:
+                        self._raw_send(peer, message)
+                self._scheduler.call_later(
+                    self.config.probe_timeout,
+                    lambda: self._probe_deadline(lock_id, generation + 1),
+                )
+                return
+            del self._probes[lock_id]
+            # Nobody answered and a majority is visible: the token died
+            # with the crash.  Claim the next epoch (the automaton's
+            # floor may have moved past the probe's snapshot, so climb
+            # above both) and broadcast the claim — survivors reattach
+            # under us and re-assert their owned modes.  Only after the
+            # settle window do we actually serve from the regenerated
+            # token: granting from an empty copyset before the
+            # re-assertions land could violate Rule 1.
+            epoch = max(int(probe["epoch"]), automaton.token_epoch) + 1
+            self._announce(lock_id, self.node_id, epoch, broadcast=True)
+            self._scheduler.call_later(
+                self.config.regen_settle,
+                lambda: self._regen_fire(lock_id, epoch),
+            )
+
+    def _regen_fire(self, lock_id: LockId, epoch: int) -> None:
+        with self._mutex:
+            if not self._running:
+                return
+            if self._token_hints.get(lock_id) != (self.node_id, epoch):
+                return  # A higher claim (or a real token) won meanwhile.
+            automaton = self.lockspace.automaton(lock_id)
+            if automaton.has_token:
+                return  # The token surfaced after all (e.g. adopted).
+            out = automaton.regenerate_token(epoch)
+            self.regenerations.append(
+                {"lock": lock_id, "epoch": epoch, "node": self.node_id}
+            )
+            self._dispatch(out)
+            # Re-broadcast: anyone who missed the claim (or joined the
+            # quorum since) learns the final placement.
+            self._announce(lock_id, self.node_id, epoch, broadcast=True)
+
+    def _announce(
+        self,
+        lock_id: LockId,
+        holder: NodeId,
+        epoch: int,
+        reporters: Optional[Set[NodeId]] = None,
+        broadcast: bool = False,
+    ) -> None:
+        """Tell orphans (and, after a regeneration, everyone) where the
+        token now lives."""
+
+        self._note_hint(lock_id, holder, epoch)
+        message = ReparentMessage(
+            lock_id=lock_id, sender=self.node_id, parent=holder, epoch=epoch
+        )
+        if broadcast:
+            targets = {
+                n
+                for n in self.membership
+                if not self.detector.is_suspected(n)
+            }
+        else:
+            targets = set(reporters or ())
+        targets.discard(self.node_id)
+        for target in sorted(targets):
+            self._raw_send(target, message)
+        # Apply locally too (the coordinator may itself be an orphan).
+        self._apply_reparent(lock_id, holder, epoch)
+
+    # -- orphan side -------------------------------------------------------
+
+    def _note_hint(self, lock_id: LockId, holder: NodeId, epoch: int) -> None:
+        """Record a token placement, keeping the most recent lineage.
+
+        Ordered by ``(epoch, holder)`` so stale announcements replayed
+        across a healed partition cannot roll a hint backwards.
+        """
+
+        known = self._token_hints.get(lock_id)
+        if known is None or (epoch, holder) >= (known[1], known[0]):
+            self._token_hints[lock_id] = (holder, epoch)
+
+    def _on_reparent(self, msg: ReparentMessage) -> None:
+        self._note_hint(msg.lock_id, msg.parent, msg.epoch)
+        probe = self._probes.get(msg.lock_id)
+        if probe is not None and msg.epoch >= int(probe["epoch"]):
+            # Another coordinator resolved this lock while we probed.
+            del self._probes[msg.lock_id]
+        self._apply_reparent(msg.lock_id, msg.parent, msg.epoch)
+
+    def _apply_reparent(
+        self, lock_id: LockId, holder: NodeId, epoch: int
+    ) -> None:
+        automaton = self.lockspace.automaton(lock_id)
+        self._dispatch(automaton.observe_epoch(epoch, holder))
+        orphaned = self._orphans.pop(lock_id, None)
+        if orphaned is not None:
+            orphaned[1] += 1  # Stop the report timer.
+        needs_home = orphaned is not None or (
+            automaton.parent is not None
+            and self.detector.is_suspected(automaton.parent)
+        )
+        if needs_home and not automaton.has_token:
+            self._dispatch(automaton.reattach(holder))
+            if automaton.pending_mode is not LockMode.NONE:
+                self._arm_retry(lock_id)

@@ -1,0 +1,468 @@
+"""Fault injection and recovery over the threaded/TCP transports.
+
+:class:`FaultyTransport` wraps any object with the
+``register/start/stop/send`` transport surface
+(:class:`~repro.runtime.transport.ThreadedTransport`,
+:class:`~repro.runtime.tcp.TcpTransport`) and applies a
+:class:`~repro.faults.plan.FaultPlan` to every crossing message, plus
+crash/restart gating: a crashed node neither sends nor receives, and a
+restarted node's handler can be swapped in without re-registering (which
+the underlying transports forbid after start).
+
+:class:`ResilientThreadedCluster` is the real-thread sibling of
+:class:`~repro.faults.simcluster.ResilientSimCluster`: every node runs
+its lock space in recovery mode behind a
+:class:`~repro.faults.recovery.RecoveryManager` ticking on a
+:class:`~repro.faults.scheduler.WallScheduler`, with blocking clients.
+Wall-clock runs are not bit-reproducible — thread interleaving is real —
+but the *injected fault stream* still follows the plan's private RNG, so
+a plan that drops the third grant drops the third grant every run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set
+
+from ..core.lockspace import LockSpace, TokenHomeFn, default_token_home
+from ..core.messages import Envelope, LockId, Message, NodeId
+from ..core.modes import LockMode
+from ..errors import ConfigurationError, SimulationError
+from ..obs.sink import ObsSink
+from ..runtime.transport import MessageHandler, ThreadedTransport
+from ..verification.invariants import Monitor
+from .plan import FaultInjector, FaultPlan
+from .recovery import RecoveryConfig, RecoveryManager
+from .scheduler import WallScheduler
+from .simcluster import RESILIENT_OPTIONS
+
+#: Recovery timings an order of magnitude tighter than the simulator
+#: defaults — loopback queues deliver in microseconds, so tests converge
+#: in well under a second of wall time.
+FAST_RECOVERY = RecoveryConfig(
+    heartbeat_interval=0.05,
+    suspect_timeout=0.4,
+    retry_base=0.08,
+    retry_cap=0.5,
+    channel_retry_base=0.04,
+    channel_retry_cap=0.2,
+    probe_timeout=0.15,
+    orphan_interval=0.05,
+    regen_settle=0.2,
+)
+
+#: Delay (seconds) standing in for ``reorder`` on wall-clock transports:
+#: long enough for later traffic on the pair to overtake, short enough
+#: not to trip retransmission.
+_REORDER_SLIP = 0.01
+
+
+class FaultyTransport:
+    """Plan-driven fault injection around a threaded/TCP transport."""
+
+    def __init__(self, inner, plan: Optional[FaultPlan] = None) -> None:
+        import time
+
+        self.inner = inner
+        self._time = time
+        self._epoch = time.monotonic()
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(plan) if plan is not None and not plan.is_empty()
+            else None
+        )
+        self._handlers: Dict[NodeId, MessageHandler] = {}
+        self._crashed: Set[NodeId] = set()
+        self._state_lock = threading.Lock()
+        self._timers: List[threading.Timer] = []
+        self._stopping = False
+        self.messages_dropped = 0
+
+    @property
+    def injector(self) -> Optional[FaultInjector]:
+        """The live decision engine (``None`` for an empty plan)."""
+
+        return self._injector
+
+    def _now(self) -> float:
+        return self._time.monotonic() - self._epoch
+
+    # -- transport surface -------------------------------------------------
+
+    def register(self, node_id: NodeId, handler: MessageHandler) -> None:
+        """Register *node_id* on the inner transport, via a swap-able,
+        crash-gated handler indirection."""
+
+        with self._state_lock:
+            self._handlers[node_id] = handler
+
+        def gated(message, node_id=node_id):
+            with self._state_lock:
+                if node_id in self._crashed:
+                    self.messages_dropped += 1
+                    return []
+                current = self._handlers[node_id]
+            return current(message)
+
+        self.inner.register(node_id, gated)
+
+    def swap_handler(self, node_id: NodeId, handler: MessageHandler) -> None:
+        """Replace the delivery target of *node_id* (node restart)."""
+
+        with self._state_lock:
+            if node_id not in self._handlers:
+                raise SimulationError(f"node {node_id} was never registered")
+            self._handlers[node_id] = handler
+
+    def start(self) -> None:
+        """Start the inner transport."""
+
+        self.inner.start()
+
+    def stop(self) -> None:
+        """Cancel in-flight delayed deliveries, then stop the inner."""
+
+        with self._state_lock:
+            self._stopping = True
+            timers = list(self._timers)
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()
+        self.inner.stop()
+
+    def send(self, sender: NodeId, envelopes: List[Envelope]) -> None:
+        """Apply the plan to each envelope, then ship the survivors."""
+
+        for envelope in envelopes:
+            with self._state_lock:
+                if sender in self._crashed or envelope.dest in self._crashed:
+                    self.messages_dropped += 1
+                    continue
+                injector = self._injector
+                if injector is None:
+                    decision = None
+                else:
+                    decision = injector.decide(
+                        self._now(), sender, envelope.dest, envelope.message
+                    )
+            if decision is None:
+                self.inner.send(sender, [envelope])
+                continue
+            if decision.drop:
+                with self._state_lock:
+                    self.messages_dropped += 1
+                continue
+            delay = decision.extra_delay
+            if decision.reorder:
+                delay += _REORDER_SLIP
+            for _copy in range(decision.copies):
+                if delay > 0.0:
+                    self._send_later(sender, envelope, delay)
+                else:
+                    self.inner.send(sender, [envelope])
+
+    def _send_later(
+        self, sender: NodeId, envelope: Envelope, delay: float
+    ) -> None:
+        def fire() -> None:
+            with self._state_lock:
+                if (
+                    self._stopping
+                    or sender in self._crashed
+                    or envelope.dest in self._crashed
+                ):
+                    self.messages_dropped += 1
+                    return
+            try:
+                self.inner.send(sender, [envelope])
+            except SimulationError:
+                pass  # Destination died while the message was in flight.
+
+        with self._state_lock:
+            if self._stopping:
+                return
+            timer = threading.Timer(delay, fire)
+            timer.daemon = True
+            self._timers.append(timer)
+            if len(self._timers) > 64:  # Drop completed timers.
+                self._timers = [t for t in self._timers if t.is_alive()]
+        timer.start()
+
+    # -- crash gating ------------------------------------------------------
+
+    def crash(self, node_id: NodeId) -> None:
+        """Silence *node_id*: its sends and deliveries are dropped."""
+
+        with self._state_lock:
+            self._crashed.add(node_id)
+
+    def restart(self, node_id: NodeId) -> None:
+        """Reconnect *node_id* to the fabric."""
+
+        with self._state_lock:
+            self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        """Whether *node_id* is currently severed."""
+
+        with self._state_lock:
+            return node_id in self._crashed
+
+    def __getattr__(self, name: str):
+        # Everything else (messages_sent, drain, address_of, obs, ...)
+        # passes through to the wrapped transport.
+        return getattr(self.inner, name)
+
+
+class _Waiter:
+    """Grant context used by the blocking resilient client."""
+
+    __slots__ = ("event", "mode")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.mode: Optional[LockMode] = None
+
+
+class ResilientBlockingClient:
+    """Blocking per-node client routed through the recovery manager."""
+
+    def __init__(
+        self, cluster: "ResilientThreadedCluster", node_id: NodeId
+    ) -> None:
+        self._cluster = cluster
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> NodeId:
+        """This client's node."""
+
+        return self._node_id
+
+    def acquire(
+        self, lock_id: LockId, mode: LockMode, timeout: Optional[float] = None
+    ) -> None:
+        """Acquire *lock_id* in *mode*, blocking until granted."""
+
+        cluster = self._cluster
+        if cluster.is_crashed(self._node_id):
+            raise SimulationError(f"node {self._node_id} is crashed")
+        cluster._record_request(self._node_id, lock_id, mode)
+        waiter = _Waiter()
+        cluster.managers[self._node_id].request(lock_id, mode, waiter)
+        if not waiter.event.wait(timeout):
+            raise TimeoutError(
+                f"node {self._node_id}: {mode} on {lock_id!r} not granted "
+                f"within {timeout}s"
+            )
+
+    def release(self, lock_id: LockId, mode: LockMode) -> None:
+        """Release one hold of *mode* on *lock_id*."""
+
+        cluster = self._cluster
+        if cluster.is_crashed(self._node_id):
+            raise SimulationError(f"node {self._node_id} is crashed")
+        cluster._record_release(self._node_id, lock_id, mode)
+        cluster.managers[self._node_id].release(lock_id, mode)
+
+
+class ResilientThreadedCluster:
+    """N real-thread nodes with recovery managers under a fault plan."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        plan: Optional[FaultPlan] = None,
+        transport=None,
+        config: RecoveryConfig = FAST_RECOVERY,
+        token_home: TokenHomeFn = default_token_home,
+        monitor: Optional[Monitor] = None,
+        obs: Optional[ObsSink] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_nodes < 2:
+            raise ConfigurationError(
+                "a resilient cluster needs at least two nodes (someone "
+                "must survive to regenerate the token)"
+            )
+        self.num_nodes = num_nodes
+        self.plan = plan
+        self.config = config
+        self.monitor = monitor
+        self._monitor_lock = threading.Lock()
+        self.obs = obs
+        self._token_home = token_home
+        inner = transport if transport is not None else ThreadedTransport(
+            seed=seed, obs=obs
+        )
+        self.transport = FaultyTransport(inner, plan)
+        self.scheduler = WallScheduler()
+        self.lockspaces: Dict[NodeId, LockSpace] = {}
+        self.managers: Dict[NodeId, RecoveryManager] = {}
+        self._crashed: Set[NodeId] = set()
+        self.crash_log: List[Dict[str, object]] = []
+        for node_id in range(num_nodes):
+            self._boot_node(node_id, boot=0, fresh=True)
+        self.clients = [
+            ResilientBlockingClient(self, n) for n in range(num_nodes)
+        ]
+        self.transport.start()
+        # Only now: heartbeats need every peer registered before the
+        # first one goes out.
+        for manager in self.managers.values():
+            manager.start()
+
+    # -- node lifecycle ----------------------------------------------------
+
+    def _boot_node(self, node_id: NodeId, boot: int, fresh: bool) -> None:
+        lockspace = LockSpace(
+            node_id=node_id,
+            token_home=self._token_home,
+            listener=self._make_listener(node_id),
+            options=RESILIENT_OPTIONS,
+        )
+        lockspace.obs = self.obs
+        manager = RecoveryManager(
+            node_id=node_id,
+            lockspace=lockspace,
+            membership=range(self.num_nodes),
+            scheduler=self.scheduler,
+            transport_send=self._make_sender(node_id),
+            config=self.config,
+            obs=self.obs,
+            boot=boot,
+        )
+        self.lockspaces[node_id] = lockspace
+        self.managers[node_id] = manager
+        if fresh:
+            self.transport.register(node_id, manager.handle)
+        else:
+            self.transport.swap_handler(node_id, manager.handle)
+
+    def _make_sender(self, node_id: NodeId):
+        def send(dest: NodeId, message: Message) -> None:
+            self.transport.send(node_id, [Envelope(dest, message)])
+
+        return send
+
+    def _make_listener(self, node_id: NodeId):
+        def listener(lock_id: LockId, mode: LockMode, ctx: object) -> None:
+            self._record_grant(node_id, lock_id, mode)
+            if isinstance(ctx, _Waiter):
+                ctx.mode = mode
+                ctx.event.set()
+
+        return listener
+
+    def crash(self, node_id: NodeId) -> None:
+        """Kill *node_id*: volatile state gone, fabric silenced."""
+
+        if node_id in self._crashed:
+            return
+        self._crashed.add(node_id)
+        self.crash_log.append(
+            {"at": self.scheduler.now(), "node": node_id}
+        )
+        self.transport.crash(node_id)
+        self.managers[node_id].stop()
+        if self.monitor is not None:
+            with self._monitor_lock:
+                self.monitor.on_crash(self.scheduler.now(), node_id)
+        if self.obs is not None:
+            self.obs.fault("crash", node_id)
+
+    def restart(self, node_id: NodeId) -> None:
+        """Bring *node_id* back with blank state and a bumped boot."""
+
+        if node_id not in self._crashed:
+            return
+        self._crashed.discard(node_id)
+        boot = self.managers[node_id].boot + 1
+        self._boot_node(node_id, boot=boot, fresh=False)
+        self.transport.restart(node_id)
+        self.managers[node_id].start()
+        if self.obs is not None:
+            self.obs.fault("restart", node_id)
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        """Whether *node_id* is currently down."""
+
+        return node_id in self._crashed
+
+    def client(self, node_id: NodeId) -> ResilientBlockingClient:
+        """Return the blocking client of *node_id*."""
+
+        return self.clients[node_id]
+
+    def shutdown(self) -> None:
+        """Stop timers, managers and transport threads."""
+
+        for manager in self.managers.values():
+            manager.stop()
+        self.scheduler.stop()
+        self.transport.stop()
+
+    def __enter__(self) -> "ResilientThreadedCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- monitor plumbing --------------------------------------------------
+
+    def _record_request(
+        self, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        if self.monitor is not None:
+            with self._monitor_lock:
+                self.monitor.on_request(
+                    self.scheduler.now(), node, lock_id, mode
+                )
+
+    def _record_grant(
+        self, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        if self.monitor is not None:
+            with self._monitor_lock:
+                self.monitor.on_grant(
+                    self.scheduler.now(), node, lock_id, mode
+                )
+
+    def _record_release(
+        self, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        if self.monitor is not None:
+            with self._monitor_lock:
+                self.monitor.on_release(
+                    self.scheduler.now(), node, lock_id, mode
+                )
+
+    # -- aggregates --------------------------------------------------------
+
+    def recovery_stats(self) -> Dict[str, object]:
+        """Aggregate recovery counters across managers."""
+
+        suspects = sorted(
+            {
+                (round(t, 6), peer)
+                for manager in self.managers.values()
+                for (t, peer) in manager.suspect_log
+            }
+        )
+        return {
+            "suspect_events": len(suspects),
+            "suspected_nodes": sorted({peer for _, peer in suspects}),
+            "regenerations": [
+                regen
+                for manager in self.managers.values()
+                for regen in manager.regenerations
+            ],
+            "app_retransmits": sum(
+                m.app_retransmits for m in self.managers.values()
+            ),
+            "channel_retransmits": sum(
+                m.channel.retransmits for m in self.managers.values()
+            ),
+            "duplicates_dropped": sum(
+                m.channel.duplicates_dropped for m in self.managers.values()
+            ),
+        }

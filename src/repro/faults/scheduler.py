@@ -1,0 +1,106 @@
+"""Time sources and timer scheduling for the recovery layer.
+
+The recovery machinery (retransmission, heartbeats, probes) is written
+against a two-method surface — ``now()`` and ``call_later(delay, fn)`` —
+so the very same :class:`~repro.faults.recovery.RecoveryManager` runs
+deterministically inside the discrete-event simulator and in real time
+over the threaded/TCP transports.
+
+Scheduled callbacks are never cancelled; owners guard them with
+generation counters instead (a fired callback first checks whether it is
+still the current one).  This keeps both implementations trivial and the
+simulated variant allocation-free beyond the engine's own heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, List, Tuple
+
+from ..sim.engine import Simulator
+
+
+class SimScheduler:
+    """Adapter: the simulator's clock and event heap."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    def now(self) -> float:
+        """Current virtual time."""
+
+        return self._sim.now
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run *fn* after *delay* virtual seconds."""
+
+        self._sim.schedule(delay, fn)
+
+
+class WallScheduler:
+    """A single-threaded timer wheel over the monotonic wall clock.
+
+    One daemon worker drains a heap of ``(deadline, seq, fn)`` entries;
+    ``stop()`` wakes it and joins.  Callbacks run on the worker thread,
+    so recovery managers take their own node mutex inside.
+    """
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-faults-timer", daemon=True
+        )
+        self._thread.start()
+
+    def now(self) -> float:
+        """Seconds since this scheduler was created."""
+
+        return time.monotonic() - self._start
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run *fn* on the worker thread after *delay* wall seconds."""
+
+        with self._cond:
+            if self._stopped:
+                return
+            heapq.heappush(
+                self._heap, (self.now() + max(delay, 0.0), next(self._seq), fn)
+            )
+            self._cond.notify()
+
+    def stop(self) -> None:
+        """Discard pending timers and join the worker."""
+
+        with self._cond:
+            self._stopped = True
+            self._heap.clear()
+            self._cond.notify()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopped and (
+                    not self._heap or self._heap[0][0] > self.now()
+                ):
+                    timeout = (
+                        self._heap[0][0] - self.now() if self._heap else None
+                    )
+                    self._cond.wait(timeout)
+                if self._stopped:
+                    return
+                _deadline, _seq, fn = heapq.heappop(self._heap)
+            try:
+                fn()
+            except Exception:  # pragma: no cover - defensive: timers must
+                # never kill the wheel; recovery callbacks log via obs.
+                pass

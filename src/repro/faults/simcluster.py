@@ -1,0 +1,281 @@
+"""A simulated cluster with the full recovery stack and fault injection.
+
+:class:`ResilientSimCluster` is the chaos-capable sibling of
+:class:`~repro.sim.cluster.SimHierarchicalCluster`: every node runs its
+:class:`~repro.core.lockspace.LockSpace` in recovery mode behind a
+:class:`~repro.faults.recovery.RecoveryManager`, the network carries a
+:class:`~repro.faults.plan.FaultPlan`, and the plan's crash/restart
+schedule is enacted against real node state (a crashed node's lock space
+is discarded; a restarted node rejoins blank under a bumped boot
+incarnation).
+
+This lives in :mod:`repro.faults` rather than :mod:`repro.sim` on
+purpose: the plain cluster — the one all reproduced figures run on —
+stays byte-for-byte untouched, which is what keeps fault-free figure
+runs bit-identical to the pre-fault codebase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional
+
+from ..core.automaton import ProtocolOptions
+from ..core.lockspace import LockSpace, TokenHomeFn, default_token_home
+from ..core.messages import Envelope, LockId, Message, NodeId
+from ..core.modes import LockMode
+from ..errors import ConfigurationError, SimulationError
+from ..obs.sink import ObsSink
+from ..sim.engine import SimEvent, Simulator
+from ..sim.network import Network
+from ..sim.rng import Distribution, Exponential
+from ..verification.invariants import Monitor
+from .plan import FaultPlan
+from .recovery import RecoveryConfig, RecoveryManager
+from .scheduler import SimScheduler
+
+#: Protocol options every resilient node runs with.
+RESILIENT_OPTIONS = ProtocolOptions(recovery=True)
+
+
+@dataclasses.dataclass
+class _GrantCtx:
+    """Listener context carried through the automaton to the waiter."""
+
+    event: SimEvent
+
+
+class ResilientClient:
+    """Per-node client: like ``HierClient`` but requests through the
+    recovery manager so retransmission timers are armed."""
+
+    def __init__(self, cluster: "ResilientSimCluster", node_id: NodeId) -> None:
+        self._cluster = cluster
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> NodeId:
+        """This client's node."""
+
+        return self._node_id
+
+    def acquire(self, lock_id: LockId, mode: LockMode) -> SimEvent:
+        """Request *lock_id* in *mode*; yield the returned event to wait."""
+
+        cluster = self._cluster
+        if cluster.is_crashed(self._node_id):
+            raise SimulationError(f"node {self._node_id} is crashed")
+        cluster._record_request(self._node_id, lock_id, mode)
+        event = SimEvent(cluster.sim)
+        cluster.managers[self._node_id].request(
+            lock_id, mode, _GrantCtx(event=event)
+        )
+        return event
+
+    def release(self, lock_id: LockId, mode: LockMode) -> None:
+        """Release one hold of *mode* on *lock_id*."""
+
+        cluster = self._cluster
+        if cluster.is_crashed(self._node_id):
+            raise SimulationError(f"node {self._node_id} is crashed")
+        cluster._record_release(self._node_id, lock_id, mode)
+        cluster.managers[self._node_id].release(lock_id, mode)
+
+
+class ResilientSimCluster:
+    """N simulated nodes with recovery managers under a fault plan."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        plan: Optional[FaultPlan] = None,
+        sim: Optional[Simulator] = None,
+        latency: Optional[Distribution] = None,
+        seed: int = 0,
+        token_home: TokenHomeFn = default_token_home,
+        monitor: Optional[Monitor] = None,
+        config: RecoveryConfig = RecoveryConfig(),
+        obs: Optional[ObsSink] = None,
+    ) -> None:
+        if num_nodes < 2:
+            raise ConfigurationError(
+                "a resilient cluster needs at least two nodes (someone "
+                "must survive to regenerate the token)"
+            )
+        self.num_nodes = num_nodes
+        self.plan = plan
+        self.sim = sim if sim is not None else Simulator()
+        self.monitor = monitor
+        self.config = config
+        self.obs = obs
+        if obs is not None:
+            self.sim.tick_hook = obs.engine_tick
+        self._latency = latency if latency is not None else Exponential(0.150)
+        self._token_home = token_home
+        observer = None
+        if obs is not None:
+            def observer(sender, dest, message):
+                obs.message(sender, dest, type(message).__name__)
+        self.network = Network(
+            self.sim,
+            latency=self._latency,
+            rng=random.Random(seed ^ 0x5EED),
+            observer=observer,
+            faults=plan,
+        )
+        self._scheduler = SimScheduler(self.sim)
+        self.lockspaces: Dict[NodeId, LockSpace] = {}
+        self.managers: Dict[NodeId, RecoveryManager] = {}
+        self._crashed: set = set()
+        self.crash_log: List[Dict[str, object]] = []
+        for node_id in range(num_nodes):
+            self._boot_node(node_id, boot=0, fresh=True)
+        # Only now: the first heartbeat needs every peer registered.
+        for manager in self.managers.values():
+            manager.start()
+        self.clients = [ResilientClient(self, n) for n in range(num_nodes)]
+        if plan is not None:
+            for crash in plan.crashes:
+                self.sim.schedule(
+                    max(crash.at - self.sim.now, 0.0),
+                    lambda node=crash.node: self.crash(node),
+                )
+                if crash.restart_at is not None:
+                    self.sim.schedule(
+                        max(crash.restart_at - self.sim.now, 0.0),
+                        lambda node=crash.node: self.restart(node),
+                    )
+
+    # -- node lifecycle ----------------------------------------------------
+
+    def _boot_node(self, node_id: NodeId, boot: int, fresh: bool) -> None:
+        lockspace = LockSpace(
+            node_id=node_id,
+            token_home=self._token_home,
+            listener=self._make_listener(node_id),
+            options=RESILIENT_OPTIONS,
+        )
+        lockspace.obs = self.obs
+        manager = RecoveryManager(
+            node_id=node_id,
+            lockspace=lockspace,
+            membership=range(self.num_nodes),
+            scheduler=self._scheduler,
+            transport_send=self._make_sender(node_id),
+            config=self.config,
+            obs=self.obs,
+            boot=boot,
+        )
+        self.lockspaces[node_id] = lockspace
+        self.managers[node_id] = manager
+        if fresh:
+            self.network.register(node_id, manager.handle)
+
+    def _make_sender(self, node_id: NodeId):
+        def send(dest: NodeId, message: Message) -> None:
+            self.network.send(node_id, [Envelope(dest, message)])
+
+        return send
+
+    def _make_listener(self, node_id: NodeId):
+        def listener(lock_id: LockId, mode: LockMode, ctx: object) -> None:
+            self._record_grant(node_id, lock_id, mode)
+            if isinstance(ctx, _GrantCtx):
+                ctx.event.trigger(mode)
+
+        return listener
+
+    def crash(self, node_id: NodeId) -> None:
+        """Kill *node_id*: volatile state gone, fabric silenced."""
+
+        if node_id in self._crashed:
+            return
+        self._crashed.add(node_id)
+        self.crash_log.append({"at": self.sim.now, "node": node_id})
+        self.network.crash(node_id)
+        self.managers[node_id].stop()
+        if self.monitor is not None:
+            self.monitor.on_crash(self.sim.now, node_id)
+        if self.obs is not None:
+            self.obs.fault("crash", node_id)
+
+    def restart(self, node_id: NodeId) -> None:
+        """Bring *node_id* back with blank state and a bumped boot."""
+
+        if node_id not in self._crashed:
+            return
+        self._crashed.discard(node_id)
+        boot = self.managers[node_id].boot + 1
+        self._boot_node(node_id, boot=boot, fresh=False)
+        self.network.restart(node_id, self.managers[node_id].handle)
+        self.managers[node_id].start()
+        if self.obs is not None:
+            self.obs.fault("restart", node_id)
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        """Whether *node_id* is currently down."""
+
+        return node_id in self._crashed
+
+    def client(self, node_id: NodeId) -> ResilientClient:
+        """Return the client object of *node_id*."""
+
+        return self.clients[node_id]
+
+    def live_nodes(self) -> List[NodeId]:
+        """Nodes currently up, ascending."""
+
+        return [n for n in range(self.num_nodes) if n not in self._crashed]
+
+    # -- monitor plumbing --------------------------------------------------
+
+    def _record_request(
+        self, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        if self.monitor is not None:
+            self.monitor.on_request(self.sim.now, node, lock_id, mode)
+
+    def _record_grant(
+        self, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        if self.monitor is not None:
+            self.monitor.on_grant(self.sim.now, node, lock_id, mode)
+
+    def _record_release(
+        self, node: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        if self.monitor is not None:
+            self.monitor.on_release(self.sim.now, node, lock_id, mode)
+
+    # -- aggregates --------------------------------------------------------
+
+    def recovery_stats(self) -> Dict[str, object]:
+        """Aggregate recovery counters across live managers."""
+
+        suspects = sorted(
+            {
+                (round(t, 6), peer)
+                for manager in self.managers.values()
+                for (t, peer) in manager.suspect_log
+            }
+        )
+        regenerations = [
+            regen
+            for manager in self.managers.values()
+            for regen in manager.regenerations
+        ]
+        return {
+            "suspect_events": len(suspects),
+            "suspected_nodes": sorted({peer for _, peer in suspects}),
+            "regenerations": regenerations,
+            "app_retransmits": sum(
+                m.app_retransmits for m in self.managers.values()
+            ),
+            "channel_retransmits": sum(
+                m.channel.retransmits for m in self.managers.values()
+            ),
+            "duplicates_dropped": sum(
+                m.channel.duplicates_dropped for m in self.managers.values()
+            ),
+        }

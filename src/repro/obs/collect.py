@@ -48,6 +48,7 @@ class RunObserver(ObsSink):
         clock: Optional[Clock] = None,
         window: float = DEFAULT_WINDOW,
     ) -> None:
+        self._clock_rebindable = clock is None
         if clock is None:
             start = _time.monotonic()
             clock = lambda: _time.monotonic() - start  # noqa: E731
@@ -65,7 +66,19 @@ class RunObserver(ObsSink):
         self.copyset_series = GaugeSeries(window)
         self.freeze_series = GaugeSeries(window)
         self.send_latency = Histogram()
+        self.faults = WindowedCounter(window)
         self._last_engine_events = 0
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Adopt a run's time source (e.g. ``sim.now``) before recording.
+
+        Only takes effect when the observer was built with the default
+        wall clock — an explicitly chosen clock is never overridden.
+        """
+
+        if self._clock_rebindable:
+            self._clock = clock
+            self._clock_rebindable = False
 
     # -- request lifecycle ------------------------------------------------
 
@@ -143,6 +156,18 @@ class RunObserver(ObsSink):
         with self._mutex:
             self.wire_bytes.add(now, "received", nbytes)
 
+    # -- faults and failures ----------------------------------------------
+
+    def fault(self, kind: str, node: Optional[NodeId] = None) -> None:
+        now = self._clock()
+        with self._mutex:
+            self.faults.add(now, kind)
+
+    def peer_lost(self, node: NodeId, reason: str) -> None:
+        now = self._clock()
+        with self._mutex:
+            self.faults.add(now, "peer_lost")
+
     # -- engine -----------------------------------------------------------
 
     def engine_tick(self, now: float, events: int) -> None:
@@ -166,6 +191,7 @@ class RunObserver(ObsSink):
             "peer_messages": self.peer_messages,
             "wire_bytes": self.wire_bytes,
             "engine_events": self.engine_events,
+            "faults": self.faults,
         }
         return {name: series for name, series in named.items() if series}
 

@@ -24,11 +24,15 @@ from ..core.modes import LockMode
 ISSUED = "issued"
 ENQUEUED = "enqueued"
 FROZEN = "frozen"
+RETRANSMITTED = "retransmitted"
 GRANTED = "granted"
 RELEASED = "released"
 
 #: All phases a request span can pass through, in lifecycle order.
-PHASES = (ISSUED, ENQUEUED, FROZEN, GRANTED, RELEASED)
+#: ``RETRANSMITTED`` is emitted by the recovery layer each time a still
+#: ungranted request is re-sent; it sits before ``GRANTED`` so spans stay
+#: monotonic (retries stop once the grant arrives).
+PHASES = (ISSUED, ENQUEUED, FROZEN, RETRANSMITTED, GRANTED, RELEASED)
 
 #: Canonical index of each phase (used by span monotonicity checks).
 PHASE_ORDER = {phase: index for index, phase in enumerate(PHASES)}
@@ -100,6 +104,17 @@ class ObsSink:
 
     def wire_received(self, node: NodeId, nbytes: int) -> None:
         """*node* received a frame of *nbytes* off the wire."""
+
+    # -- faults and failures ----------------------------------------------
+
+    def fault(self, kind: str, node: Optional[NodeId] = None) -> None:
+        """The fault layer perturbed the run: *kind* is the injector action
+        (``"drop"``, ``"duplicate"``, ...) or a recovery event
+        (``"crash"``, ``"suspect"``, ``"regenerate"``, ...)."""
+
+    def peer_lost(self, node: NodeId, reason: str) -> None:
+        """A transport lost its connection to *node* (disconnect, corrupt
+        or oversized frame); lazy reconnect may revive it later."""
 
     # -- engine ----------------------------------------------------------
 

@@ -23,7 +23,7 @@ import socket
 import struct
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.messages import Envelope, NodeId
 from ..errors import SimulationError
@@ -95,6 +95,12 @@ class TcpTransport:
         self._stopping = False
         self._messages_sent = 0
         self._count_lock = threading.Lock()
+        #: Optional callback ``(peer_or_-1, reason)`` invoked when a
+        #: reader loses its connection (peer disconnect, oversized or
+        #: corrupt frame).  The recovery layer plugs in here; the same
+        #: event also reaches ``obs.peer_lost``.
+        self.on_peer_lost: Optional[Callable[[NodeId, str], None]] = None
+        self.peers_lost = 0
 
     @property
     def messages_sent(self) -> int:
@@ -145,6 +151,12 @@ class TcpTransport:
             return
         self._stopping = True
         for server in self._servers.values():
+            # close() alone does not wake a thread blocked in accept();
+            # shutdown() does (the accept fails with EINVAL/ENOTCONN).
+            try:
+                server.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 server.close()
             except OSError:  # pragma: no cover - platform specific
@@ -195,9 +207,21 @@ class TcpTransport:
             except OSError as exc:
                 if self._stopping:
                     return
-                raise SimulationError(
-                    f"send {sender}→{dest} failed: {exc}"
-                ) from exc
+                # The cached connection died (the peer's reader closed it
+                # after a bad frame, or the peer restarted).  Reconnect
+                # lazily, once: a fresh connection either works or the
+                # destination is genuinely gone.
+                self._drop_connection(sender, dest, sock)
+                try:
+                    sock = self._connection(sender, dest)
+                    _send_frame(sock, payload)
+                except OSError as retry_exc:
+                    if self._stopping:
+                        return
+                    self._drop_connection(sender, dest, sock)
+                    raise SimulationError(
+                        f"send {sender}→{dest} failed: {retry_exc}"
+                    ) from retry_exc
             if self.obs is not None:
                 self.obs.message(sender, dest, type(envelope.message).__name__)
                 self.obs.wire_sent(
@@ -221,6 +245,46 @@ class TcpTransport:
                 self._outbound[key] = sock
             return sock
 
+    def _drop_connection(
+        self, sender: NodeId, dest: NodeId, sock: socket.socket
+    ) -> None:
+        """Evict a dead cached connection so the next send reconnects."""
+
+        with self._outbound_lock:
+            if self._outbound.get((sender, dest)) is sock:
+                del self._outbound[(sender, dest)]
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - platform specific
+            pass
+
+    def _peer_lost(
+        self, node_id: NodeId, conn: socket.socket, peer: NodeId, reason: str
+    ) -> None:
+        """A reader lost its connection: surface it and clean up.
+
+        *peer* is the sender of the last good frame on the connection, or
+        ``-1`` if none arrived before it died.  The connection is removed
+        from the accepted list and closed, so the peer's next send (which
+        reconnects lazily) gets a fresh reader.
+        """
+
+        with self._accepted_lock:
+            if conn in self._accepted:
+                self._accepted.remove(conn)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - platform specific
+            pass
+        if self._stopping:
+            return  # An orderly shutdown is not a failure.
+        with self._count_lock:
+            self.peers_lost += 1
+        if self.obs is not None:
+            self.obs.peer_lost(peer, reason)
+        if self.on_peer_lost is not None:
+            self.on_peer_lost(peer, reason)
+
     def _accept_loop(self, node_id: NodeId, server: socket.socket) -> None:
         while True:
             try:
@@ -240,19 +304,31 @@ class TcpTransport:
 
     def _reader_loop(self, node_id: NodeId, conn: socket.socket) -> None:
         handler = self._handlers[node_id]
-        with conn:
-            while True:
-                try:
-                    payload = _recv_frame(conn)
-                except OSError:
-                    return
-                if payload is None:
-                    return
-                if self.obs is not None:
-                    self.obs.wire_received(
-                        node_id, _HEADER.size + len(payload)
-                    )
-                _sender, message = pickle.loads(payload)
-                replies = handler(message)
-                if replies:
-                    self.send(node_id, replies)
+        peer: NodeId = -1
+        while True:
+            try:
+                payload = _recv_frame(conn)
+            except OSError as exc:
+                self._peer_lost(node_id, conn, peer, f"socket error: {exc}")
+                return
+            except SimulationError as exc:
+                # Oversized frame: the stream is garbage from here on.
+                self._peer_lost(node_id, conn, peer, str(exc))
+                return
+            if payload is None:
+                self._peer_lost(node_id, conn, peer, "peer disconnected")
+                return
+            if self.obs is not None:
+                self.obs.wire_received(node_id, _HEADER.size + len(payload))
+            try:
+                sender, message = pickle.loads(payload)
+            except Exception as exc:
+                # A corrupt frame poisons the whole stream (framing can
+                # no longer be trusted); drop the connection and let the
+                # peer reconnect lazily.
+                self._peer_lost(node_id, conn, peer, f"corrupt frame: {exc}")
+                return
+            peer = sender
+            replies = handler(message)
+            if replies:
+                self.send(node_id, replies)

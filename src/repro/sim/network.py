@@ -9,12 +9,21 @@ propagation relies on.
 The network is where *all* protocol messages cross, so it doubles as the
 measurement point: an optional observer is invoked for every send with the
 sender, destination and message, and the metrics collector plugs in there.
+
+Fault injection is first-class: pass a
+:class:`~repro.faults.plan.FaultPlan` as ``faults`` and the network
+drops, duplicates, delays and reorders matching messages, severs
+partitioned pairs, and silences crashed nodes (:meth:`crash` /
+:meth:`restart`).  The injector draws from its own seeded RNG stream, so
+a run with ``faults=None`` (or an empty plan) is bit-identical to one on
+the pre-fault network — the latency RNG never sees a fault-layer draw.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+import warnings
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.messages import Envelope, NodeId
 from ..errors import SimulationError
@@ -39,25 +48,46 @@ class Network:
         observer: Optional[MessageObserver] = None,
         local_delivery_instant: bool = True,
         loss_filter: Optional[Callable[[NodeId, NodeId, object], bool]] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self._sim = sim
         self._latency = latency if latency is not None else Exponential(0.150)
         self._rng = rng if rng is not None else random.Random(0)
         self._observer = observer
         self._local_instant = local_delivery_instant
-        # Fault injection: return True to silently drop a message.  The
-        # protocol assumes reliable delivery (like its TCP testbed), so
-        # this hook exists to *demonstrate* that assumption in tests, not
-        # to model a supported failure mode.
-        self._loss_filter = loss_filter
+        if loss_filter is not None:
+            # Deprecated predecessor of the fault layer: an ad-hoc drop
+            # predicate.  It now rides the same injector as every other
+            # fault, as a single unconditional drop rule.
+            warnings.warn(
+                "Network(loss_filter=...) is deprecated; pass "
+                "faults=FaultPlan(...) (see repro.faults.plan, e.g. "
+                "plan_from_loss_filter) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if faults is not None:
+                raise SimulationError(
+                    "pass either faults= or the deprecated loss_filter=, "
+                    "not both"
+                )
+            from ..faults.plan import plan_from_loss_filter
+
+            faults = plan_from_loss_filter(loss_filter)
+        self._injector = None
+        if faults is not None and not faults.is_empty():
+            from ..faults.plan import FaultInjector
+
+            self._injector = FaultInjector(faults)
         self._handlers: Dict[NodeId, MessageHandler] = {}
+        self._crashed: Set[NodeId] = set()
         self._last_arrival: Dict[Tuple[NodeId, NodeId], float] = {}
         self._messages_sent = 0
         self._messages_dropped = 0
 
     @property
     def messages_dropped(self) -> int:
-        """Messages discarded by the fault-injection filter."""
+        """Messages discarded by faults (rules, partitions, crashed nodes)."""
 
         return self._messages_dropped
 
@@ -73,12 +103,46 @@ class Network:
 
         return self._latency.mean
 
+    @property
+    def injector(self):
+        """The active :class:`~repro.faults.plan.FaultInjector`, if any."""
+
+        return self._injector
+
     def register(self, node_id: NodeId, handler: MessageHandler) -> None:
         """Attach *handler* as the message sink of *node_id*."""
 
         if node_id in self._handlers:
             raise SimulationError(f"node {node_id} registered twice")
         self._handlers[node_id] = handler
+
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self, node_id: NodeId) -> None:
+        """Silence *node_id*: nothing in, nothing out, in-flight included."""
+
+        if node_id not in self._handlers:
+            raise SimulationError(f"cannot crash unregistered node {node_id}")
+        self._crashed.add(node_id)
+
+    def restart(
+        self, node_id: NodeId, handler: Optional[MessageHandler] = None
+    ) -> None:
+        """Bring *node_id* back, optionally with a fresh handler (the
+        restarted node's new, blank protocol state)."""
+
+        if node_id not in self._crashed:
+            raise SimulationError(f"node {node_id} is not crashed")
+        self._crashed.discard(node_id)
+        if handler is not None:
+            self._handlers[node_id] = handler
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        """Whether *node_id* is currently crashed."""
+
+        return node_id in self._crashed
+
+    # -- transmission ------------------------------------------------------
 
     def send(self, sender: NodeId, envelopes: List[Envelope]) -> None:
         """Transmit *envelopes* from *sender*, FIFO per destination pair."""
@@ -90,31 +154,50 @@ class Network:
         dest = envelope.dest
         if dest not in self._handlers:
             raise SimulationError(f"message to unregistered node {dest}")
+        if sender in self._crashed or dest in self._crashed:
+            self._messages_dropped += 1
+            return
         if dest == sender and self._local_instant:
             # A node talking to itself does not cross the wire.
             self._sim.schedule(0.0, lambda: self._deliver(sender, envelope))
             return
-        if self._loss_filter is not None and self._loss_filter(
-            sender, dest, envelope.message
-        ):
-            self._messages_dropped += 1
-            return
+        if self._injector is not None:
+            decision = self._injector.decide(
+                self._sim.now, sender, dest, envelope.message
+            )
+            if decision.drop:
+                self._messages_dropped += 1
+                return
+        else:
+            decision = None
         self._messages_sent += 1
         if self._observer is not None:
             self._observer(sender, dest, envelope.message)
-        delay = self._latency.sample(self._rng)
-        arrival = self._sim.now + delay
-        # FIFO per ordered pair: never deliver before an earlier message.
+        copies = 1 if decision is None else decision.copies
+        extra = 0.0 if decision is None else decision.extra_delay
+        reorder = decision is not None and decision.reorder
         key = (sender, dest)
-        floor = self._last_arrival.get(key, 0.0)
-        if arrival < floor:
-            arrival = floor
-        self._last_arrival[key] = arrival
-        self._sim.schedule(
-            arrival - self._sim.now, lambda: self._deliver(sender, envelope)
-        )
+        for _ in range(copies):
+            delay = self._latency.sample(self._rng) + extra
+            arrival = self._sim.now + delay
+            if not reorder:
+                # FIFO per ordered pair: never deliver before an earlier
+                # message.  A reordered message deliberately skips the
+                # floor (and does not raise it for its successors).
+                floor = self._last_arrival.get(key, 0.0)
+                if arrival < floor:
+                    arrival = floor
+                self._last_arrival[key] = arrival
+            self._sim.schedule(
+                arrival - self._sim.now,
+                lambda: self._deliver(sender, envelope),
+            )
 
     def _deliver(self, sender: NodeId, envelope: Envelope) -> None:
+        if envelope.dest in self._crashed:
+            # Crashed while the message was in flight.
+            self._messages_dropped += 1
+            return
         handler = self._handlers[envelope.dest]
         replies = handler(envelope.message)
         if replies:

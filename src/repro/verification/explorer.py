@@ -80,6 +80,7 @@ class _World:
         "released",
         "progress",
         "upgrading",
+        "sent_count",
         "log",
     )
 
@@ -93,6 +94,7 @@ class _World:
         progress: Dict[NodeId, int],
         upgrading: Dict[NodeId, bool],
         log: Tuple[str, ...],
+        sent_count: int = 0,
     ) -> None:
         self.automata = automata
         self.channels = channels
@@ -101,6 +103,7 @@ class _World:
         self.released = released
         self.progress = progress
         self.upgrading = upgrading
+        self.sent_count = sent_count
         self.log = log
 
 
@@ -115,12 +118,20 @@ class ModelExplorer:
         script: Sequence[ScriptedRequest],
         options: ProtocolOptions = FULL_PROTOCOL,
         max_states: int = 2_000_000,
+        duplicate_nth: Optional[int] = None,
     ) -> None:
         self.num_nodes = num_nodes
         self.script = list(script)
         self.scripts = per_node_scripts(self.script)
         self.options = options
         self.max_states = max_states
+        #: With ``duplicate_nth=k`` the k-th message sent (0-based, over
+        #: the whole run) is enqueued twice on its channel — the
+        #: FIFO-consistent model of a retransmission duplicate, which a
+        #: per-pair-ordered transport delivers right behind the original.
+        #: Meant for ``recovery=True`` options: it proves the dedup layer
+        #: keeps Rule 1 over every interleaving around the duplicate.
+        self.duplicate_nth = duplicate_nth
 
     # -- construction of the initial world --------------------------------
 
@@ -181,7 +192,11 @@ class ModelExplorer:
         self, world: _World, sender: NodeId, envelopes: List[Envelope]
     ) -> None:
         for envelope in envelopes:
-            world.channels[(sender, envelope.dest)].append(envelope.message)
+            channel = world.channels[(sender, envelope.dest)]
+            channel.append(envelope.message)
+            if world.sent_count == self.duplicate_nth:
+                channel.append(envelope.message)
+            world.sent_count += 1
 
     # -- state copying / hashing ------------------------------------------
 
@@ -203,6 +218,7 @@ class ModelExplorer:
             progress=dict(world.progress),
             upgrading=dict(world.upgrading),
             log=world.log,
+            sent_count=world.sent_count,
         )
         for node, automaton in automata.items():
             automaton._listener = self._listener_for(new_world, node)
@@ -224,6 +240,12 @@ class ModelExplorer:
                         (q.origin, q.mode, q.upgrade) for q in a.queued_requests
                     ),
                     tuple(sorted(m.value for m in a.frozen_modes)),
+                    # Recovery-mode state: the dedup memory and token
+                    # epoch change how future messages are handled, so
+                    # worlds differing only here must not be merged.
+                    # Constant for non-recovery options.
+                    a.recent_grant_keys,
+                    a.token_epoch,
                 )
             )
         channels = tuple(
@@ -234,7 +256,7 @@ class ModelExplorer:
         holds = tuple(sorted((n, m.value) for n, m in world.holds))
         progress = tuple(sorted(world.progress.items()))
         upgrading = tuple(sorted(world.upgrading.items()))
-        return (
+        signature = (
             tuple(autos),
             channels,
             holds,
@@ -243,6 +265,12 @@ class ModelExplorer:
             progress,
             upgrading,
         )
+        if self.duplicate_nth is not None:
+            # Worlds on either side of the duplication point behave
+            # differently even with identical automata; once the
+            # duplicate has fired the exact count no longer matters.
+            signature += (min(world.sent_count, self.duplicate_nth + 1),)
+        return signature
 
     @staticmethod
     def _msg_sig(message) -> Tuple:
@@ -382,6 +410,7 @@ def explore_scenario(
     requests: Sequence[Tuple],
     options: ProtocolOptions = FULL_PROTOCOL,
     max_states: int = 2_000_000,
+    duplicate_nth: Optional[int] = None,
 ) -> ExplorationStats:
     """Convenience wrapper: explore ``[(node, mode[, upgrade]), ...]``."""
 
@@ -391,6 +420,7 @@ def explore_scenario(
         for r in requests
     ]
     explorer = ModelExplorer(
-        num_nodes, script, options=options, max_states=max_states
+        num_nodes, script, options=options, max_states=max_states,
+        duplicate_nth=duplicate_nth,
     )
     return explorer.explore()

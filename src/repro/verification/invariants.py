@@ -44,6 +44,14 @@ class Monitor:
     ) -> None:
         """A node just released one hold of *mode* on *lock_id*."""
 
+    def on_crash(self, time: float, node: NodeId) -> None:
+        """*node* crashed (fault injection): its holds vanish with it.
+
+        Crash-induced hold disappearance is not a protocol violation, so
+        monitors must forget the node's state rather than flag the holds
+        as leaked at end of run.
+        """
+
 
 class CompatibilityMonitor(Monitor):
     """Asserts pairwise compatibility of all concurrent holds per lock."""
@@ -84,6 +92,11 @@ class CompatibilityMonitor(Monitor):
         holds[(node, mode)] -= 1
         if holds[(node, mode)] == 0:
             del holds[(node, mode)]
+
+    def on_crash(self, time: float, node: NodeId) -> None:
+        for holds in self._holds.values():
+            for key in [k for k in holds if k[0] == node]:
+                del holds[key]
 
     def current_holds(self, lock_id: LockId) -> List[Tuple[NodeId, LockMode]]:
         """Return the live (node, mode) holds of *lock_id*."""
@@ -129,6 +142,11 @@ class MutualExclusionMonitor(Monitor):
                 "does not hold"
             )
         self._holder[lock_id] = None
+
+    def on_crash(self, time: float, node: NodeId) -> None:
+        for lock_id, holder in self._holder.items():
+            if holder == node:
+                self._holder[lock_id] = None
 
     def assert_all_released(self) -> None:
         """Raise unless every critical section has been exited."""
@@ -197,3 +215,7 @@ class MonitorSet(Monitor):
     ) -> None:
         for monitor in self.monitors:
             monitor.on_release(time, node, lock_id, mode)
+
+    def on_crash(self, time: float, node: NodeId) -> None:
+        for monitor in self.monitors:
+            monitor.on_crash(time, node)

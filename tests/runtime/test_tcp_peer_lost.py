@@ -1,0 +1,114 @@
+"""TCP reader-death reporting: bad frames must not die silently.
+
+Before the fault work, a corrupt or oversized frame killed the reader
+thread with nothing but a lost connection to show for it.  Now the
+transport closes the stream, reports ``peer_lost`` to both the observer
+callback and the observability sink, and the peer's next send transparently
+reconnects.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+from repro.core.messages import Envelope
+from repro.core.modes import LockMode
+from repro.faults.messages import HeartbeatMessage
+from repro.obs.sink import ObsSink
+from repro.runtime.tcp import MAX_FRAME, TcpTransport
+
+
+class _RecordingSink(ObsSink):
+    def __init__(self) -> None:
+        self.lost = []
+
+    def peer_lost(self, node, reason):
+        self.lost.append((node, reason))
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _transport():
+    sink = _RecordingSink()
+    lost = []
+    transport = TcpTransport(obs=sink)
+    transport.on_peer_lost = lambda peer, reason: lost.append((peer, reason))
+    transport.register(0, lambda m: [])
+    transport.register(1, lambda m: [])
+    transport.start()
+    return transport, sink, lost
+
+
+class TestReaderDeathReporting:
+    def test_oversized_frame_reports_peer_lost(self):
+        transport, sink, lost = _transport()
+        try:
+            with socket.create_connection(transport.address_of(1)) as sock:
+                sock.sendall(struct.pack(">I", MAX_FRAME + 1))
+                assert _wait_for(lambda: transport.peers_lost == 1)
+            assert lost and "oversized" in lost[0][1]
+            assert sink.lost == lost
+            # No good frame ever arrived, so the peer is unknown.
+            assert lost[0][0] == -1
+        finally:
+            transport.stop()
+
+    def test_corrupt_frame_reports_peer_lost(self):
+        transport, sink, lost = _transport()
+        try:
+            with socket.create_connection(transport.address_of(1)) as sock:
+                garbage = b"\x00not pickle"
+                sock.sendall(struct.pack(">I", len(garbage)) + garbage)
+                assert _wait_for(lambda: transport.peers_lost == 1)
+            assert lost and "corrupt frame" in lost[0][1]
+        finally:
+            transport.stop()
+
+    def test_disconnect_reports_peer_lost_with_sender(self):
+        transport, sink, lost = _transport()
+        try:
+            beat = HeartbeatMessage(lock_id="", sender=0)
+            transport.send(0, [Envelope(1, beat)])
+            assert _wait_for(lambda: transport.messages_sent == 1)
+            # Tear down node 0's cached outbound connection abruptly.
+            transport._drop_connection(
+                0, 1, transport._outbound.get((0, 1))
+                or socket.socket()
+            )
+            assert _wait_for(lambda: transport.peers_lost == 1)
+            # The reader knew who was talking: the last good frame's sender.
+            assert lost == [(0, "peer disconnected")]
+        finally:
+            transport.stop()
+
+    def test_send_after_reader_death_reconnects(self):
+        transport, sink, lost = _transport()
+        try:
+            with socket.create_connection(transport.address_of(1)) as sock:
+                sock.sendall(struct.pack(">I", MAX_FRAME + 1))
+                assert _wait_for(lambda: transport.peers_lost == 1)
+            # Legit traffic still flows: a fresh reader serves the pair.
+            received = []
+            transport._handlers[1] = lambda m: received.append(m) or []
+            beat = HeartbeatMessage(lock_id="", sender=0)
+            transport.send(0, [Envelope(1, beat)])
+            assert _wait_for(lambda: received == [beat])
+        finally:
+            transport.stop()
+
+    def test_orderly_shutdown_is_not_a_failure(self):
+        transport, sink, lost = _transport()
+        beat = HeartbeatMessage(lock_id="", sender=0)
+        transport.send(0, [Envelope(1, beat)])
+        transport.stop()
+        assert lost == []
+        assert transport.peers_lost == 0
