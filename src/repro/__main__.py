@@ -184,6 +184,11 @@ def _parse(argv: Sequence[str]) -> argparse.Namespace:
         help="write an observability JSONL trace of the runs "
         f"(experiments: {', '.join(OBSERVABLE)})",
     )
+    parser.add_argument(
+        "--waterfall", type=int, default=None, metavar="N",
+        help="report subcommand: per-request hop waterfalls to render, "
+        "slowest grants first (default: 3; 0 disables)",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "report" and args.trace is None:
         parser.error("report needs a trace file: python -m repro report run.jsonl")
@@ -207,11 +212,16 @@ def main(argv: Sequence[str] = ()) -> int:
         except OSError as exc:
             print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
             return 2
-        except ValueError as exc:  # bad JSON or unknown series payload
+        except ValueError as exc:  # bad JSON, binary data, truncated line
             print(f"error: {args.trace} is not a trace file: {exc}",
                   file=sys.stderr)
             return 2
-        print(render_report(runs))
+        if not runs:
+            print(f"error: {args.trace} contains no run sections "
+                  "(empty trace file?)", file=sys.stderr)
+            return 2
+        waterfalls = args.waterfall if args.waterfall is not None else 3
+        print(render_report(runs, waterfalls=waterfalls))
         return 0
     counts: List[int]
     if args.nodes is not None:

@@ -814,6 +814,7 @@ class HierarchicalLockAutomaton:
                 request_id=msg.request_id,
                 frozen=self._frozen,
                 attachment_seq=attachment_seq,
+                trace=msg.trace,
             ),
         )
 
@@ -837,6 +838,7 @@ class HierarchicalLockAutomaton:
                 request_id=msg.request_id,
                 frozen=self._frozen,
                 attachment_seq=attachment_seq,
+                trace=msg.trace,
             ),
         )
 
@@ -864,6 +866,7 @@ class HierarchicalLockAutomaton:
             frozen=self._frozen,
             prev_owner_seq=self._attach_seq,
             epoch=self._token_epoch,
+            trace=msg.trace,
         )
         return [Envelope(msg.origin, token)]
 

@@ -112,6 +112,14 @@ class ReliableChannel:
         self.retransmits = 0
         #: Frames dropped as duplicates or stale-incarnation traffic.
         self.duplicates_dropped = 0
+        #: Optional causal tracer (set by the recovery manager).  Frames
+        #: are stamped *before* entering ``unacked`` so a retransmission
+        #: re-sends the stamped object and the tracer recognizes it as an
+        #: annotated retransmit hop rather than a fresh message.
+        self.tracer = None
+        #: Optional observability sink; timer retransmissions are
+        #: reported as ``fault("channel-retransmit", node)`` events.
+        self.obs = None
 
     # -- sending -----------------------------------------------------------
 
@@ -129,6 +137,8 @@ class ReliableChannel:
                 payload=payload,
                 boot=self.boot,
             )
+            if self.tracer is not None:
+                frame = self.tracer.stamp_frame(self._node_id, dest, frame)
             stream.next_seq += 1
             was_idle = not stream.unacked
             stream.unacked[frame.seq] = frame
@@ -157,6 +167,9 @@ class ReliableChannel:
             self.retransmits += len(frames)
             stream.interval = min(stream.interval * 2, self._retry_cap)
             self._arm_timer(dest, stream)
+        if self.obs is not None:
+            for _ in frames:
+                self.obs.fault("channel-retransmit", self._node_id)
         for frame in frames:
             self._send(dest, frame)
 

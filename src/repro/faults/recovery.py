@@ -122,6 +122,11 @@ class RecoveryManager:
             boot=boot,
             mutex=self._mutex,
         )
+        #: Causal tracer, adopted from the obs sink when it has one; the
+        #: session channel shares it so frames join request chains.
+        self.tracer = getattr(obs, "tracer", None) if obs is not None else None
+        self.channel.tracer = self.tracer
+        self.channel.obs = obs
         #: Per-lock retry timers for this node's own pending request:
         #: lock_id -> [generation, interval].
         self._retries: Dict[LockId, List[float]] = {}
@@ -366,7 +371,15 @@ class RecoveryManager:
             if not out:
                 out = automaton.retransmit_pending()
             self.app_retransmits += len(out)
-            self._dispatch(out)
+            if self.obs is not None:
+                for _ in out:
+                    self.obs.fault("app-retransmit", self.node_id)
+            if self.tracer is not None and out:
+                # Re-sent requests join their chain as annotated hops.
+                with self.tracer.annotated(self.node_id, "retransmit"):
+                    self._dispatch(out)
+            else:
+                self._dispatch(out)
             entry[1] = min(entry[1] * 2, self.config.retry_cap)
             self._scheduler.call_later(
                 entry[1], lambda: self._retry_fire(lock_id, generation)
@@ -381,6 +394,9 @@ class RecoveryManager:
         self.suspect_log.append((now, peer))
         if self.obs is not None:
             self.obs.fault("suspect", peer)
+            # The heartbeat detector declared the peer dead: surface it
+            # through the same hook real transports use for lost links.
+            self.obs.peer_lost(peer, "heartbeat timeout")
         self.channel.stop_peer(peer)
         for automaton in list(self.lockspace.automata()):
             lock_id = automaton.lock_id
@@ -564,7 +580,13 @@ class RecoveryManager:
             self.regenerations.append(
                 {"lock": lock_id, "epoch": epoch, "node": self.node_id}
             )
-            self._dispatch(out)
+            if self.tracer is not None and out:
+                # Grants flowing from a regenerated token are annotated
+                # so traces show which hops recovery manufactured.
+                with self.tracer.annotated(self.node_id, "regen"):
+                    self._dispatch(out)
+            else:
+                self._dispatch(out)
             # Re-broadcast: anyone who missed the claim (or joined the
             # quorum since) learns the final placement.
             self._announce(lock_id, self.node_id, epoch, broadcast=True)

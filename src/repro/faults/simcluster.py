@@ -123,6 +123,7 @@ class ResilientSimCluster:
             rng=random.Random(seed ^ 0x5EED),
             observer=observer,
             faults=plan,
+            tracer=getattr(obs, "tracer", None) if obs is not None else None,
         )
         self._scheduler = SimScheduler(self.sim)
         self.lockspaces: Dict[NodeId, LockSpace] = {}

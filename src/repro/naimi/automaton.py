@@ -223,7 +223,9 @@ class NaimiAutomaton:
                     Envelope(
                         msg.origin,
                         NaimiTokenMessage(
-                            lock_id=self._lock_id, sender=self._node_id
+                            lock_id=self._lock_id,
+                            sender=self._node_id,
+                            trace=msg.trace,
                         ),
                     )
                 )
@@ -235,6 +237,7 @@ class NaimiAutomaton:
                         lock_id=self._lock_id,
                         sender=self._node_id,
                         origin=msg.origin,
+                        trace=msg.trace,
                     ),
                 )
             )

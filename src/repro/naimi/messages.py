@@ -7,8 +7,9 @@ Two message types only: a request travelling along the probable-owner
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
-from ..core.messages import LockId, NodeId
+from ..core.messages import LockId, NodeId, TraceContext
 
 
 @dataclasses.dataclass(frozen=True)
@@ -17,6 +18,10 @@ class NaimiMessage:
 
     lock_id: LockId
     sender: NodeId
+    #: Optional causal-tracing context (see repro.core.messages).
+    trace: Optional[TraceContext] = dataclasses.field(
+        default=None, kw_only=True, compare=False, repr=False
+    )
 
 
 @dataclasses.dataclass(frozen=True)

@@ -6,6 +6,7 @@ Layer map::
     spans.py    RequestSpan lifecycle records
     series.py   WindowedCounter / GaugeSeries / Histogram primitives
     collect.py  RunObserver — the concrete collector
+    tracing.py  causal hop tracing and critical-path attribution
     export.py   JSONL writer/loader (extends verification/trace format)
     report.py   text-table rendering for `python -m repro report`
 
@@ -30,6 +31,13 @@ from .sink import (
     SpanKey,
 )
 from .spans import RequestSpan
+from .tracing import (
+    Hop,
+    MessageTracer,
+    TraceChain,
+    canonical_span_key,
+    critical_path,
+)
 
 __all__ = [
     "DEFAULT_WINDOW",
@@ -42,12 +50,17 @@ __all__ = [
     "RELEASED",
     "GaugeSeries",
     "Histogram",
+    "Hop",
+    "MessageTracer",
     "ObsSink",
     "RequestSpan",
     "RunObserver",
     "RunTrace",
     "SpanKey",
+    "TraceChain",
     "WindowedCounter",
+    "canonical_span_key",
+    "critical_path",
     "load_runs",
     "load_runs_from_path",
     "render_report",

@@ -34,6 +34,7 @@ from .series import (
 )
 from .sink import GRANTED, RELEASED, ObsSink, SpanKey
 from .spans import RequestSpan
+from .tracing import MessageTracer, canonical_span_key
 
 #: ``() -> float`` time source; the simulator's ``lambda: sim.now`` or a
 #: monotonic wall clock.
@@ -47,12 +48,18 @@ class RunObserver(ObsSink):
         self,
         clock: Optional[Clock] = None,
         window: float = DEFAULT_WINDOW,
+        tracing: bool = True,
     ) -> None:
         self._clock_rebindable = clock is None
         if clock is None:
             start = _time.monotonic()
             clock = lambda: _time.monotonic() - start  # noqa: E731
         self._clock = clock
+        #: Causal message tracer, sharing this observer's clock; the
+        #: transports pick it up via ``getattr(obs, "tracer", None)``.
+        self.tracer: Optional[MessageTracer] = (
+            MessageTracer(clock=lambda: self._clock()) if tracing else None
+        )
         self._mutex = threading.Lock()
         #: Every span ever opened, in issue order (complete or not).
         self.spans: List[RequestSpan] = []
@@ -98,7 +105,12 @@ class RunObserver(ObsSink):
             span = self._open.get(key)
             if span is None:
                 kind = str(mode) if mode is not None else "?"
-                span = RequestSpan(node=node, lock=lock_id, kind=kind)
+                span = RequestSpan(
+                    node=node,
+                    lock=lock_id,
+                    kind=kind,
+                    key=canonical_span_key(key),
+                )
                 self._open[key] = span
                 self.spans.append(span)
             span.mark(phase, now)

@@ -16,6 +16,10 @@ with three new categories:
 ``{"cat": "series", "name": ..., "series": {...}}``
     One named time series (counter / gauge / histogram payload).
 
+``{"cat": "chain", "chain": {...}}``
+    One causal chain of hop records
+    (:meth:`repro.obs.tracing.TraceChain.to_payload`).
+
 Classic trace events (``cat`` of request/grant/release/message) may be
 interleaved in the same file; the loader keeps them as raw dicts on the
 owning :class:`RunTrace`.  A file may contain several run sections —
@@ -32,9 +36,10 @@ from typing import IO, Dict, List, Optional
 from .collect import RunObserver
 from .series import GaugeSeries, Histogram, WindowedCounter, series_from_payload
 from .spans import RequestSpan
+from .tracing import TraceChain
 
 #: New line categories introduced by this module.
-RUN, SPAN, SERIES = "run", "span", "series"
+RUN, SPAN, SERIES, CHAIN = "run", "span", "series", "chain"
 
 
 @dataclasses.dataclass
@@ -46,6 +51,8 @@ class RunTrace:
     counters: Dict[str, WindowedCounter] = dataclasses.field(default_factory=dict)
     gauges: Dict[str, GaugeSeries] = dataclasses.field(default_factory=dict)
     histograms: Dict[str, Histogram] = dataclasses.field(default_factory=dict)
+    #: Causal chains recorded by the message tracer, in mint order.
+    chains: List[TraceChain] = dataclasses.field(default_factory=list)
     #: Raw classic trace events (cat request/grant/release/message), if any.
     events: List[Dict[str, object]] = dataclasses.field(default_factory=list)
 
@@ -103,6 +110,10 @@ def write_run(
         emit({"cat": SERIES, "name": name, "series": series.to_payload()})
     for name, series in observer.histograms().items():
         emit({"cat": SERIES, "name": name, "series": series.to_payload()})
+    tracer = getattr(observer, "tracer", None)
+    if tracer is not None:
+        for chain in tracer.chains():
+            emit({"cat": CHAIN, "chain": chain.to_payload()})
     return lines
 
 
@@ -126,6 +137,8 @@ def load_runs(stream: IO[str]) -> List[RunTrace]:
             runs.append(RunTrace(meta=dict(raw.get("meta") or {})))
         elif category == SPAN:
             current().spans.append(RequestSpan.from_payload(raw["span"]))
+        elif category == CHAIN:
+            current().chains.append(TraceChain.from_payload(raw["chain"]))
         elif category == SERIES:
             series = series_from_payload(raw["series"])
             name = raw.get("name", "series")

@@ -7,6 +7,13 @@ Renders, per run section of a JSONL trace file:
   grant→release) summarized over all completed spans;
 * **Fig. 7-style message breakdown** — wire messages by type, with
   per-request averages using the run's recorded request count;
+* **causal chains** — hop-count histogram, critical-path-length
+  percentiles and a latency-by-segment decomposition (transit /
+  queue-wait / freeze-wait / recovery-stall) over every granted
+  request's traced chain, plus per-request waterfalls for the slowest
+  grants (see docs/TRACING.md for the reading guide);
+* **fault / recovery activity** — injector actions and recovery events
+  (suspects, retransmissions, token regenerations) when recorded;
 * **queue-depth timeline** — the windowed gauge as (time, mean, max)
   rows, condensed to a bounded number of lines;
 * engine throughput and wire-level sections when the corresponding
@@ -24,6 +31,7 @@ from .export import RunTrace
 from .series import GaugeSeries
 from .sink import ENQUEUED, FROZEN, GRANTED, ISSUED, RELEASED
 from .spans import RequestSpan
+from .tracing import PATH_SEGMENTS, TraceChain, critical_path
 
 #: Lifecycle segments reported, as (label, start_phase, end_phase).
 SEGMENTS: Tuple[Tuple[str, str, str], ...] = (
@@ -36,6 +44,9 @@ SEGMENTS: Tuple[Tuple[str, str, str], ...] = (
 
 #: Longest timeline rendered before adjacent windows get merged.
 MAX_TIMELINE_ROWS = 40
+
+#: Slowest granted chains rendered as waterfalls by default.
+DEFAULT_WATERFALLS = 3
 
 
 def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -120,6 +131,159 @@ def _timeline_rows(gauge: GaugeSeries) -> List[List[str]]:
     ]
 
 
+def _frozen_lookup(run: RunTrace) -> Dict[str, float]:
+    """Span-key → freeze timestamp, for chain critical paths."""
+
+    frozen: Dict[str, float] = {}
+    for span in run.spans:
+        if span.key is None:
+            continue
+        at = span.time_of(FROZEN)
+        if at is not None:
+            frozen[span.key] = at
+    return frozen
+
+
+def _quantile(ordered: List[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending-sorted sample."""
+
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _chain_rows(run: RunTrace) -> List[str]:
+    """The causal-chain aggregate section (histogram + percentiles +
+    latency by critical-path segment)."""
+
+    request_chains = [c for c in run.chains if c.kind == "request"]
+    total_hops = sum(c.hop_count for c in run.chains)
+    requests = run.requests
+    mean_hops = total_hops / requests if requests else 0.0
+    out: List[str] = []
+    out.append(
+        f"-- causal chains ({len(request_chains)} request chains, "
+        f"{total_hops} hops, {mean_hops:.3f} hops/request) --"
+    )
+
+    histogram: Dict[int, int] = {}
+    for chain in request_chains:
+        histogram[chain.hop_count] = histogram.get(chain.hop_count, 0) + 1
+    if histogram:
+        out.append(
+            _table(
+                ["hops", "chains", "share"],
+                [
+                    [
+                        str(hops),
+                        str(count),
+                        f"{100.0 * count / len(request_chains):.1f}%",
+                    ]
+                    for hops, count in sorted(histogram.items())
+                ],
+            )
+        )
+
+    frozen = _frozen_lookup(run)
+    paths = []
+    for chain in request_chains:
+        decomposition = critical_path(
+            chain, frozen_at=frozen.get(chain.span_key)
+        )
+        if decomposition is not None:
+            paths.append(decomposition)
+    if not paths:
+        return out
+
+    lengths = sorted(p["path_hops"] for p in paths)
+    out.append("")
+    out.append(
+        f"-- critical paths ({len(paths)} granted chains) "
+        f"length p50 {_quantile(lengths, 0.5):.0f} "
+        f"p95 {_quantile(lengths, 0.95):.0f} "
+        f"max {lengths[-1]:.0f} --"
+    )
+    grand_total = sum(p["total"] for p in paths)
+    rows = []
+    for name in PATH_SEGMENTS:
+        samples = sorted(p["segments"][name] for p in paths)
+        seg_total = sum(samples)
+        share = 100.0 * seg_total / grand_total if grand_total else 0.0
+        rows.append(
+            [
+                name,
+                f"{seg_total / len(samples):.4f}",
+                f"{_quantile(samples, 0.5):.4f}",
+                f"{_quantile(samples, 0.95):.4f}",
+                f"{share:.1f}%",
+            ]
+        )
+    rows.append(
+        [
+            "TOTAL",
+            f"{grand_total / len(paths):.4f}",
+            "",
+            "",
+            "100.0%",
+        ]
+    )
+    out.append(_table(["segment", "mean", "p50", "p95", "share"], rows))
+    return out
+
+
+def _waterfall(chain: TraceChain) -> str:
+    """Per-request waterfall: one row per hop, parent-linked."""
+
+    rows: List[List[str]] = []
+    for hop in chain.hops:
+        transit = (
+            f"{hop.recv_at - hop.sent_at:.4f}"
+            if hop.sent_at is not None and hop.recv_at is not None
+            else "-"
+        )
+        note = hop.kind if hop.kind != "send" else ""
+        if hop.duplicates:
+            note = (note + f" dup×{hop.duplicates}").strip()
+        rows.append(
+            [
+                f"{hop.hop}",
+                f"{hop.parent}",
+                f"{hop.sender}->{hop.dest}",
+                hop.label,
+                f"{hop.sent_at - chain.issued_at:.4f}"
+                if hop.sent_at is not None
+                else "-",
+                transit,
+                note,
+            ]
+        )
+    latency = (
+        f"{chain.granted_at - chain.issued_at:.4f}s"
+        if chain.granted_at is not None
+        else "ungranted"
+    )
+    header = (
+        f"trace {chain.trace_id} (origin {chain.origin}, "
+        f"lock {chain.lock!r}, {latency})"
+    )
+    return header + "\n" + _table(
+        ["hop", "par", "link", "message", "+sent", "transit", "note"], rows
+    )
+
+
+def _fault_rows(run: RunTrace) -> List[List[str]]:
+    counter = run.counters.get("faults")
+    if counter is None:
+        return []
+    return [
+        [kind, str(count)]
+        for kind, count in sorted(
+            counter.totals().items(), key=lambda kv: -kv[1]
+        )
+    ]
+
+
 def _meta_line(run: RunTrace) -> str:
     parts = []
     for key in ("protocol", "nodes", "ops", "seed", "requests", "sim_time"):
@@ -129,8 +293,12 @@ def _meta_line(run: RunTrace) -> str:
     return "  ".join(parts)
 
 
-def render_run(run: RunTrace) -> str:
-    """Render the full report for one run section."""
+def render_run(run: RunTrace, waterfalls: int = DEFAULT_WATERFALLS) -> str:
+    """Render the full report for one run section.
+
+    *waterfalls* bounds the number of per-request hop waterfalls shown
+    (slowest granted chains first); 0 disables them.
+    """
 
     out: List[str] = []
     out.append(f"== {run.label} ==")
@@ -158,6 +326,25 @@ def render_run(run: RunTrace) -> str:
         )
     else:
         out.append("(no messages recorded)")
+
+    if run.chains:
+        out.append("")
+        out.extend(_chain_rows(run))
+        granted = [
+            chain
+            for chain in run.chains
+            if chain.kind == "request" and chain.granted_at is not None
+        ]
+        granted.sort(key=lambda c: c.granted_at - c.issued_at, reverse=True)
+        for chain in granted[:waterfalls]:
+            out.append("")
+            out.append(_waterfall(chain))
+
+    fault_rows = _fault_rows(run)
+    if fault_rows:
+        out.append("")
+        out.append("-- fault / recovery activity --")
+        out.append(_table(["event", "count"], fault_rows))
 
     queue = run.gauges.get("queue_depth")
     if queue is not None:
@@ -206,9 +393,11 @@ def render_run(run: RunTrace) -> str:
     return "\n".join(out)
 
 
-def render_report(runs: Sequence[RunTrace]) -> str:
+def render_report(
+    runs: Sequence[RunTrace], waterfalls: int = DEFAULT_WATERFALLS
+) -> str:
     """Render every run section of a trace file."""
 
     if not runs:
         return "(empty trace: no run sections found)"
-    return "\n\n".join(render_run(run) for run in runs)
+    return "\n\n".join(render_run(run, waterfalls=waterfalls) for run in runs)

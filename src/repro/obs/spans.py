@@ -33,6 +33,10 @@ class RequestSpan:
     lock: str
     kind: str
     phases: List[Tuple[str, float]] = dataclasses.field(default_factory=list)
+    #: Canonical span-key string (``"origin.serial"`` for the
+    #: hierarchical protocol, ``"lock:origin"`` for the token baselines);
+    #: joins this span with its causal chain (``TraceChain.span_key``).
+    key: Optional[str] = None
 
     # -- recording -------------------------------------------------------
 
@@ -106,12 +110,15 @@ class RequestSpan:
     def to_payload(self) -> Dict[str, object]:
         """JSON-serializable dict (see :mod:`repro.obs.export`)."""
 
-        return {
+        payload: Dict[str, object] = {
             "node": self.node,
             "lock": self.lock,
             "kind": self.kind,
             "phases": [[name, time] for name, time in self.phases],
         }
+        if self.key is not None:
+            payload["key"] = self.key
+        return payload
 
     @staticmethod
     def from_payload(payload: Dict[str, object]) -> "RequestSpan":
@@ -122,4 +129,5 @@ class RequestSpan:
             lock=payload["lock"],
             kind=payload["kind"],
             phases=[(name, time) for name, time in payload["phases"]],
+            key=payload.get("key"),
         )

@@ -17,9 +17,9 @@ duplicate requests on one edge.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Union
+from typing import Callable, Deque, List, Optional, Tuple, Union
 
-from ..core.messages import Envelope, LockId, NodeId
+from ..core.messages import Envelope, LockId, NodeId, TraceContext
 from ..errors import LockUsageError, ProtocolError
 from ..obs.sink import ENQUEUED, GRANTED, ISSUED, RELEASED, ObsSink
 from .messages import (
@@ -66,7 +66,14 @@ class RaymondAutomaton:
         self._node_id = node_id
         self._lock_id = lock_id
         self._holder: Optional[NodeId] = holder  # None = privilege here
-        self._request_q: Deque[Union[str, NodeId]] = deque()
+        #: FIFO of (requester, trace context of its request).  The trace
+        #: context travels with the queue entry so the privilege (and any
+        #: request re-issued on the next edge) rejoins the causal chain of
+        #: the request it actually serves; ``None`` for SELF entries (the
+        #: transport mints a root chain for a request leaving its origin).
+        self._request_q: Deque[
+            Tuple[Union[str, NodeId], Optional[TraceContext]]
+        ] = deque()
         self._asked = False
         self._using = False
         self._ctx: object = None
@@ -127,12 +134,12 @@ class RaymondAutomaton:
     def request(self, ctx: object = None) -> List[Envelope]:
         """Request the critical section; grant arrives via the listener."""
 
-        if self._using or SELF in self._request_q:
+        if self._using or any(entry == SELF for entry, _ in self._request_q):
             raise LockUsageError(
                 f"node {self._node_id} already requested {self._lock_id}"
             )
         self._ctx = ctx
-        self._request_q.append(SELF)
+        self._request_q.append((SELF, None))
         if self.obs is not None:
             key = (self._lock_id, self._node_id)
             self.obs.phase(self._node_id, self._lock_id, key, ISSUED)
@@ -174,7 +181,7 @@ class RaymondAutomaton:
             )
         out: List[Envelope] = []
         if isinstance(message, RaymondRequestMessage):
-            self._request_q.append(message.sender)
+            self._request_q.append((message.sender, message.trace))
             if self.obs is not None:
                 self.obs.queue_depth(
                     self._node_id, self._lock_id, len(self._request_q)
@@ -199,7 +206,7 @@ class RaymondAutomaton:
     def _assign_privilege(self) -> List[Envelope]:
         if self._holder is not None or self._using or not self._request_q:
             return []
-        head = self._request_q.popleft()
+        head, head_trace = self._request_q.popleft()
         if self.obs is not None:
             self.obs.queue_depth(
                 self._node_id, self._lock_id, len(self._request_q)
@@ -222,7 +229,9 @@ class RaymondAutomaton:
             Envelope(
                 head,
                 RaymondPrivilegeMessage(
-                    lock_id=self._lock_id, sender=self._node_id
+                    lock_id=self._lock_id,
+                    sender=self._node_id,
+                    trace=head_trace,
                 ),
             )
         ]
@@ -235,7 +244,9 @@ class RaymondAutomaton:
             Envelope(
                 self._holder,
                 RaymondRequestMessage(
-                    lock_id=self._lock_id, sender=self._node_id
+                    lock_id=self._lock_id,
+                    sender=self._node_id,
+                    trace=self._request_q[0][1],
                 ),
             )
         ]
@@ -244,6 +255,6 @@ class RaymondAutomaton:
         return (
             f"<RaymondAutomaton node={self._node_id} lock={self._lock_id!r} "
             f"privilege={self.has_privilege} using={self._using} "
-            f"holder={self._holder} q={list(self._request_q)} "
+            f"holder={self._holder} q={[e for e, _ in self._request_q]} "
             f"asked={self._asked}>"
         )

@@ -83,6 +83,10 @@ class TcpTransport:
         #: plus ``wire_sent(frame bytes, serialize+send seconds)`` and
         #: ``wire_received(frame bytes)`` on the reader side.
         self.obs = obs
+        #: Optional causal tracer, adopted from ``obs`` when it has one.
+        #: Trace contexts are ordinary dataclass fields, so they survive
+        #: the pickle frame codec with no extra wire format.
+        self.tracer = getattr(obs, "tracer", None)
         self._handlers: Dict[NodeId, MessageHandler] = {}
         self._servers: Dict[NodeId, socket.socket] = {}
         self._addresses: Dict[NodeId, Tuple[str, int]] = {}
@@ -199,6 +203,8 @@ class TcpTransport:
                 continue
             if self._observer is not None:
                 self._observer(sender, dest, envelope.message)
+            if self.tracer is not None:
+                envelope = self.tracer.outbound(sender, envelope)
             started = time.perf_counter()
             payload = pickle.dumps((sender, envelope.message))
             sock = self._connection(sender, dest)
@@ -329,6 +335,17 @@ class TcpTransport:
                 self._peer_lost(node_id, conn, peer, f"corrupt frame: {exc}")
                 return
             peer = sender
-            replies = handler(message)
-            if replies:
-                self.send(node_id, replies)
+            tracer = self.tracer
+            if tracer is None:
+                replies = handler(message)
+                if replies:
+                    self.send(node_id, replies)
+                continue
+            tracer.delivered(node_id, message)
+            tracer.begin_delivery(node_id, message)
+            try:
+                replies = handler(message)
+                if replies:
+                    self.send(node_id, replies)
+            finally:
+                tracer.end_delivery(node_id)

@@ -51,6 +51,9 @@ class ThreadedTransport:
         #: Optional observability sink: cross-node traffic is reported as
         #: ``message`` plus ``wire_sent(nbytes=0, enqueue→dispatch latency)``.
         self.obs = obs
+        #: Optional causal tracer, adopted from ``obs`` when it has one
+        #: (see :mod:`repro.obs.tracing`).
+        self.tracer = getattr(obs, "tracer", None)
         self._inboxes: Dict[NodeId, "queue.Queue"] = {}
         self._handlers: Dict[NodeId, MessageHandler] = {}
         self._threads: Dict[NodeId, threading.Thread] = {}
@@ -121,6 +124,8 @@ class ThreadedTransport:
                         envelope.dest,
                         type(envelope.message).__name__,
                     )
+                if self.tracer is not None:
+                    envelope = self.tracer.outbound(sender, envelope)
             self._inboxes[envelope.dest].put(
                 (sender, envelope, time.perf_counter())
             )
@@ -156,6 +161,17 @@ class ThreadedTransport:
                 with self._rng_lock:
                     pause = self._delay.sample(self._rng)
                 time.sleep(pause)
-            replies = handler(envelope.message)
-            if replies:
-                self.send(node_id, replies)
+            tracer = self.tracer
+            if tracer is None or sender == node_id:
+                replies = handler(envelope.message)
+                if replies:
+                    self.send(node_id, replies)
+                continue
+            tracer.delivered(node_id, envelope.message)
+            tracer.begin_delivery(node_id, envelope.message)
+            try:
+                replies = handler(envelope.message)
+                if replies:
+                    self.send(node_id, replies)
+            finally:
+                tracer.end_delivery(node_id)

@@ -77,6 +77,7 @@ class _BaseCluster:
             latency=self._latency,
             rng=random.Random(seed ^ 0x5EED),
             observer=self._observe_message,
+            tracer=getattr(obs, "tracer", None) if obs is not None else None,
         )
 
     @property

@@ -49,11 +49,17 @@ class Network:
         local_delivery_instant: bool = True,
         loss_filter: Optional[Callable[[NodeId, NodeId, object], bool]] = None,
         faults: Optional["FaultPlan"] = None,
+        tracer: Optional["MessageTracer"] = None,
     ) -> None:
         self._sim = sim
         self._latency = latency if latency is not None else Exponential(0.150)
         self._rng = rng if rng is not None else random.Random(0)
         self._observer = observer
+        #: Optional causal tracer (:mod:`repro.obs.tracing`).  Stamps a
+        #: trace context onto every envelope at the same point the
+        #: observer fires; draws no randomness and sends nothing, so
+        #: traced runs stay bit-identical to untraced ones.
+        self.tracer = tracer
         self._local_instant = local_delivery_instant
         if loss_filter is not None:
             # Deprecated predecessor of the fault layer: an ad-hoc drop
@@ -173,6 +179,8 @@ class Network:
         self._messages_sent += 1
         if self._observer is not None:
             self._observer(sender, dest, envelope.message)
+        if self.tracer is not None:
+            envelope = self.tracer.outbound(sender, envelope)
         copies = 1 if decision is None else decision.copies
         extra = 0.0 if decision is None else decision.extra_delay
         reorder = decision is not None and decision.reorder
@@ -199,6 +207,19 @@ class Network:
             self._messages_dropped += 1
             return
         handler = self._handlers[envelope.dest]
-        replies = handler(envelope.message)
-        if replies:
-            self.send(envelope.dest, replies)
+        tracer = self.tracer
+        if tracer is None:
+            replies = handler(envelope.message)
+            if replies:
+                self.send(envelope.dest, replies)
+            return
+        tracer.delivered(envelope.dest, envelope.message)
+        # Scope stays open through the reply sends so replies without a
+        # parent hint still land on this message's causal chain.
+        tracer.begin_delivery(envelope.dest, envelope.message)
+        try:
+            replies = handler(envelope.message)
+            if replies:
+                self.send(envelope.dest, replies)
+        finally:
+            tracer.end_delivery(envelope.dest)

@@ -1,0 +1,96 @@
+"""The checked-in Figure 5/6 perf baselines and their drift check."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.record_perf_baseline import (
+    FIG5_PATH,
+    FIG6_PATH,
+    NODE_COUNTS,
+    OPS_PER_NODE,
+    PROTOCOLS,
+    SEED,
+    compare_series,
+)
+from repro.experiments.common import sweep
+from repro.workload.spec import WorkloadSpec
+
+
+def _baseline(series):
+    return {
+        "benchmark": "fig5_quick_baseline",
+        "config": {"node_counts": [2, 4]},
+        "series": series,
+    }
+
+
+class TestCompareSeries:
+    def test_identical_series_pass(self):
+        series = {"hierarchical": [1.0, 2.0]}
+        assert compare_series(_baseline(series), dict(series)) == []
+
+    def test_within_tolerance_passes(self):
+        base = _baseline({"hierarchical": [1.0, 2.0]})
+        assert compare_series(base, {"hierarchical": [1.05, 1.9]}) == []
+
+    def test_drift_beyond_tolerance_fails_loudly(self):
+        base = _baseline({"hierarchical": [1.0, 2.0]})
+        problems = compare_series(base, {"hierarchical": [1.0, 2.5]})
+        (line,) = problems
+        assert "hierarchical" in line
+        assert "n=4" in line
+        assert "2.5" in line and "2.0" in line
+
+    def test_missing_protocol_is_drift(self):
+        base = _baseline({"hierarchical": [1.0], "naimi-pure": [1.0]})
+        problems = compare_series(base, {"hierarchical": [1.0]})
+        assert any("naimi-pure" in p for p in problems)
+
+    def test_extra_protocol_is_drift(self):
+        base = _baseline({"hierarchical": [1.0]})
+        problems = compare_series(
+            base, {"hierarchical": [1.0], "raymond": [1.0]}
+        )
+        assert any("raymond" in p for p in problems)
+
+    def test_length_mismatch_is_drift(self):
+        base = _baseline({"hierarchical": [1.0, 2.0]})
+        problems = compare_series(base, {"hierarchical": [1.0]})
+        assert any("points measured" in p for p in problems)
+
+    def test_custom_tolerance(self):
+        base = _baseline({"hierarchical": [1.0]})
+        assert compare_series(base, {"hierarchical": [1.4]},
+                              tolerance=0.5) == []
+        assert compare_series(base, {"hierarchical": [1.4]},
+                              tolerance=0.2) != []
+
+
+class TestCheckedInBaselines:
+    @pytest.mark.parametrize("path", [FIG5_PATH, FIG6_PATH])
+    def test_baseline_files_are_checked_in(self, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["config"]["node_counts"] == list(NODE_COUNTS)
+        assert report["config"]["seed"] == SEED
+        assert sorted(report["series"]) == sorted(PROTOCOLS)
+        for values in report["series"].values():
+            assert len(values) == len(NODE_COUNTS)
+
+    def test_small_sweep_reproduces_baseline_exactly(self):
+        # The sim is seed-deterministic: re-measuring the first two
+        # points of the hierarchical curve must match the checked-in
+        # numbers exactly, not just within tolerance.
+        with open(FIG5_PATH, "r", encoding="utf-8") as handle:
+            fig5 = json.load(handle)
+        with open(FIG6_PATH, "r", encoding="utf-8") as handle:
+            fig6 = json.load(handle)
+        spec = WorkloadSpec(ops_per_node=OPS_PER_NODE, seed=SEED)
+        runs = sweep("hierarchical", (2, 4), spec, check_invariants=True)
+        overhead = [round(r.message_overhead(), 6) for r in runs]
+        latency = [round(r.latency_factor(), 6) for r in runs]
+        assert overhead == fig5["series"]["hierarchical"][:2]
+        assert latency == fig6["series"]["hierarchical"][:2]

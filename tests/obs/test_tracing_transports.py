@@ -1,0 +1,216 @@
+"""Trace-context round trips through the real transports.
+
+Three guarantees the tracing layer makes beyond the simulated network:
+
+* the context survives the TCP transport's pickle codec verbatim;
+* the faults session channel stamps frames *before* buffering them, so
+  a delivered payload carries the context and a retransmission is
+  recognized as the same hop (annotated, not re-minted);
+* a sim run and a threaded run of the same sequential workload produce
+  identical causal chain shapes — same hops, same parents, same
+  endpoints — even though their clocks are unrelated.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Callable, List, Tuple
+
+import pytest
+
+from repro.core.messages import (
+    Envelope,
+    RequestMessage,
+    fresh_request_id,
+)
+from repro.core.modes import LockMode
+from repro.faults.channel import ReliableChannel
+from repro.faults.messages import SessionMessage
+from repro.obs.collect import RunObserver
+from repro.obs.tracing import MessageTracer
+from repro.runtime.cluster import ThreadedHierarchicalCluster
+from repro.runtime.transport import ThreadedTransport
+from repro.sim.cluster import SimHierarchicalCluster
+from repro.sim.engine import Simulator, Timeout, run_processes
+from tests.faults.test_channel import ManualScheduler
+
+TIMEOUT = 20.0
+
+
+def _payload(n: int = 1, node: int = 0) -> RequestMessage:
+    return RequestMessage(
+        lock_id="lock",
+        sender=node,
+        origin=node,
+        mode=LockMode.R,
+        request_id=fresh_request_id(n, node),
+    )
+
+
+class TestPickleCodec:
+    def test_stamped_message_survives_tcp_wire_format(self):
+        # The TCP transport frames `pickle.dumps((sender, message))`; the
+        # context is a plain field on the message dataclass, so it rides
+        # the codec with no special handling.
+        tracer = MessageTracer()
+        out = tracer.outbound(0, Envelope(1, _payload()))
+        ctx = out.message.trace
+        assert ctx is not None
+        blob = pickle.dumps((0, out.message))
+        sender, decoded = pickle.loads(blob)
+        assert sender == 0
+        assert decoded == out.message
+        assert decoded.trace == ctx
+
+    def test_stamped_session_frame_survives_pickle(self):
+        tracer = MessageTracer()
+        frame = SessionMessage(
+            lock_id="lock", sender=0, seq=1, payload=_payload(), boot=0
+        )
+        stamped = tracer.stamp_frame(0, 1, frame)
+        decoded = pickle.loads(pickle.dumps(stamped))
+        assert decoded.trace == stamped.trace
+        assert decoded.payload.trace == stamped.trace
+
+
+class _TracedPair:
+    """Two reliable channels over a lossy fabric that runs the tracer at
+    the same points the real transports do (outbound at the wire,
+    delivered at the far end)."""
+
+    def __init__(self) -> None:
+        self.scheduler = ManualScheduler()
+        self.tracer = MessageTracer(clock=self.scheduler.now)
+        self.delivered: List[Tuple[int, object]] = []
+        self.drop_next = 0
+
+        def fabric_for(src: int) -> Callable[[int, object], None]:
+            def send(dest: int, frame) -> None:
+                self.tracer.outbound(src, Envelope(dest, frame))
+                if self.drop_next > 0 and isinstance(frame, SessionMessage):
+                    self.drop_next -= 1
+                    return
+                target = self.b if dest == 1 else self.a
+                if isinstance(frame, SessionMessage):
+                    self.tracer.delivered(dest, frame)
+                target.handle(frame)
+
+            return send
+
+        def receiver(sender: int, payload) -> None:
+            self.delivered.append((sender, payload))
+
+        self.a = ReliableChannel(
+            node_id=0, scheduler=self.scheduler, send=fabric_for(0),
+            deliver=receiver, retry_base=0.1, retry_cap=0.4,
+        )
+        self.b = ReliableChannel(
+            node_id=1, scheduler=self.scheduler, send=fabric_for(1),
+            deliver=receiver, retry_base=0.1, retry_cap=0.4,
+        )
+        self.a.tracer = self.tracer
+        self.b.tracer = self.tracer
+
+
+class TestSessionChannel:
+    def test_delivered_payload_carries_context(self):
+        pair = _TracedPair()
+        pair.a.send(1, _payload())
+        ((sender, payload),) = pair.delivered
+        assert sender == 0
+        ctx = payload.trace
+        assert ctx is not None
+        (chain,) = pair.tracer.chains()
+        assert chain.trace_id == ctx.trace_id
+        (hop,) = chain.hops
+        assert (hop.sender, hop.dest, hop.label) == (0, 1, "request")
+        assert hop.sent_at is not None and hop.recv_at is not None
+
+    def test_retransmission_is_annotated_not_reminted(self):
+        pair = _TracedPair()
+        pair.drop_next = 1  # lose the first wire copy
+        pair.a.send(1, _payload())
+        assert pair.delivered == []
+        pair.scheduler.advance(0.15)  # retry timer fires
+        ((_, payload),) = pair.delivered
+        (chain,) = pair.tracer.chains()
+        assert [h.kind for h in chain.hops] == ["send", "retransmit"]
+        # The delivered payload still carries the *original* hop's id.
+        assert payload.trace.hop == chain.hops[0].hop
+        assert chain.hops[0].recv_at is not None
+
+    def test_acks_are_untraced(self):
+        pair = _TracedPair()
+        pair.a.send(1, _payload())
+        pair.scheduler.advance(1.0)  # let acks flow both ways
+        assert all(c.trace_id for c in pair.tracer.chains())
+        labels = {
+            h.label for c in pair.tracer.chains() for h in c.hops
+        }
+        assert "session-ack" not in labels
+
+
+def _chain_shapes(tracer) -> List[Tuple]:
+    """Clock-free canonical form of every chain, in mint order.
+
+    The trace id itself is excluded: hierarchical ids embed the request
+    serial, which is derived from the Lamport clock and therefore ticks
+    differently on different transports.  Everything structural — hop
+    topology, endpoints, labels, kinds, the granted hop — must match.
+    """
+
+    shapes = []
+    for chain in tracer.chains():
+        shapes.append((
+            chain.origin,
+            chain.lock,
+            chain.kind,
+            chain.granted_hop,
+            tuple(
+                (h.hop, h.parent, h.sender, h.dest, h.label, h.kind)
+                for h in chain.hops
+            ),
+        ))
+    return shapes
+
+
+#: (node, lock) acquire/release sequence, one operation fully settled
+#: before the next starts — the message pattern is then a function of
+#: protocol state alone, not of transport timing.
+SEQUENCE = [(0, "t"), (1, "t"), (2, "t"), (1, "u"), (0, "t"), (2, "u")]
+
+
+def _sim_shapes() -> List[Tuple]:
+    sim = Simulator()
+    obs = RunObserver(clock=lambda: sim.now)
+    cluster = SimHierarchicalCluster(3, sim=sim, obs=obs)
+
+    def body():
+        for node, lock in SEQUENCE:
+            client = cluster.client(node)
+            yield client.acquire(lock, LockMode.W)
+            client.release(lock, LockMode.W)
+            yield Timeout(sim, 10.0)  # drain in-flight releases
+
+    run_processes(sim, [body()])
+    return _chain_shapes(obs.tracer)
+
+
+def _threaded_shapes() -> List[Tuple]:
+    obs = RunObserver()
+    transport = ThreadedTransport(obs=obs)
+    with ThreadedHierarchicalCluster(3, transport=transport) as cluster:
+        for node, lock in SEQUENCE:
+            client = cluster.client(node)
+            client.acquire(lock, LockMode.W, timeout=TIMEOUT)
+            client.release(lock, LockMode.W)
+            transport.drain()
+    return _chain_shapes(obs.tracer)
+
+
+class TestSimVsThreaded:
+    def test_same_workload_same_chain_shapes(self):
+        sim_shapes = _sim_shapes()
+        threaded_shapes = _threaded_shapes()
+        assert sim_shapes, "sim run produced no chains"
+        assert sim_shapes == threaded_shapes
