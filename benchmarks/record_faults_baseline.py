@@ -3,26 +3,30 @@
 Runs the deterministic chaos workload twice per seed — once fault-free
 (plan ``none``) and once under a 1 % drop plan (``drop1``) — and records
 message overhead and grant latency for each, plus the delta.  Later PRs
-diff against the checked-in file to catch recovery-path regressions
+rerun with ``--check`` to diff the fresh summary against the checked-in
+file and fail loudly on >10 % drift — catching recovery-path regressions
 (retransmission storms, latency blowups) that the pass/fail chaos
 verdict alone would hide.
 
+The chaos harness is fully seed-deterministic, so on unchanged code a
+rerun reproduces the recorded summary exactly; the 10 % tolerance exists
+for intentional protocol changes, which must re-record the baseline
+(and say so in the PR).
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/record_faults_baseline.py \
-        [--out BENCH_faults.json]
-
-Everything is seed-deterministic, so reruns on the same code produce an
-identical file (the environment block excepted).
+    PYTHONPATH=src python benchmarks/record_faults_baseline.py            # record
+    PYTHONPATH=src python benchmarks/record_faults_baseline.py --check   # verify
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.faults.chaos import run_chaos
 
@@ -31,6 +35,18 @@ PLANS = ("none", "drop1")
 NODES = 5
 DURATION = 20.0
 LOCKS = 3
+
+#: Relative drift beyond which ``--check`` fails.
+TOLERANCE = 0.10
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(_ROOT, "BENCH_faults.json")
+
+#: Summary metrics diffed by ``--check``, per plan.
+PLAN_METRICS = ("messages_per_request", "latency_mean", "latency_p95")
+
+#: Cross-plan overhead factors diffed by ``--check``.
+OVERHEAD_METRICS = ("messages_per_request_factor", "latency_mean_factor")
 
 
 def _one_run(plan: str, seed: int) -> Dict[str, object]:
@@ -59,7 +75,9 @@ def _one_run(plan: str, seed: int) -> Dict[str, object]:
     }
 
 
-def record(out_path: str) -> Dict[str, object]:
+def measure() -> Dict[str, object]:
+    """Run the chaos matrix; return ``{"summary": ..., "runs": ...}``."""
+
     runs: Dict[str, List[Dict[str, object]]] = {p: [] for p in PLANS}
     for plan in PLANS:
         for seed in SEEDS:
@@ -69,12 +87,8 @@ def record(out_path: str) -> Dict[str, object]:
         values = [float(r[field]) for r in runs[plan]]  # type: ignore[arg-type]
         return round(sum(values) / len(values), 4)
 
-    summary = {
-        plan: {
-            "messages_per_request": _mean(plan, "messages_per_request"),
-            "latency_mean": _mean(plan, "latency_mean"),
-            "latency_p95": _mean(plan, "latency_p95"),
-        }
+    summary: Dict[str, Dict[str, float]] = {
+        plan: {metric: _mean(plan, metric) for metric in PLAN_METRICS}
         for plan in PLANS
     }
     clean, lossy = summary["none"], summary["drop1"]
@@ -86,7 +100,94 @@ def record(out_path: str) -> Dict[str, object]:
             lossy["latency_mean"] / clean["latency_mean"], 3
         ),
     }
+    return {"summary": summary, "runs": runs}
 
+
+def compare_summary(
+    baseline: Dict[str, object],
+    current: Dict[str, Dict[str, float]],
+    tolerance: float = TOLERANCE,
+) -> List[str]:
+    """Return one human-readable line per out-of-tolerance summary metric.
+
+    Empty list means the fresh *current* summary matches the checked-in
+    *baseline* within *tolerance* relative drift everywhere.  A missing
+    plan or metric is reported as drift too — a baseline that no longer
+    describes the matrix is stale, not passing.
+    """
+
+    problems: List[str] = []
+    base_summary = baseline.get("summary", {})
+    groups = [(plan, PLAN_METRICS) for plan in PLANS]
+    groups.append(("overhead", OVERHEAD_METRICS))
+    for group, metrics in groups:
+        base_group = base_summary.get(group)  # type: ignore[union-attr]
+        cur_group = current.get(group)
+        if base_group is None:
+            problems.append(f"faults_baseline: {group!r} not in baseline")
+            continue
+        if cur_group is None:
+            problems.append(f"faults_baseline: {group!r} not measured")
+            continue
+        for metric in metrics:
+            if metric not in base_group:
+                problems.append(
+                    f"faults_baseline/{group}: {metric!r} not in baseline"
+                )
+                continue
+            base_f = float(base_group[metric])
+            cur_f = float(cur_group.get(metric, 0.0))
+            if base_f == 0.0:
+                drift = abs(cur_f)
+            else:
+                drift = abs(cur_f - base_f) / abs(base_f)
+            if drift > tolerance:
+                problems.append(
+                    f"faults_baseline/{group}/{metric}: {cur_f:.4f} vs "
+                    f"baseline {base_f:.4f} ({drift:+.1%} drift, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return problems
+
+
+def _load(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check(path: str) -> int:
+    """Measure a fresh matrix, diff against the checked-in baseline."""
+
+    if not os.path.exists(path):
+        print(
+            f"missing baseline file {path} (run without --check to "
+            "record it)",
+            file=sys.stderr,
+        )
+        return 1
+    measured = measure()
+    problems = compare_summary(_load(path), measured["summary"])
+    if problems:
+        print("FAULTS BASELINE DRIFT — recovery overhead moved beyond "
+              "tolerance:", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "If this change is intentional, re-record with "
+            "`PYTHONPATH=src python benchmarks/record_faults_baseline.py` "
+            "and commit the updated BENCH_faults.json.",
+            file=sys.stderr,
+        )
+        return 1
+    print("faults baseline OK: chaos overhead within "
+          f"{TOLERANCE:.0%} of checked-in values")
+    return 0
+
+
+def record(out_path: str) -> Dict[str, object]:
+    """Measure and write the baseline file; return the report."""
+
+    measured = measure()
     report = {
         "benchmark": "faults_baseline",
         "config": {
@@ -96,8 +197,8 @@ def record(out_path: str) -> Dict[str, object]:
             "duration": DURATION,
             "locks": LOCKS,
         },
-        "summary": summary,
-        "runs": runs,
+        "summary": measured["summary"],
+        "runs": measured["runs"],
         "environment": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
@@ -111,8 +212,15 @@ def record(out_path: str) -> Dict[str, object]:
 
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_faults.json")
+    parser.add_argument("--out", default=BASELINE_PATH, metavar="PATH")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare a fresh run against the checked-in baseline "
+        "instead of rewriting it; exit 1 on >10%% drift",
+    )
     args = parser.parse_args(argv)
+    if args.check:
+        return check(args.out)
     report = record(args.out)
     summary = report["summary"]
     for plan in PLANS:

@@ -13,7 +13,9 @@ Runs any of the paper's experiments from the shell:
 * ``all``      — everything above, in order,
 * ``report``   — render an observability trace written by ``--trace-out``,
 * ``chaos``    — run a fault-injection scenario and print its verdict
-  (see ``python -m repro chaos --help`` and docs/FAULTS.md).
+  (see ``python -m repro chaos --help`` and docs/FAULTS.md),
+* ``monitor``  — poll a live cluster's monitor endpoint and render a
+  health table with audit verdicts (see docs/MONITORING.md).
 
 ``--quick`` switches the sweeps to CI scale (a few seconds total);
 ``--nodes N`` overrides the node counts with a single cluster size.
@@ -39,7 +41,7 @@ from .experiments.fig5_message_overhead import run_fig5
 from .experiments.fig6_latency import run_fig6
 from .experiments.fig7_breakdown import run_fig7
 from .obs.export import load_runs_from_path
-from .obs.report import render_report
+from .obs.report import render_report, report_payload
 from .workload.spec import WorkloadSpec
 
 EXPERIMENTS = (
@@ -144,7 +146,154 @@ def _chaos_main(argv: Sequence[str]) -> int:
             f"{len(rec['regenerations'])} regenerations, "
             f"{rec['app_retransmits']} request retransmits"
         )
+        audit = data["cluster_audit"]
+        gaps = (
+            f", known gaps: {', '.join(audit['known_gaps'])}"
+            if audit["known_gaps"] else ""
+        )
+        print(
+            f"  cluster audit: "
+            f"{'healthy' if audit['healthy'] else 'UNHEALTHY'} "
+            f"({len(audit['findings'])} findings, "
+            f"{len(audit['expected_findings'])} expected{gaps})"
+        )
+        for finding in audit["findings"]:
+            print(
+                f"    [{finding['severity']}] {finding['rule']}: "
+                f"{finding['detail']}"
+            )
     return 0 if verdict.ok else 1
+
+
+def _monitor_main(argv: Sequence[str]) -> int:
+    """``python -m repro monitor``: live cluster health, human-rendered."""
+
+    import json as _json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from .obs.live import AuditReport, ClusterView
+    from .obs.monitor import render_health_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro monitor",
+        description="Poll a live cluster's monitor endpoint and render a "
+        "refreshing health table with online invariant audit verdicts.",
+    )
+    parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a running MonitorServer "
+        "(e.g. http://127.0.0.1:9178)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls (default: 2)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="poll once, print, and exit 0 iff the audit is healthy",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="boot a small threaded cluster with a monitor endpoint, run "
+        "a workload, poll it over real HTTP once, and exit 0 iff the "
+        "audit is healthy (the CI smoke path)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=3,
+        help="cluster size for --self-test (default: 3)",
+    )
+    args = parser.parse_args(list(argv))
+    if args.self_test:
+        return _monitor_self_test(args.nodes)
+    if args.url is None:
+        parser.error("need --url (or --self-test)")
+
+    base = args.url.rstrip("/")
+    while True:
+        try:
+            with urllib.request.urlopen(f"{base}/cluster", timeout=10) as resp:
+                payload = _json.loads(resp.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"error: cannot poll {base}/cluster: {exc}", file=sys.stderr)
+            return 2
+        view = ClusterView.from_payload(payload["view"])
+        report = AuditReport.from_payload(payload["audit"])
+        if not args.once and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(render_health_table(view, report))
+        if args.once:
+            return 0 if report.ok else 1
+        print()
+        _time.sleep(args.interval)
+
+
+def _monitor_self_test(nodes: int) -> int:
+    """Boot cluster + endpoint, drive a workload, poll over HTTP."""
+
+    import json as _json
+    import threading
+    import urllib.request
+
+    from .core.modes import LockMode
+    from .obs.collect import RunObserver
+    from .obs.live import AuditReport, ClusterView, LiveMonitor
+    from .obs.monitor import MonitorServer, render_health_table
+    from .runtime.cluster import ThreadedHierarchicalCluster
+
+    observer = RunObserver()
+    with ThreadedHierarchicalCluster(max(2, nodes)) as cluster:
+        for lockspace in cluster.lockspaces.values():
+            lockspace.obs = observer
+        cluster.transport.obs = observer
+        cluster.transport.tracer = observer.tracer
+        monitor = LiveMonitor(cluster.cluster_view, observer=observer)
+        with MonitorServer(monitor, observer=observer) as server:
+            def worker(node: int) -> None:
+                client = cluster.client(node)
+                for step in range(4):
+                    lock_id = f"lock-{(node + step) % 2}"
+                    mode = LockMode.W if (node + step) % 3 == 0 else LockMode.R
+                    client.acquire(lock_id, mode, timeout=30.0)
+                    client.release(lock_id, mode)
+
+            threads = [
+                threading.Thread(target=worker, args=(n,))
+                for n in range(cluster.num_nodes)
+            ]
+            for thread in threads:
+                thread.start()
+            # One mid-load scrape: must parse, not necessarily be healthy.
+            with urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=10
+            ) as resp:
+                resp.read()
+            for thread in threads:
+                thread.join()
+            cluster.transport.drain()
+            with urllib.request.urlopen(
+                f"{server.url}/cluster", timeout=10
+            ) as resp:
+                payload = _json.loads(resp.read().decode("utf-8"))
+            with urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=10
+            ) as resp:
+                metrics = resp.read().decode("utf-8")
+            healthz_status = urllib.request.urlopen(
+                f"{server.url}/healthz", timeout=10
+            ).status
+    view = ClusterView.from_payload(payload["view"])
+    report = AuditReport.from_payload(payload["audit"])
+    print(render_health_table(view, report))
+    ok = (
+        report.ok
+        and healthz_status == 200
+        and "repro_audit_ok 1" in metrics
+        and "repro_messages_total" in metrics
+    )
+    print(f"self-test: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
 
 
 def _parse(argv: Sequence[str]) -> argparse.Namespace:
@@ -189,6 +338,11 @@ def _parse(argv: Sequence[str]) -> argparse.Namespace:
         help="report subcommand: per-request hop waterfalls to render, "
         "slowest grants first (default: 3; 0 disables)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="report subcommand: emit machine-readable JSON instead of "
+        "text tables",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "report" and args.trace is None:
         parser.error("report needs a trace file: python -m repro report run.jsonl")
@@ -205,6 +359,9 @@ def main(argv: Sequence[str] = ()) -> int:
         # The chaos harness has its own flag set (fault plan, drain
         # window, verdict format); route before the experiment parser.
         return _chaos_main(raw[1:])
+    if raw and raw[0] == "monitor":
+        # Live-monitor CLI: polls a cluster endpoint (or self-tests one).
+        return _monitor_main(raw[1:])
     args = _parse(raw)
     if args.experiment == "report":
         try:
@@ -220,6 +377,13 @@ def main(argv: Sequence[str] = ()) -> int:
             print(f"error: {args.trace} contains no run sections "
                   "(empty trace file?)", file=sys.stderr)
             return 2
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(
+                [report_payload(run) for run in runs], indent=2
+            ))
+            return 0
         waterfalls = args.waterfall if args.waterfall is not None else 3
         print(render_report(runs, waterfalls=waterfalls))
         return 0

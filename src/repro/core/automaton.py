@@ -329,6 +329,49 @@ class HierarchicalLockAutomaton:
             and self._pending is None
         )
 
+    def snapshot(self):
+        """Read-only structured view for live monitoring.
+
+        Returns a :class:`repro.obs.live.LockSnapshot`.  This is a pure
+        read: it never mutates protocol state, touches RNG streams or
+        emits messages, so monitored runs stay bit-identical to
+        unmonitored ones.
+        """
+
+        from ..obs.live import LockSnapshot, QueueEntry
+
+        return LockSnapshot(
+            lock=self._lock_id,
+            believes_token=self._has_token,
+            parent=self._parent,
+            children=tuple(
+                sorted(
+                    (child, str(mode))
+                    for child, mode in self._children.items()
+                )
+            ),
+            held=tuple(
+                sorted(
+                    (str(mode), count)
+                    for mode, count in self._held.items()
+                    if count > 0
+                )
+            ),
+            pending=(
+                str(self._pending.mode) if self._pending is not None else None
+            ),
+            queue=tuple(
+                QueueEntry(
+                    origin=msg.origin,
+                    mode=str(msg.mode),
+                    key=f"{msg.request_id.origin}.{msg.request_id.serial}",
+                )
+                for msg in self._queue
+            ),
+            frozen=tuple(sorted(str(mode) for mode in self._frozen)),
+            token_epoch=self._token_epoch,
+        )
+
     # ------------------------------------------------------------------
     # Application API: request / release / upgrade.
     # ------------------------------------------------------------------

@@ -268,3 +268,9 @@ class ReliableChannel:
 
         with self._mutex:
             return all(not s.unacked for s in self._out.values())
+
+    def backlog(self) -> int:
+        """Total frames sent but not yet acknowledged, across all peers."""
+
+        with self._mutex:
+            return sum(len(s.unacked) for s in self._out.values())

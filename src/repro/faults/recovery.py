@@ -177,6 +177,36 @@ class RecoveryManager:
                 probe["generation"] = -1
 
     # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def health_snapshot(self):
+        """Read-only :class:`repro.obs.live.RecoveryHealth` of this node.
+
+        Captured under the manager mutex so the channel backlog, detector
+        verdicts and token hints are mutually consistent.
+        """
+
+        from ..obs.live import RecoveryHealth
+
+        with self._mutex:
+            return RecoveryHealth(
+                boot=self.boot,
+                suspected=tuple(sorted(self.detector.suspected)),
+                live_peers=tuple(self.detector.live_peers()),
+                channel_backlog=self.channel.backlog(),
+                channel_retransmits=self.channel.retransmits,
+                app_retransmits=self.app_retransmits,
+                token_hints=tuple(
+                    sorted(
+                        (lock_id, holder, epoch)
+                        for lock_id, (holder, epoch)
+                        in self._token_hints.items()
+                    )
+                ),
+            )
+
+    # ------------------------------------------------------------------
     # Sending.
     # ------------------------------------------------------------------
 

@@ -438,6 +438,37 @@ class ResilientThreadedCluster:
 
     # -- aggregates --------------------------------------------------------
 
+    def cluster_view(self):
+        """Capture a :class:`repro.obs.live.ClusterView` of all nodes.
+
+        Each live node is snapshotted under its recovery manager's mutex
+        (the lock every automaton access already takes), so per-node
+        state is internally consistent; crashed nodes appear dead with
+        no lock state.
+        """
+
+        from ..obs.live import ClusterView, NodeSnapshot, snapshot_node
+
+        nodes = []
+        for node_id in range(self.num_nodes):
+            if node_id in self._crashed:
+                nodes.append(NodeSnapshot(node=node_id, alive=False))
+                continue
+            manager = self.managers[node_id]
+            with manager._mutex:
+                nodes.append(
+                    snapshot_node(
+                        node_id,
+                        self.lockspaces[node_id],
+                        recovery=manager.health_snapshot(),
+                    )
+                )
+        return ClusterView(
+            protocol="hierarchical",
+            captured_at=self.scheduler.now(),
+            nodes=tuple(nodes),
+        )
+
     def recovery_stats(self) -> Dict[str, object]:
         """Aggregate recovery counters across managers."""
 

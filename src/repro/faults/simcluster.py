@@ -251,6 +251,34 @@ class ResilientSimCluster:
 
     # -- aggregates --------------------------------------------------------
 
+    def cluster_view(self):
+        """Capture a :class:`repro.obs.live.ClusterView` of all nodes.
+
+        Crashed nodes appear as dead snapshots with no lock state (their
+        volatile state is genuinely gone); live nodes carry their
+        recovery manager's :class:`~repro.obs.live.RecoveryHealth`.
+        """
+
+        from ..obs.live import ClusterView, NodeSnapshot, snapshot_node
+
+        nodes = []
+        for node_id in range(self.num_nodes):
+            if node_id in self._crashed:
+                nodes.append(NodeSnapshot(node=node_id, alive=False))
+                continue
+            nodes.append(
+                snapshot_node(
+                    node_id,
+                    self.lockspaces[node_id],
+                    recovery=self.managers[node_id].health_snapshot(),
+                )
+            )
+        return ClusterView(
+            protocol="hierarchical",
+            captured_at=self.sim.now,
+            nodes=tuple(nodes),
+        )
+
     def recovery_stats(self) -> Dict[str, object]:
         """Aggregate recovery counters across live managers."""
 

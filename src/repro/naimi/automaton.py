@@ -120,6 +120,36 @@ class NaimiAutomaton:
 
         return not (self._requesting or self._in_cs or self._next is not None)
 
+    def snapshot(self):
+        """Read-only :class:`repro.obs.live.LockSnapshot` of this node.
+
+        Naimi state maps onto the shared snapshot shape: ``last`` is the
+        parent edge toward the believed token, the critical section is an
+        exclusive ``W`` hold, and the ``next`` successor is the one queue
+        entry this node knows about.
+        """
+
+        from ..obs.live import LockSnapshot, QueueEntry
+
+        return LockSnapshot(
+            lock=self._lock_id,
+            believes_token=self._has_token,
+            parent=self._last,
+            held=(("W", 1),) if self._in_cs else (),
+            pending="W" if self._requesting else None,
+            queue=(
+                (
+                    QueueEntry(
+                        origin=self._next,
+                        mode="W",
+                        key=f"{self._lock_id}:{self._next}",
+                    ),
+                )
+                if self._next is not None
+                else ()
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Application API.
     # ------------------------------------------------------------------

@@ -401,3 +401,76 @@ def render_report(
     if not runs:
         return "(empty trace: no run sections found)"
     return "\n\n".join(render_run(run, waterfalls=waterfalls) for run in runs)
+
+
+def report_payload(run: RunTrace) -> Dict[str, object]:
+    """Machine-readable twin of :func:`render_run` (``report --json``).
+
+    Same aggregates, as a JSON-friendly dict — nightly-chaos artifacts
+    and dashboards consume this instead of scraping text tables.
+    """
+
+    completed = [s for s in run.spans if s.granted_at is not None]
+    phases: Dict[str, object] = {}
+    for label, start, end in SEGMENTS:
+        samples = [w for s in run.spans if (w := s.wait(start, end)) is not None]
+        if not samples:
+            continue
+        stats = summarize(samples)
+        phases[label] = {
+            "n": stats.count,
+            "mean": stats.mean,
+            "p50": stats.p50,
+            "p95": stats.p95,
+            "max": stats.maximum,
+        }
+
+    totals = run.message_totals()
+    grand_total = sum(totals.values())
+    requests = run.requests
+
+    request_chains = [c for c in run.chains if c.kind == "request"]
+    total_hops = sum(c.hop_count for c in run.chains)
+    chains: Dict[str, object] = {
+        "request_chains": len(request_chains),
+        "total_hops": total_hops,
+        "hops_per_request": total_hops / requests if requests else 0.0,
+    }
+
+    faults_counter = run.counters.get("faults")
+    payload: Dict[str, object] = {
+        "label": run.label,
+        "meta": dict(run.meta),
+        "requests": requests,
+        "spans": {"total": len(run.spans), "completed": len(completed)},
+        "phases": phases,
+        "messages": {
+            "by_type": dict(sorted(totals.items())),
+            "total": grand_total,
+            "per_request": grand_total / requests if requests else 0.0,
+        },
+        "chains": chains,
+        "faults": (
+            dict(sorted(faults_counter.totals().items()))
+            if faults_counter is not None
+            else {}
+        ),
+        "gauges": {
+            name: {"peak": gauge.peak()}
+            for name, gauge in run.gauges.items()
+        },
+    }
+    wire = run.counters.get("wire_bytes")
+    latency = run.histograms.get("send_latency")
+    if wire is not None or latency is not None:
+        payload["wire"] = {
+            "bytes_sent": wire.total("sent") if wire is not None else 0,
+            "bytes_received": (
+                wire.total("received") if wire is not None else 0
+            ),
+            "send_latency_mean": latency.mean if latency is not None else None,
+            "send_latency_p95": (
+                latency.quantile(0.95) if latency is not None else None
+            ),
+        }
+    return payload

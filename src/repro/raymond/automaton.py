@@ -127,6 +127,39 @@ class RaymondAutomaton:
 
         return not (self._using or self._request_q or self._asked)
 
+    def snapshot(self):
+        """Read-only :class:`repro.obs.live.LockSnapshot` of this node.
+
+        Raymond state maps onto the shared snapshot shape: ``holder`` is
+        the parent edge toward the privilege, the critical section is an
+        exclusive ``W`` hold, and ``request_q`` entries are queue entries
+        (a ``SELF`` entry doubles as this node's pending request).
+        """
+
+        from ..obs.live import LockSnapshot, QueueEntry
+
+        entries = []
+        wants_self = False
+        for entry, _trace in self._request_q:
+            origin = self._node_id if entry == SELF else entry
+            if entry == SELF:
+                wants_self = True
+            entries.append(
+                QueueEntry(
+                    origin=origin,
+                    mode="W",
+                    key=f"{self._lock_id}:{origin}",
+                )
+            )
+        return LockSnapshot(
+            lock=self._lock_id,
+            believes_token=self._holder is None,
+            parent=self._holder,
+            held=(("W", 1),) if self._using else (),
+            pending="W" if wants_self else None,
+            queue=tuple(entries),
+        )
+
     # ------------------------------------------------------------------
     # Application API.
     # ------------------------------------------------------------------

@@ -164,6 +164,28 @@ class ThreadedHierarchicalCluster:
 
         return self.clients[node_id]
 
+    def cluster_view(self):
+        """Capture a :class:`repro.obs.live.ClusterView` of all nodes.
+
+        Each node is snapshotted under its own mutex, so every
+        :class:`~repro.obs.live.NodeSnapshot` is internally consistent;
+        nodes are captured one after another, which is why the online
+        audit treats cross-node disagreements as warnings while traffic
+        is in flight.
+        """
+
+        from ..obs.live import ClusterView, snapshot_node
+
+        nodes = []
+        for node_id in sorted(self.lockspaces):
+            with self._locks[node_id]:
+                nodes.append(snapshot_node(node_id, self.lockspaces[node_id]))
+        return ClusterView(
+            protocol="hierarchical",
+            captured_at=self._clock.now(),
+            nodes=tuple(nodes),
+        )
+
     def shutdown(self) -> None:
         """Stop the transport threads."""
 

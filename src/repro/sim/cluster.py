@@ -50,6 +50,9 @@ class _GrantCtx:
 class _BaseCluster:
     """State shared by both cluster flavours."""
 
+    #: Protocol tag stamped into cluster views (set per subclass).
+    PROTOCOL = "?"
+
     def __init__(
         self,
         num_nodes: int,
@@ -110,6 +113,25 @@ class _BaseCluster:
         if self.monitor is not None:
             self.monitor.on_release(self.sim.now, node, lock_id, mode)
 
+    def cluster_view(self):
+        """Capture a :class:`repro.obs.live.ClusterView` of all nodes.
+
+        A pure read over every node's lock state — the simulator is
+        single-threaded, so no locking is needed and the capture is an
+        exact instant in simulated time.
+        """
+
+        from ..obs.live import ClusterView, snapshot_node
+
+        return ClusterView(
+            protocol=self.PROTOCOL,
+            captured_at=self.sim.now,
+            nodes=tuple(
+                snapshot_node(node_id, self.lockspaces[node_id])
+                for node_id in sorted(self.lockspaces)
+            ),
+        )
+
 
 class HierClient:
     """Per-node client of the hierarchical protocol (coroutine style)."""
@@ -164,6 +186,8 @@ class HierClient:
 
 class SimHierarchicalCluster(_BaseCluster):
     """A simulated cluster running the paper's hierarchical protocol."""
+
+    PROTOCOL = "hierarchical"
 
     def __init__(
         self,
@@ -297,6 +321,8 @@ class NaimiClient:
 class SimNaimiCluster(_BaseCluster):
     """A simulated cluster running the Naimi-Tréhel baseline."""
 
+    PROTOCOL = "naimi"
+
     def __init__(
         self,
         num_nodes: int,
@@ -398,6 +424,8 @@ class RaymondClient:
 
 class SimRaymondCluster(_BaseCluster):
     """A simulated cluster running Raymond's static-tree baseline."""
+
+    PROTOCOL = "raymond"
 
     def __init__(
         self,

@@ -135,6 +135,11 @@ class DeadlockWatchdog:
 
     A cycle must persist across two consecutive polls before the callback
     fires, filtering out snapshots taken mid-grant.
+
+    With an *obs* sink attached, a confirmed cycle is also emitted as a
+    ``fault("deadlock")`` event — which is how application deadlocks
+    reach ``--trace-out`` traces, ``repro report`` fault tables and the
+    live monitor's audit verdict.
     """
 
     def __init__(
@@ -142,10 +147,12 @@ class DeadlockWatchdog:
         monitor: WaitForGraphMonitor,
         on_deadlock,
         poll_interval: float = 0.05,
+        obs=None,
     ) -> None:
         self._monitor = monitor
         self._on_deadlock = on_deadlock
         self._poll_interval = poll_interval
+        self._obs = obs
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -174,6 +181,8 @@ class DeadlockWatchdog:
             if found is not None and previous is not None and (
                 set(found.nodes) == set(previous.nodes)
             ):
+                if self._obs is not None:
+                    self._obs.fault("deadlock")
                 self._on_deadlock(found)
                 return
             previous = found

@@ -1,0 +1,86 @@
+"""The checked-in faults baseline and its ``--check`` drift gate."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.record_faults_baseline import (
+    BASELINE_PATH,
+    OVERHEAD_METRICS,
+    PLAN_METRICS,
+    PLANS,
+    SEEDS,
+    compare_summary,
+)
+
+
+def _summary(none=None, drop1=None, overhead=None):
+    return {
+        "none": none or {m: 1.0 for m in PLAN_METRICS},
+        "drop1": drop1 or {m: 1.2 for m in PLAN_METRICS},
+        "overhead": overhead or {m: 1.2 for m in OVERHEAD_METRICS},
+    }
+
+
+def _baseline(summary):
+    return {"benchmark": "faults_baseline", "summary": summary}
+
+
+class TestCompareSummary:
+    def test_identical_summary_passes(self):
+        summary = _summary()
+        assert compare_summary(_baseline(summary), _summary()) == []
+
+    def test_within_tolerance_passes(self):
+        base = _baseline(_summary())
+        current = _summary(none={m: 1.05 for m in PLAN_METRICS})
+        assert compare_summary(base, current) == []
+
+    def test_drift_beyond_tolerance_fails_loudly(self):
+        base = _baseline(_summary())
+        current = _summary(drop1={
+            "messages_per_request": 1.2,
+            "latency_mean": 2.0,  # 67% off the 1.2 baseline
+            "latency_p95": 1.2,
+        })
+        problems = compare_summary(base, current)
+        (line,) = problems
+        assert "drop1" in line
+        assert "latency_mean" in line
+        assert "2.0" in line and "1.2" in line
+
+    def test_missing_plan_is_drift(self):
+        base = _baseline(_summary())
+        current = _summary()
+        del current["drop1"]
+        problems = compare_summary(base, current)
+        assert any("drop1" in p for p in problems)
+
+    def test_missing_metric_in_baseline_is_drift(self):
+        summary = _summary()
+        del summary["none"]["latency_p95"]
+        problems = compare_summary(_baseline(summary), _summary())
+        assert any("latency_p95" in p for p in problems)
+
+    def test_custom_tolerance(self):
+        base = _baseline(_summary())
+        current = _summary(none={m: 1.4 for m in PLAN_METRICS})
+        assert compare_summary(base, current, tolerance=0.5) == []
+        assert compare_summary(base, current, tolerance=0.2) != []
+
+
+class TestCheckedInBaseline:
+    def test_baseline_file_shape(self):
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["benchmark"] == "faults_baseline"
+        assert report["config"]["plans"] == list(PLANS)
+        assert report["config"]["seeds"] == list(SEEDS)
+        summary = report["summary"]
+        for plan in PLANS:
+            for metric in PLAN_METRICS:
+                assert metric in summary[plan]
+        for metric in OVERHEAD_METRICS:
+            assert metric in summary["overhead"]
+        # A fresh summary compared against itself must pass the gate.
+        assert compare_summary(report, summary) == []

@@ -1,8 +1,10 @@
-"""``python -m repro report``: rendering, waterfalls, and the contract
-that a bad trace file yields a one-line diagnostic and exit 2 — never a
-traceback."""
+"""``python -m repro report``: rendering, waterfalls, JSON output, and
+the contract that a bad trace file yields a one-line diagnostic and
+exit 2 — never a traceback."""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
@@ -40,6 +42,36 @@ class TestRenderedReport:
         without = capsys.readouterr().out
         assert "trace " not in without
         assert "causal chains" in without  # aggregates stay
+
+
+class TestJsonReport:
+    def test_json_output_parses_and_matches_the_run(self, trace_path,
+                                                    capsys):
+        assert main(["report", trace_path, "--json"]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        (payload,) = payloads
+        assert payload["meta"]["protocol"] == "hierarchical"
+        assert payload["requests"] == payload["spans"]["completed"]
+        assert payload["messages"]["total"] == sum(
+            payload["messages"]["by_type"].values()
+        )
+        assert payload["messages"]["per_request"] > 0
+        assert "issued->granted" in payload["phases"]
+        assert payload["phases"]["issued->granted"]["n"] > 0
+        assert payload["chains"]["request_chains"] > 0
+        assert payload["chains"]["hops_per_request"] > 0
+
+    def test_json_and_text_agree_on_message_totals(self, trace_path,
+                                                   capsys):
+        assert main(["report", trace_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)[0]
+        assert main(["report", trace_path]) == 0
+        text = capsys.readouterr().out
+        total_line = next(
+            line for line in text.splitlines() if line.startswith("TOTAL")
+        )
+        assert str(payload["messages"]["total"]) in total_line
+        assert f"{payload['chains']['total_hops']} hops" in text
 
 
 class TestBadTraceFiles:

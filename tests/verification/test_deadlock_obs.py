@@ -1,0 +1,72 @@
+"""Deadlock watchdog → observability wiring: a confirmed cycle lands in
+the fault counter and fails the live audit."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.modes import LockMode
+from repro.obs.collect import RunObserver
+from repro.obs.live import (
+    ClusterView,
+    LiveMonitor,
+    LockSnapshot,
+    NodeSnapshot,
+)
+from repro.verification.deadlock import DeadlockWatchdog, WaitForGraphMonitor
+
+
+def _cycle_monitor() -> WaitForGraphMonitor:
+    monitor = WaitForGraphMonitor()
+    monitor.on_grant(0.0, 0, "a", LockMode.W)
+    monitor.on_grant(0.0, 1, "b", LockMode.W)
+    monitor.on_request(0.1, 0, "b", LockMode.W)
+    monitor.on_request(0.1, 1, "a", LockMode.W)
+    return monitor
+
+
+class TestWatchdogObsWiring:
+    def test_confirmed_cycle_counts_as_deadlock_fault(self):
+        observer = RunObserver()
+        detected = threading.Event()
+        watchdog = DeadlockWatchdog(
+            _cycle_monitor(),
+            lambda deadlock: detected.set(),
+            poll_interval=0.01,
+            obs=observer,
+        )
+        watchdog.start()
+        assert detected.wait(timeout=10.0)
+        watchdog.stop()
+        assert observer.faults.total("deadlock") == 1
+
+    def test_no_obs_still_fires_callback(self):
+        detected = threading.Event()
+        watchdog = DeadlockWatchdog(
+            _cycle_monitor(),
+            lambda deadlock: detected.set(),
+            poll_interval=0.01,
+        )
+        watchdog.start()
+        assert detected.wait(timeout=10.0)
+        watchdog.stop()
+
+    def test_deadlock_fault_fails_the_live_audit(self):
+        observer = RunObserver()
+        observer.fault("deadlock")
+        view = ClusterView(
+            protocol="hierarchical",
+            captured_at=0.0,
+            nodes=(
+                NodeSnapshot(
+                    node=0,
+                    locks=(
+                        LockSnapshot("a", believes_token=True, parent=None),
+                    ),
+                ),
+            ),
+        )
+        monitor = LiveMonitor(lambda: view, observer=observer)
+        _, report = monitor.poll()
+        assert not report.ok
+        assert [f.rule for f in report.violations()] == ["deadlock"]
