@@ -1,11 +1,13 @@
 """Record the recovery stack's overhead baseline into BENCH_faults.json.
 
-Runs the deterministic chaos workload twice per seed — once fault-free
-(plan ``none``) and once under a 1 % drop plan (``drop1``) — and records
-message overhead and grant latency for each, plus the delta.  Later PRs
-rerun with ``--check`` to diff the fresh summary against the checked-in
-file and fail loudly on >10 % drift — catching recovery-path regressions
-(retransmission storms, latency blowups) that the pass/fail chaos
+Runs the deterministic chaos workload three times per seed — fault-free
+(plan ``none``), under a 1 % drop plan (``drop1``), and under the
+``token-crash`` plan with WAL durability on — and records message
+overhead, grant latency, and journaling cost (WAL appends per request)
+for each, plus the drop1/none delta.  Later PRs rerun with ``--check``
+to diff the fresh summary against the checked-in file and fail loudly on
+>10 % drift — catching recovery-path regressions (retransmission storms,
+latency blowups, journal write amplification) that the pass/fail chaos
 verdict alone would hide.
 
 The chaos harness is fully seed-deterministic, so on unchanged code a
@@ -36,6 +38,12 @@ NODES = 5
 DURATION = 20.0
 LOCKS = 3
 
+#: The durable crash-restart group: same workload, token-crash plan,
+#: WAL journaling on.  Every run must converge clean (durability makes
+#: blank-rejoin findings hard failures), so the baseline also gates the
+#: write-side cost of journaling (WAL appends per request).
+DURABLE_GROUP = "token-crash-durable"
+
 #: Relative drift beyond which ``--check`` fails.
 TOLERANCE = 0.10
 
@@ -45,13 +53,17 @@ BASELINE_PATH = os.path.join(_ROOT, "BENCH_faults.json")
 #: Summary metrics diffed by ``--check``, per plan.
 PLAN_METRICS = ("messages_per_request", "latency_mean", "latency_p95")
 
+#: Summary metrics of the durable group (adds journaling cost).
+DURABLE_METRICS = PLAN_METRICS + ("wal_appends_per_request",)
+
 #: Cross-plan overhead factors diffed by ``--check``.
 OVERHEAD_METRICS = ("messages_per_request_factor", "latency_mean_factor")
 
 
-def _one_run(plan: str, seed: int) -> Dict[str, object]:
+def _one_run(plan: str, seed: int, durable: bool = False) -> Dict[str, object]:
     verdict = run_chaos(
-        plan=plan, seed=seed, nodes=NODES, duration=DURATION, locks=LOCKS
+        plan=plan, seed=seed, nodes=NODES, duration=DURATION, locks=LOCKS,
+        durable=durable,
     )
     data = verdict.data
     requests = data["requests"]
@@ -59,7 +71,7 @@ def _one_run(plan: str, seed: int) -> Dict[str, object]:
     faults = data["faults"]
     issued = int(requests["issued"])  # type: ignore[index]
     sent = int(faults["messages_sent"])  # type: ignore[index]
-    return {
+    run = {
         "seed": seed,
         "ok": data["ok"],
         "requests": issued,
@@ -73,6 +85,17 @@ def _one_run(plan: str, seed: int) -> Dict[str, object]:
         "channel_retransmits": recovery["channel_retransmits"],  # type: ignore[index]
         "duplicates_dropped": recovery["duplicates_dropped"],  # type: ignore[index]
     }
+    if durable:
+        durability = data["durability"]
+        wal = durability["wal"]  # type: ignore[index]
+        appends = int(wal["appends"])  # type: ignore[index]
+        run["wal_appends"] = appends
+        run["wal_appends_per_request"] = (
+            round(appends / issued, 3) if issued else None
+        )
+        run["wal_snapshots"] = wal["snapshots"]  # type: ignore[index]
+        run["durable_restarts"] = len(durability["restarts"])  # type: ignore[arg-type]
+    return run
 
 
 def measure() -> Dict[str, object]:
@@ -82,6 +105,15 @@ def measure() -> Dict[str, object]:
     for plan in PLANS:
         for seed in SEEDS:
             runs[plan].append(_one_run(plan, seed))
+    runs[DURABLE_GROUP] = [
+        _one_run("token-crash", seed, durable=True) for seed in SEEDS
+    ]
+    failed = [r["seed"] for r in runs[DURABLE_GROUP] if not r["ok"]]
+    if failed:
+        raise SystemExit(
+            f"durable token-crash runs failed for seeds {failed}: "
+            "durability must converge clean before its cost is recorded"
+        )
 
     def _mean(plan: str, field: str) -> float:
         values = [float(r[field]) for r in runs[plan]]  # type: ignore[arg-type]
@@ -90,6 +122,9 @@ def measure() -> Dict[str, object]:
     summary: Dict[str, Dict[str, float]] = {
         plan: {metric: _mean(plan, metric) for metric in PLAN_METRICS}
         for plan in PLANS
+    }
+    summary[DURABLE_GROUP] = {
+        metric: _mean(DURABLE_GROUP, metric) for metric in DURABLE_METRICS
     }
     clean, lossy = summary["none"], summary["drop1"]
     summary["overhead"] = {
@@ -119,6 +154,7 @@ def compare_summary(
     problems: List[str] = []
     base_summary = baseline.get("summary", {})
     groups = [(plan, PLAN_METRICS) for plan in PLANS]
+    groups.append((DURABLE_GROUP, DURABLE_METRICS))
     groups.append(("overhead", OVERHEAD_METRICS))
     for group, metrics in groups:
         base_group = base_summary.get(group)  # type: ignore[union-attr]
@@ -192,6 +228,7 @@ def record(out_path: str) -> Dict[str, object]:
         "benchmark": "faults_baseline",
         "config": {
             "plans": list(PLANS),
+            "durable_plan": "token-crash",
             "seeds": list(SEEDS),
             "nodes": NODES,
             "duration": DURATION,
@@ -230,6 +267,12 @@ def main(argv: List[str]) -> int:
             f"mean latency {stats['latency_mean'] * 1000:.1f} ms, "
             f"p95 {stats['latency_p95'] * 1000:.1f} ms"
         )
+    durable = summary[DURABLE_GROUP]  # type: ignore[index]
+    print(
+        f"{DURABLE_GROUP}: {durable['messages_per_request']:.2f} msgs/req, "
+        f"mean latency {durable['latency_mean'] * 1000:.1f} ms, "
+        f"{durable['wal_appends_per_request']:.2f} WAL appends/req"
+    )
     overhead = summary["overhead"]  # type: ignore[index]
     print(
         f"drop1/none: {overhead['messages_per_request_factor']}x messages, "

@@ -91,6 +91,18 @@ def _chaos_main(argv: Sequence[str]) -> int:
         help="drain window after the issue window (default: 15)",
     )
     parser.add_argument(
+        "--durable", action="store_true",
+        help="journal every node's protocol state through repro.persist "
+        "(file-backed WAL + snapshots) so restarted nodes replay their "
+        "journal instead of rejoining blank; blank-rejoin findings "
+        "become hard failures",
+    )
+    parser.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="with --durable: root the WAL/snapshot files at DIR and "
+        "keep them after the run (default: a temp dir, always removed)",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="print the full verdict as JSON instead of a summary",
     )
@@ -100,15 +112,41 @@ def _chaos_main(argv: Sequence[str]) -> int:
     )
     args = parser.parse_args(list(argv))
     obs = RunObserver() if args.trace_out is not None else None
-    verdict = run_chaos(
-        plan=args.plan,
-        seed=args.seed,
-        nodes=args.nodes,
-        duration=args.duration,
-        locks=args.locks,
-        grace=args.grace,
-        obs=obs,
-    )
+    persistence = None
+    tmpdir = None
+    if args.durable:
+        import shutil
+        import tempfile
+
+        from .persist import FilePersistence
+
+        wal_dir = args.wal_dir
+        if wal_dir is None:
+            tmpdir = tempfile.mkdtemp(prefix="repro-chaos-wal-")
+            wal_dir = tmpdir
+        persistence = FilePersistence(wal_dir)
+    try:
+        verdict = run_chaos(
+            plan=args.plan,
+            seed=args.seed,
+            nodes=args.nodes,
+            duration=args.duration,
+            locks=args.locks,
+            grace=args.grace,
+            obs=obs,
+            durable=args.durable,
+            persistence=persistence,
+        )
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        # A temp WAL root never outlives the run — not on success, not
+        # on a failing verdict, not on ^C.  An explicit --wal-dir is
+        # user-owned and kept.
+        if persistence is not None:
+            persistence.close()
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
     if args.trace_out is not None and obs is not None:
         meta = {
             "label": f"chaos:{args.plan}",
@@ -146,6 +184,20 @@ def _chaos_main(argv: Sequence[str]) -> int:
             f"{len(rec['regenerations'])} regenerations, "
             f"{rec['app_retransmits']} request retransmits"
         )
+        durability = data.get("durability")
+        if durability is not None:
+            wal = durability["wal"]
+            restored = sum(
+                entry["rejoin"]["locks_restored"]
+                for entry in durability["restarts"]
+            )
+            print(
+                f"  durability: {durability['backend']} backend, "
+                f"{wal['appends']} WAL appends, "
+                f"{wal['snapshots']} snapshots, "
+                f"{len(durability['restarts'])} durable restarts, "
+                f"{restored} locks restored"
+            )
         audit = data["cluster_audit"]
         gaps = (
             f", known gaps: {', '.join(audit['known_gaps'])}"

@@ -205,6 +205,20 @@ class HierarchicalLockAutomaton:
         #: Optional observability sink (see :mod:`repro.obs`); ``None``
         #: keeps every hook site a single attribute test.
         self.obs: Optional[ObsSink] = None
+        #: Optional durability journal (see :mod:`repro.persist`); same
+        #: ``None``-gated pattern as ``obs`` so runs without durability
+        #: stay bit-identical.
+        self.persist = None
+        # Durable-rejoin state (only meaningful under ``options.recovery``
+        # with a journal attached): while ``_custody_pending`` a restored
+        # token holder answers probes but grants nothing — its token
+        # custody is unconfirmed until the fencing handshake settles.
+        # ``_provisional_children`` holds restored copyset entries not yet
+        # re-confirmed by live child activity; they over-approximate the
+        # owned mode (safe: blocks, never violates Rule 1) and are expired
+        # at the end of the rejoin settle window to restore liveness.
+        self._custody_pending = False
+        self._provisional_children: set = set()
         self._local_serial = 0
 
     def _trace(self, event: str, detail: str = "") -> None:
@@ -226,6 +240,17 @@ class HierarchicalLockAutomaton:
     def _obs_frozen(self) -> None:
         if self.obs is not None:
             self.obs.freeze_size(self._node_id, self._lock_id, len(self._frozen))
+
+    def _persist(self, kind: str) -> None:
+        """Journal the automaton's full state after a *kind* transition.
+
+        Records are written before the triggering messages leave the node
+        (the caller dispatches envelopes only after the handler returns),
+        which is what makes the log write-ahead.
+        """
+
+        if self.persist is not None:
+            self.persist.record(self, kind)
 
     # ------------------------------------------------------------------
     # Introspection (read-only views used by tests, monitors, metrics).
@@ -399,7 +424,11 @@ class HierarchicalLockAutomaton:
             )
         owned = self.owned_mode()
         if self._has_token:
-            if token_can_grant(owned, mode) and mode not in self._frozen:
+            if (
+                token_can_grant(owned, mode)
+                and mode not in self._frozen
+                and not self._custody_pending
+            ):
                 self._acquire_locally(mode, ctx)
                 return []
             request = self._make_own_request(mode, ctx, priority)
@@ -438,6 +467,7 @@ class HierarchicalLockAutomaton:
         self._held[mode] -= 1
         if self.obs is not None:
             self.obs.phase(self._node_id, self._lock_id, None, RELEASED, mode)
+        self._persist("hold-released")
         return self._after_owned_maybe_changed(owned_before)
 
     def upgrade(self, ctx: object = None) -> List[Envelope]:
@@ -461,7 +491,7 @@ class HierarchicalLockAutomaton:
             )
         if self._pending is not None:
             raise LockUsageError("a request is already pending on this lock")
-        if self._upgrade_possible_now():
+        if self._upgrade_possible_now() and not self._custody_pending:
             self._held[LockMode.U] -= 1
             if self.obs is not None:
                 self.obs.phase(
@@ -490,6 +520,7 @@ class HierarchicalLockAutomaton:
                 self._node_id, self._lock_id, key, ENQUEUED, LockMode.W
             )
             self._obs_queue()
+        self._persist("upgrade-queued")
         return self._refresh_frozen()
 
     def downgrade(self, held: LockMode, to: LockMode) -> List[Envelope]:
@@ -531,6 +562,7 @@ class HierarchicalLockAutomaton:
             key = ("L", self._node_id, self._local_serial)
             self.obs.phase(self._node_id, self._lock_id, key, ISSUED, to)
             self.obs.phase(self._node_id, self._lock_id, key, GRANTED, to)
+        self._persist("hold-downgraded")
         return self._after_owned_maybe_changed(owned_before)
 
     # ------------------------------------------------------------------
@@ -582,7 +614,11 @@ class HierarchicalLockAutomaton:
                 return []
         owned = self.owned_mode()
         if self._has_token:
-            if token_can_grant(owned, msg.mode) and msg.mode not in self._frozen:
+            if (
+                token_can_grant(owned, msg.mode)
+                and msg.mode not in self._frozen
+                and not self._custody_pending
+            ):
                 return self._grant_from_token(msg)
             self._enqueue(msg)
             return self._refresh_frozen()
@@ -615,11 +651,21 @@ class HierarchicalLockAutomaton:
                     # Replay of the attachment we already live under.
                     return []
                 if self._parent == msg.sender:
+                    if msg.attachment_seq < self._attach_seq:
+                        # A cached re-grant minted before our current
+                        # attachment (re-sent to cover grant loss) lost a
+                        # race with a fresher grant.  Attachment epochs
+                        # are globally monotonic, so adopting it would
+                        # roll the attachment backwards and every later
+                        # release would look stale at the parent, pinning
+                        # a ghost copyset entry there forever.
+                        return []
                     # The granter re-answered a stale queued duplicate and
                     # re-recorded us under a fresh attachment epoch; adopt
                     # it and re-assert our true owned mode, otherwise our
                     # future releases look stale and the copyset leaks.
                     self._attach_seq = msg.attachment_seq
+                    self._persist("attach-refreshed")
                     return [
                         self._release_to(msg.sender, self.owned_mode())
                     ]
@@ -665,6 +711,7 @@ class HierarchicalLockAutomaton:
                 pending.mode,
             )
             self._obs_frozen()
+        self._persist("grant-attached")
         self._listener(self._lock_id, pending.mode, ctx)
         out.extend(self._drain_queue_nontoken())
         return out
@@ -726,6 +773,8 @@ class HierarchicalLockAutomaton:
                     unique.append(entry)
             merged = unique
         self._queue = merged
+        self._provisional_children.discard(msg.sender)
+        self._persist("token-acquired")
         if self.obs is not None:
             self.obs.phase(
                 self._node_id,
@@ -779,6 +828,8 @@ class HierarchicalLockAutomaton:
                 seen.add(entry.request_id)
                 unique.append(entry)
         self._queue = unique
+        self._provisional_children.discard(msg.sender)
+        self._persist("token-adopted")
         if self.obs is not None:
             self.obs.fault("adopt-token", self._node_id)
             self._obs_queue()
@@ -799,7 +850,10 @@ class HierarchicalLockAutomaton:
             self._children.pop(msg.sender, None)
         else:
             self._children[msg.sender] = msg.new_mode
+        # A live release re-confirms a restored (provisional) child entry.
+        self._provisional_children.discard(msg.sender)
         self._obs_copyset()
+        self._persist("copyset-change")
         return self._after_owned_maybe_changed(owned_before)
 
     def _handle_freeze(self, msg: FreezeMessage) -> List[Envelope]:
@@ -811,6 +865,7 @@ class HierarchicalLockAutomaton:
         old = self._frozen
         self._frozen = msg.frozen
         self._obs_frozen()
+        self._persist("freeze-change")
         return self._propagate_freeze(old, msg.frozen)
 
     # ------------------------------------------------------------------
@@ -841,6 +896,7 @@ class HierarchicalLockAutomaton:
 
         recorded = self._children.get(msg.origin, LockMode.NONE)
         self._children[msg.origin] = max_mode((recorded, msg.mode))
+        self._provisional_children.discard(msg.origin)
         self._obs_copyset()
         attachment_seq = fresh_attachment_seq()
         self._child_seqs[msg.origin] = attachment_seq
@@ -848,6 +904,7 @@ class HierarchicalLockAutomaton:
             self._recent_grants[msg.request_id] = (msg.mode, attachment_seq)
             while len(self._recent_grants) > RECENT_GRANT_MEMORY:
                 self._recent_grants.popitem(last=False)
+        self._persist("copyset-change")
         return Envelope(
             msg.origin,
             GrantMessage(
@@ -889,6 +946,7 @@ class HierarchicalLockAutomaton:
         """Hand the token (and local queue) to the requester (Rule 3.2)."""
 
         self._children.pop(msg.origin, None)
+        self._provisional_children.discard(msg.origin)
         self._obs_copyset()
         # Filter out releases the requester sent before becoming the root.
         self._child_seqs[msg.origin] = fresh_attachment_seq()
@@ -899,6 +957,10 @@ class HierarchicalLockAutomaton:
         self._has_token = False
         self._parent = msg.origin
         self._attach_seq = fresh_attachment_seq()
+        # Journal before the token leaves: a crash between this record
+        # and the send is indistinguishable (to recovery) from a crash
+        # just after the send, and the probe/fence handshake covers both.
+        self._persist("token-handoff")
         token = TokenMessage(
             lock_id=self._lock_id,
             sender=self._node_id,
@@ -930,6 +992,7 @@ class HierarchicalLockAutomaton:
                 key = ("L", self._node_id, self._local_serial)
                 self.obs.phase(self._node_id, self._lock_id, key, ISSUED, mode)
             self.obs.phase(self._node_id, self._lock_id, key, GRANTED, mode)
+        self._persist("hold-granted")
         self._listener(self._lock_id, mode, ctx)
 
     # ------------------------------------------------------------------
@@ -961,6 +1024,7 @@ class HierarchicalLockAutomaton:
                     msg.origin, self._lock_id, msg.request_id, FROZEN, msg.mode
                 )
             self._obs_queue()
+        self._persist("queue-change")
 
     def _check_queue(self) -> List[Envelope]:
         """Serve the local queue head-first at the token node (Fig. 4).
@@ -970,7 +1034,7 @@ class HierarchicalLockAutomaton:
         as the owned mode allows, regardless of freezing.
         """
 
-        if not self._has_token:
+        if not self._has_token or self._custody_pending:
             return []
         out: List[Envelope] = []
         while self._queue:
@@ -1081,7 +1145,7 @@ class HierarchicalLockAutomaton:
     def _refresh_frozen(self) -> List[Envelope]:
         """Recompute the frozen set from the queue, notify granters (Rule 6)."""
 
-        if not self._has_token:
+        if not self._has_token or self._custody_pending:
             return []
         frozen: set = set()
         if self._options.freezing:
@@ -1094,6 +1158,7 @@ class HierarchicalLockAutomaton:
         old = self._frozen
         self._frozen = new
         self._obs_frozen()
+        self._persist("freeze-change")
         return self._propagate_freeze(old, new)
 
     def _propagate_freeze(
@@ -1180,14 +1245,34 @@ class HierarchicalLockAutomaton:
         owned_before = self.owned_mode()
         self._children.pop(node, None)
         self._child_seqs.pop(node, None)
+        self._provisional_children.discard(node)
         before = len(self._queue)
         self._queue = [q for q in self._queue if q.origin != node]
         if len(self._queue) != before:
             self._obs_queue()
         self._obs_copyset()
+        self._persist("child-evicted")
         out = self._after_owned_maybe_changed(owned_before)
         out.extend(self._refresh_frozen())
         return out
+
+    def _evict_new_parent(self, new_parent: NodeId) -> None:
+        """Drop a copyset entry for the node we just adopted as parent.
+
+        A node cannot be both our parent and our child: such an entry is
+        a relic of a grant made before that node became the root (token
+        regeneration adopts the old tree wholesale), and keeping it pins
+        a mode nobody below us holds — the root then waits forever for a
+        release that can never come (a parent↔child cycle).  The new
+        parent's own accounting dominates; evict before ``owned_mode``
+        is recomputed so the mode we announce upward excludes the ghost.
+        """
+
+        evicted = self._children.pop(new_parent, None)
+        self._child_seqs.pop(new_parent, None)
+        self._provisional_children.discard(new_parent)
+        if evicted is not None:
+            self._obs_copyset()
 
     def reattach(self, new_parent: NodeId, detach: bool = False) -> List[Envelope]:
         """Re-home an orphan under *new_parent* after its parent died.
@@ -1199,10 +1284,14 @@ class HierarchicalLockAutomaton:
         parent).  Request duplication is safe — that is what recovery
         mode's dedup is for.
 
-        With *detach* the old parent is assumed alive (this is an escape
-        from a stale subtree, not a death) and receives a NONE release
-        under the old attachment seq so its copyset entry for this node
-        is withdrawn rather than left pinned.
+        The old parent always receives a NONE release under the old
+        attachment seq: if it is genuinely dead the message is lost
+        harmlessly, but if the suspicion was false (heartbeats lost to
+        the fault plan) its copyset entry for this node would otherwise
+        stay pinned forever — we release to the new parent from now on
+        — and the root would wait behind that ghost mode indefinitely.
+        (*detach* is kept for call-site documentation: ``True`` marks a
+        deliberate escape from a live but stale subtree.)
         """
 
         self._require_recovery()
@@ -1211,14 +1300,10 @@ class HierarchicalLockAutomaton:
         old_parent, old_seq = self._parent, self._attach_seq
         self._parent = new_parent
         self._attach_seq = fresh_attachment_seq()
+        self._evict_new_parent(new_parent)
         out: List[Envelope] = []
         owned = self.owned_mode()
-        if (
-            detach
-            and old_parent is not None
-            and old_parent != new_parent
-            and owned is not LockMode.NONE
-        ):
+        if old_parent is not None and old_parent != new_parent:
             out.append(self._release_to(old_parent, LockMode.NONE, old_seq))
         if owned is not LockMode.NONE:
             out.append(self._release_to(new_parent, owned))
@@ -1229,6 +1314,7 @@ class HierarchicalLockAutomaton:
             self._obs_queue()
         for msg in queued:
             out.append(self._forward(msg))
+        self._persist("reattached")
         return out
 
     def regenerate_token(self, epoch: int) -> List[Envelope]:
@@ -1255,6 +1341,7 @@ class HierarchicalLockAutomaton:
         self._has_token = True
         self._parent = None
         self._attach_seq = fresh_attachment_seq()
+        self._persist("token-regenerated")
         if self._pending is not None and not any(
             q.request_id == self._pending.request_id for q in self._queue
         ):
@@ -1306,10 +1393,12 @@ class HierarchicalLockAutomaton:
         )
         self._token_epoch = epoch
         if not demote:
+            self._persist("epoch-raised")
             return []
         self._has_token = False
         self._parent = token_holder
         self._attach_seq = fresh_attachment_seq()
+        self._evict_new_parent(token_holder)
         out: List[Envelope] = []
         owned = self.owned_mode()
         if owned is not LockMode.NONE:
@@ -1324,6 +1413,244 @@ class HierarchicalLockAutomaton:
                 self._queue.append(msg)
                 continue
             out.append(self._forward(msg))
+        self._persist("token-demoted")
+        return out
+
+    # ------------------------------------------------------------------
+    # Durability hooks (driven by repro.persist; rejoin reconciliation by
+    # repro.faults.recovery.  All mutators require ``options.recovery``).
+    # ------------------------------------------------------------------
+
+    @property
+    def custody_pending(self) -> bool:
+        """True while restored token custody awaits the fencing handshake."""
+
+        return self._custody_pending
+
+    def persisted_state(self) -> Dict[str, object]:
+        """Full JSON-safe state for the durability journal.
+
+        A strict superset of :meth:`snapshot`: the monitoring view plus
+        the fields recovery needs verbatim — attachment epochs and the
+        full queued/pending request messages (the snapshot reduces those
+        to origin/mode pairs).  Keeping the snapshot embedded unreduced
+        is what lets recovery cross-check the two layers.
+        """
+
+        from ..persist.codec import request_to_payload
+
+        return {
+            "snapshot": self.snapshot().to_payload(),
+            "attach_seq": self._attach_seq,
+            "child_seqs": sorted(
+                [int(node), int(seq)]
+                for node, seq in self._child_seqs.items()
+            ),
+            "queue": [request_to_payload(msg) for msg in self._queue],
+            "pending": (
+                request_to_payload(self._pending)
+                if self._pending is not None
+                else None
+            ),
+            "custody_pending": self._custody_pending,
+        }
+
+    def adopt_persisted(self, state: Dict[str, object]) -> None:
+        """Replace this automaton's state with a persisted *state* payload.
+
+        Called on a freshly booted automaton before any message flows.
+        Restored children become *provisional* (see ``__init__``); the
+        pending-request context is gone with the old process, so the
+        caller must follow up with :meth:`abandon_pending`, and a restored
+        token holder must go through :meth:`begin_custody_fence` before it
+        may grant again.
+        """
+
+        self._require_recovery()
+        from ..persist.codec import request_from_payload
+        from .messages import advance_serial_past
+
+        snap = state["snapshot"]
+        self._has_token = bool(snap["token"])
+        parent = snap.get("parent")
+        self._parent = None if parent is None else int(parent)
+        self._held = {
+            LockMode(str(mode)): int(count)
+            for mode, count in snap.get("held", ())
+            if int(count) > 0
+        }
+        self._children = {
+            int(child): LockMode(str(mode))
+            for child, mode in snap.get("children", ())
+        }
+        self._frozen = frozenset(
+            LockMode(str(mode)) for mode in snap.get("frozen", ())
+        )
+        self._token_epoch = int(snap.get("token_epoch", 0))
+        self._attach_seq = int(state.get("attach_seq", 0))
+        self._child_seqs = {
+            int(node): int(seq) for node, seq in state.get("child_seqs", ())
+        }
+        self._queue = [
+            request_from_payload(payload) for payload in state.get("queue", ())
+        ]
+        pending = state.get("pending")
+        self._pending = (
+            request_from_payload(pending) if pending is not None else None
+        )
+        self._pending_ctx = None
+        self._custody_pending = False
+        self._recent_grants.clear()
+        self._provisional_children = set(self._children)
+        floor = max(
+            self._attach_seq, max(self._child_seqs.values(), default=0)
+        )
+        for msg in self._queue:
+            floor = max(floor, msg.request_id.serial)
+        if self._pending is not None:
+            floor = max(floor, self._pending.request_id.serial)
+        advance_serial_past(floor)
+        self._obs_queue()
+        self._obs_copyset()
+        self._obs_frozen()
+
+    def begin_custody_fence(self) -> None:
+        """Suspend granting until restored token custody is confirmed.
+
+        A durably-restarted token holder may have been superseded by an
+        epoch-fenced regeneration while it was down.  Until the rejoin
+        probe settles, the automaton queues incoming requests instead of
+        granting, so a later :meth:`fence_custody` can demote without ever
+        having issued a grant under contested custody.
+        """
+
+        self._require_recovery()
+        if not self._has_token:
+            raise ProtocolError(
+                "custody fencing applies only to a restored token holder"
+            )
+        self._custody_pending = True
+        self._persist("custody-pending")
+
+    def confirm_custody(self) -> List[Envelope]:
+        """Custody settled in our favour: resume granting."""
+
+        self._require_recovery()
+        if not self._custody_pending:
+            return []
+        self._custody_pending = False
+        out = self.expire_provisional_children()
+        out.extend(self._check_queue())
+        out.extend(self._refresh_frozen())
+        self._persist("custody-confirmed")
+        return out
+
+    def fence_custody(self, epoch: int, holder: NodeId) -> List[Envelope]:
+        """Custody lost: a token of *epoch* lives at *holder*; demote.
+
+        The restored copyset is discarded wholesale (the new holder's
+        view supersedes it), the owned mode is re-announced under the new
+        parent, and queued foreign requests are re-forwarded.  Own-origin
+        entries are dropped — their contexts died with the old process
+        and :meth:`abandon_pending` already disowned them.
+        """
+
+        self._require_recovery()
+        if not self._custody_pending:
+            return []
+        self._custody_pending = False
+        self._token_epoch = max(self._token_epoch, int(epoch))
+        self._has_token = False
+        self._parent = holder
+        self._attach_seq = fresh_attachment_seq()
+        self._children.clear()
+        self._child_seqs.clear()
+        self._provisional_children.clear()
+        self._recent_grants.clear()
+        self._obs_copyset()
+        out: List[Envelope] = []
+        owned = self.owned_mode()
+        if owned is not LockMode.NONE:
+            out.append(self._release_to(holder, owned))
+        queued, self._queue = self._queue, []
+        if queued:
+            self._obs_queue()
+        for msg in queued:
+            if msg.upgrade or msg.origin == self._node_id:
+                continue
+            out.append(self._forward(msg))
+        self._persist("custody-fenced")
+        return out
+
+    def abandon_pending(self) -> List[Envelope]:
+        """Disown the restored in-flight request (its waiter is gone).
+
+        The application context that awaited the grant died with the old
+        process, so serving the request would grant a mode nobody ever
+        releases.  Foreign requests queued *behind* the abandoned one at a
+        non-token node are re-forwarded — they were only parked here
+        because of it (Rule 4.1).
+        """
+
+        self._require_recovery()
+        had_pending = self._pending is not None
+        self._pending = None
+        self._pending_ctx = None
+        before = len(self._queue)
+        self._queue = [q for q in self._queue if q.origin != self._node_id]
+        dropped = before - len(self._queue)
+        if not had_pending and not dropped:
+            return []
+        if dropped:
+            self._obs_queue()
+        out: List[Envelope] = []
+        if not self._has_token and self._parent is not None and self._queue:
+            queued, self._queue = self._queue, []
+            self._obs_queue()
+            for msg in queued:
+                out.append(self._forward(msg))
+        self._persist("pending-abandoned")
+        return out
+
+    def reassert_owned(self) -> List[Envelope]:
+        """Announce the current owned mode to the parent.
+
+        Used in both directions of a durable restart: a restored child
+        re-asserts its subtree to its parent, and live children of a
+        restarted parent re-assert theirs so the parent's restored
+        (provisional) copyset entries are re-confirmed or corrected.
+        """
+
+        self._require_recovery()
+        if self._has_token or self._parent is None:
+            return []
+        return [self._release_to(self._parent, self.owned_mode())]
+
+    def expire_provisional_children(self) -> List[Envelope]:
+        """Drop restored copyset entries never re-confirmed by the child.
+
+        Provisional entries kept past the rejoin settle window belong to
+        children that migrated (or released) while this node was down;
+        keeping them would pin the owned mode forever.  Expiry mirrors
+        :meth:`evict_child`: the owned mode may weaken, which can unblock
+        the queue or emit a release upward.
+        """
+
+        self._require_recovery()
+        stale = sorted(
+            node for node in self._provisional_children if node in self._children
+        )
+        self._provisional_children.clear()
+        if not stale:
+            return []
+        owned_before = self.owned_mode()
+        for node in stale:
+            self._children.pop(node, None)
+            self._child_seqs.pop(node, None)
+        self._obs_copyset()
+        self._persist("children-expired")
+        out = self._after_owned_maybe_changed(owned_before)
+        out.extend(self._refresh_frozen())
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

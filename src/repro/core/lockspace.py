@@ -88,6 +88,9 @@ class LockSpace:
         #: Optional observability sink propagated to every automaton this
         #: space creates (set before first use; None = zero-cost no-op).
         self.obs = None
+        #: Optional durability journal, propagated the same way (see
+        #: :class:`repro.persist.NodeJournal`).
+        self.persist = None
 
     @property
     def node_id(self) -> NodeId:
@@ -124,6 +127,7 @@ class LockSpace:
             options=self._options,
         )
         automaton.obs = self.obs
+        automaton.persist = self.persist
         self._automata[lock_id] = automaton
         return automaton
 

@@ -181,6 +181,24 @@ def fresh_attachment_seq() -> int:
     return next(_request_serial)
 
 
+def advance_serial_past(floor: int) -> None:
+    """Ensure future serials/attachment epochs exceed *floor*.
+
+    Durable recovery restores attachment epochs persisted by an earlier
+    process incarnation; after a real process restart the counter would
+    start back at zero and mint epochs *below* the restored ones, which
+    would make fresh attachments look stale.  Burning serials up to the
+    restored high-water mark keeps the space monotonic.
+    """
+
+    if floor < 0:
+        return
+    while next(_request_serial) <= floor:
+        pass
+    # The loop consumed one serial beyond the floor; that gap is harmless
+    # (serials only need to be unique and monotonic, not dense).
+
+
 @dataclasses.dataclass(frozen=True)
 class FreezeMessage(Message):
     """The absolute frozen-mode set currently in force (Rule 6).

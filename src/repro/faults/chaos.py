@@ -28,7 +28,12 @@ from typing import Dict, List, Optional, Union
 from ..core.modes import LockMode
 from ..errors import InvariantViolation, SimulationError
 from ..obs.collect import RunObserver
-from ..obs.live import audit_view
+from ..obs.live import (  # noqa: F401  (constants re-exported for compat)
+    BLANK_REJOIN_GAP,
+    BLANK_REJOIN_RULES,
+    audit_view,
+    classify_crash_findings,
+)
 from ..obs.sink import ObsSink
 from ..sim.engine import Process, Timeout
 from ..sim.rng import derive_rng
@@ -44,18 +49,6 @@ WORKLOAD_MODES = (LockMode.IR, LockMode.R, LockMode.IW, LockMode.W)
 #: Extra simulated time after the issue window for recovery to converge
 #: (covers suspect timeout + probe timeout + several retry backoffs).
 DEFAULT_GRACE = 15.0
-
-#: Audit rules that the known token-crash blank-rejoin gap can produce
-#: (docs/FAULTS.md, ROADMAP): a crashed node rejoins with blank volatile
-#: state, so its pre-crash requests, queue entries and copyset edges are
-#: simply gone.  When the plan crashed nodes, findings under these rules
-#: are classified as the *expected* named gap rather than regressions.
-BLANK_REJOIN_RULES = frozenset(
-    {"token-missing", "copyset-unrooted", "stuck-request", "dead-reference"}
-)
-
-#: Name under which the expected gap is surfaced in verdicts.
-BLANK_REJOIN_GAP = "blank-rejoin-gap"
 
 
 @dataclasses.dataclass
@@ -85,16 +78,31 @@ def run_chaos(
     grace: float = DEFAULT_GRACE,
     config: Optional[RecoveryConfig] = None,
     obs: Optional[ObsSink] = None,
+    durable: bool = False,
+    persistence=None,
 ) -> ChaosVerdict:
     """Run one chaos scenario and return its verdict.
 
     *plan* is a :class:`FaultPlan` or the name of a canned one (seeded
     with *seed*).  *duration* bounds the issue window; the simulation
     then drains for *grace* more seconds so in-flight recovery finishes.
+
+    With ``durable=True`` every node journals its protocol state through
+    :mod:`repro.persist` (*persistence* supplies the backend; default an
+    in-memory one) and restarted nodes replay snapshot + WAL instead of
+    rejoining blank.  Durability removes the blank-rejoin excuse: crash
+    findings that a volatile run classifies as the expected
+    :data:`BLANK_REJOIN_GAP` become hard failures.
     """
 
     if isinstance(plan, str):
         plan = named_plan(plan, seed)
+    if persistence is not None:
+        durable = True
+    elif durable:
+        from ..persist import MemoryPersistence
+
+        persistence = MemoryPersistence()
     monitor = CompatibilityMonitor()
     if isinstance(obs, RunObserver):
         # Spans/series should be stamped in simulated time, not wall time.
@@ -108,6 +116,7 @@ def run_chaos(
         monitor=monitor,
         config=config if config is not None else RecoveryConfig(),
         obs=obs,
+        persistence=persistence,
     )
     sim = cluster.sim
     if sim_clock_pending is not None:
@@ -161,8 +170,26 @@ def run_chaos(
         if r["granted"]
     )
     ungranted = [r for r in records if not r["granted"]]
-    abandoned = [r for r in ungranted if cluster.is_crashed(int(r["node"]))]
-    outstanding = [r for r in ungranted if not cluster.is_crashed(int(r["node"]))]
+    # A request is abandoned when its waiter died in a crash: the node is
+    # still down, or it crashed at any point after the request was issued
+    # (restarts don't resurrect the waiting process — with durability the
+    # rejoin explicitly disowns the restored pending request, since its
+    # application context died with the old incarnation).
+    crash_times: Dict[int, List[float]] = {}
+    for crash in cluster.crash_log:
+        crash_times.setdefault(int(crash["node"]), []).append(
+            float(crash["at"])
+        )
+
+    def _abandoned(record: Dict[str, object]) -> bool:
+        node = int(record["node"])
+        if cluster.is_crashed(node):
+            return True
+        issued_at = float(record["issued_at"])  # type: ignore[arg-type]
+        return any(t >= issued_at for t in crash_times.get(node, ()))
+
+    abandoned = [r for r in ungranted if _abandoned(r)]
+    outstanding = [r for r in ungranted if not _abandoned(r)]
     eventual_grant = violation is None and not outstanding
 
     # Post-drain cluster audit: the run is quiescent now (nothing more
@@ -176,15 +203,9 @@ def run_chaos(
         ),
     )
     crashed_any = bool(cluster.crash_log)
-    audit_findings = []
-    expected_findings = []
-    for finding in audit.findings:
-        payload = finding.to_payload()
-        if crashed_any and finding.rule in BLANK_REJOIN_RULES:
-            payload["expected"] = BLANK_REJOIN_GAP
-            expected_findings.append(payload)
-        else:
-            audit_findings.append(payload)
+    audit_findings, expected_findings = classify_crash_findings(
+        audit.findings, crashed_any, durable=durable
+    )
     audit_healthy = not any(
         f["severity"] == "violation" for f in audit_findings
     )
@@ -212,6 +233,7 @@ def run_chaos(
         "duration": duration,
         "grace": grace,
         "sim_time": round(sim.now, 6),
+        "durable": durable,
         "ok": ok,
         "requests": {
             "issued": issued,
@@ -246,6 +268,12 @@ def run_chaos(
             ),
         },
     }
+    if durable:
+        data["durability"] = {
+            "backend": persistence.backend,
+            "restarts": list(cluster.durability_log),
+            "wal": persistence.stats(),
+        }
     if process_errors:
         data["process_errors"] = process_errors
     if outstanding:

@@ -337,9 +337,14 @@ NAMED_PLANS: Dict[str, Callable[[int], FaultPlan]] = dict(
             ),
         ),
         _named(
+            # The hardest plan: crash the initial token home mid-run and
+            # bring it back.  With durability the restarted node rejoins
+            # with its pre-crash locks (and its token, iff the epoch is
+            # still current); without it the restart is blank and the
+            # audit surfaces the classified blank-rejoin gap.
             "token-crash",
             lambda seed: FaultPlan(
-                crashes=(CrashEvent(node=0, at=5.0),),
+                crashes=(CrashEvent(node=0, at=5.0, restart_at=12.0),),
                 seed=seed,
                 name="token-crash",
             ),

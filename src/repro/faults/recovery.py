@@ -82,6 +82,13 @@ class RecoveryConfig:
     regen_settle: float = 1.5
     #: Orphans re-send their OrphanReport at this period until reparented.
     orphan_interval: float = 0.5
+    #: How long a durably-restarted token holder keeps custody fenced
+    #: (queueing instead of granting) while TokenProbes and replayed
+    #: placement hints establish whether its restored epoch is still
+    #: current.  Quorum-gated like ``regen_settle``, and for the same
+    #: reason: confirming on the minority side of a partition could fork
+    #: the lock space against a regenerated token across the cut.
+    rejoin_settle: float = 1.5
 
 
 class RecoveryManager:
@@ -142,10 +149,20 @@ class RecoveryManager:
         self._token_hints: Dict[LockId, Tuple[NodeId, int]] = {}
         #: Latest boot incarnation seen per peer (restart detection).
         self._peer_boots: Dict[NodeId, int] = {}
+        #: Custody state per lock whose token was durably restored and
+        #: awaits reconciliation: lock_id -> {"epoch", "generation"}.
+        self._rejoin: Dict[LockId, Dict[str, int]] = {}
+        #: Durability journal of this node, attached by the cluster
+        #: wiring when persistence is enabled (see repro.persist).
+        self.journal = None
         # -- verdict / test counters ------------------------------------
         self.app_retransmits = 0
         self.suspect_log: List[Tuple[float, NodeId]] = []
         self.regenerations: List[Dict[str, object]] = []
+        self.custody_confirmed = 0
+        self.custody_fenced = 0
+        #: Report of the last :meth:`rejoin_from_journal`, if any.
+        self.rejoin_report: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -175,6 +192,8 @@ class RecoveryManager:
                 entry[1] += 1
             for probe in self._probes.values():
                 probe["generation"] = -1
+            for rejoin in self._rejoin.values():
+                rejoin["generation"] = -1
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -190,6 +209,17 @@ class RecoveryManager:
         from ..obs.live import RecoveryHealth
 
         with self._mutex:
+            durability = None
+            if self.journal is not None:
+                stats = self.journal.stats()
+                report = self.rejoin_report or {}
+                durability = {
+                    "appends": int(stats.get("appends", 0)),
+                    "compactions": int(stats.get("compactions", 0)),
+                    "locks_restored": int(report.get("locks_restored", 0)),
+                    "custody_confirmed": self.custody_confirmed,
+                    "custody_fenced": self.custody_fenced,
+                }
             return RecoveryHealth(
                 boot=self.boot,
                 suspected=tuple(sorted(self.detector.suspected)),
@@ -204,6 +234,8 @@ class RecoveryManager:
                         in self._token_hints.items()
                     )
                 ),
+                custody_pending=tuple(sorted(self._rejoin)),
+                durability=durability,
             )
 
     # ------------------------------------------------------------------
@@ -223,6 +255,15 @@ class RecoveryManager:
 
         for envelope in envelopes:
             self._send_protocol(envelope.dest, envelope.message)
+
+    def _dispatch_replay(self, envelopes: List[Envelope]) -> None:
+        """Dispatch, annotating traces as durable-rejoin replay traffic."""
+
+        if self.tracer is not None and envelopes:
+            with self.tracer.annotated(self.node_id, "replay"):
+                self._dispatch(envelopes)
+        else:
+            self._dispatch(envelopes)
 
     # ------------------------------------------------------------------
     # Application API.
@@ -308,6 +349,21 @@ class RecoveryManager:
                 restarted = known > 0 or boot > 0
         if revived and self.obs is not None:
             self.obs.fault("unsuspect", peer)
+        if restarted:
+            # The peer's channel sessions died with it.  A restart faster
+            # than the suspect timeout never reaches ``_on_suspect``, so
+            # without this the stale outbound stream would keep numbering
+            # frames the new incarnation rejects.
+            self.channel.stop_peer(peer)
+            # Re-assert our subtrees toward the restarted node: a durable
+            # restart holds our copyset entry only *provisionally* until
+            # a live announcement confirms it, and a blank restart must
+            # relearn it from scratch.
+            reassert: List[Envelope] = []
+            for automaton in list(self.lockspace.automata()):
+                if automaton.parent == peer:
+                    reassert.extend(automaton.reassert_owned())
+            self._dispatch_replay(reassert)
         if restarted or revived:
             # A restarted peer rejoins blank; a revived one may sit on
             # the wrong side of a healed partition.  Replay the known
@@ -324,6 +380,211 @@ class RecoveryManager:
                         epoch=epoch,
                     ),
                 )
+
+    # ------------------------------------------------------------------
+    # Durable rejoin (see repro.persist and docs/PERSISTENCE.md).
+    # ------------------------------------------------------------------
+
+    def rejoin_from_journal(
+        self,
+        state: Dict[LockId, Dict[str, object]],
+        reclaim: Optional[Callable[[LockId, LockMode], bool]] = None,
+    ) -> Dict[str, object]:
+        """Adopt recovered journal *state* and reconcile with the cluster.
+
+        *state* is the output of
+        :func:`repro.persist.journal.recover_node_state`: one persisted
+        payload per lock, recovered from snapshot + WAL replay.  Per lock:
+
+        * the automaton adopts the payload verbatim under this boot;
+        * the embedded monitoring snapshot is cross-checked against the
+          live ``snapshot()`` (WAL and snapshot layers audit each other);
+        * a restored **token holder** begins custody fencing: it queues
+          instead of granting until probes and replayed placement hints
+          settle whether its epoch is still current (confirmed after
+          ``config.rejoin_settle``, quorum-gated; fenced immediately when
+          a placement of at least its epoch surfaces elsewhere);
+        * the pre-crash pending request is disowned (its waiter died with
+          the old process) and restored holds are released — unless
+          ``reclaim(lock, mode)`` claims one for the restarted
+          application;
+        * a non-token node re-asserts its owned mode to its parent, and
+          its restored (provisional) copyset entries expire after the
+          settle window unless children re-confirm them.
+
+        Returns a JSON-safe report of what was restored.
+        """
+
+        import json
+
+        report: Dict[str, object] = {
+            "locks_restored": 0,
+            "holds_released": 0,
+            "holds_reclaimed": 0,
+            "custody": [],
+            "reasserted": 0,
+            "snapshot_mismatches": 0,
+        }
+        with self._mutex:
+            for lock_id in sorted(state):
+                payload = state[lock_id]
+                automaton = self.lockspace.automaton(lock_id)
+                automaton.adopt_persisted(payload)
+                report["locks_restored"] += 1
+                live_view = json.dumps(
+                    automaton.snapshot().to_payload(), sort_keys=True
+                )
+                saved_view = json.dumps(
+                    payload.get("snapshot"), sort_keys=True
+                )
+                if live_view != saved_view:
+                    report["snapshot_mismatches"] += 1
+                    if self.obs is not None:
+                        self.obs.fault("persist-mismatch", self.node_id)
+                if automaton.has_token:
+                    automaton.begin_custody_fence()
+                    report["custody"].append(lock_id)
+                    self._begin_rejoin(lock_id, automaton.token_epoch)
+                self._dispatch_replay(automaton.abandon_pending())
+                held = automaton.snapshot().to_payload().get("held", ())
+                for mode_name, count in list(held):
+                    mode = LockMode(str(mode_name))
+                    for _ in range(int(count)):
+                        if reclaim is not None and reclaim(lock_id, mode):
+                            report["holds_reclaimed"] += 1
+                            continue
+                        self._dispatch_replay(
+                            self.lockspace.release(lock_id, mode)
+                        )
+                        report["holds_released"] += 1
+                if not automaton.has_token:
+                    out = automaton.reassert_owned()
+                    report["reasserted"] += len(out)
+                    self._dispatch_replay(out)
+                    self._scheduler.call_later(
+                        self.config.rejoin_settle,
+                        lambda lock_id=lock_id: self._provisional_expiry_fire(
+                            lock_id
+                        ),
+                    )
+            self.rejoin_report = report
+            if self.obs is not None and report["locks_restored"]:
+                self.obs.fault("rejoin", self.node_id)
+        return report
+
+    def _begin_rejoin(self, lock_id: LockId, epoch: int) -> None:
+        entry = self._rejoin.get(lock_id)
+        if entry is None:
+            entry = self._rejoin[lock_id] = {"epoch": 0, "generation": 0}
+        entry["epoch"] = int(epoch)
+        entry["generation"] += 1
+        generation = entry["generation"]
+        self._probe_rejoin(lock_id)
+        self._scheduler.call_later(
+            self.config.orphan_interval,
+            lambda: self._rejoin_probe_fire(lock_id, generation),
+        )
+        self._scheduler.call_later(
+            self.config.rejoin_settle,
+            lambda: self._rejoin_deadline(lock_id, generation),
+        )
+
+    def _probe_rejoin(self, lock_id: LockId) -> None:
+        """Ask every live peer whether a token for *lock_id* lives there."""
+
+        message = TokenProbe(lock_id=lock_id, sender=self.node_id)
+        for peer in self.membership:
+            if peer != self.node_id and not self.detector.is_suspected(peer):
+                self._raw_send(peer, message)
+
+    def _rejoin_probe_fire(self, lock_id: LockId, generation: int) -> None:
+        with self._mutex:
+            entry = self._rejoin.get(lock_id)
+            if (
+                not self._running
+                or entry is None
+                or entry["generation"] != generation
+            ):
+                return
+            # Probes ride the raw fabric and may be lost; keep re-asking
+            # until the settle deadline resolves custody either way.
+            self._probe_rejoin(lock_id)
+            self._scheduler.call_later(
+                self.config.orphan_interval,
+                lambda: self._rejoin_probe_fire(lock_id, generation),
+            )
+
+    def _rejoin_deadline(self, lock_id: LockId, generation: int) -> None:
+        with self._mutex:
+            entry = self._rejoin.get(lock_id)
+            if (
+                not self._running
+                or entry is None
+                or entry["generation"] != generation
+            ):
+                return
+            live = [
+                n
+                for n in self.membership
+                if n == self.node_id or not self.detector.is_suspected(n)
+            ]
+            if len(live) * 2 <= len(self.membership):
+                # No quorum: a regenerated token may be serving across
+                # the cut.  Confirming custody here could fork the lock
+                # space, so keep the fence up and probe again.
+                entry["generation"] = generation + 1
+                self._probe_rejoin(lock_id)
+                self._scheduler.call_later(
+                    self.config.rejoin_settle,
+                    lambda: self._rejoin_deadline(lock_id, generation + 1),
+                )
+                return
+            # Settle window elapsed with quorum visibility and no
+            # contrary evidence: the restored epoch stands.
+            self._resolve_rejoin(lock_id, confirmed=True)
+
+    def _provisional_expiry_fire(self, lock_id: LockId) -> None:
+        with self._mutex:
+            if not self._running:
+                return
+            automaton = self.lockspace.automaton(lock_id)
+            if automaton.custody_pending:
+                return  # Custody resolution owns the expiry for this lock.
+            self._dispatch_replay(automaton.expire_provisional_children())
+
+    def _resolve_rejoin(
+        self,
+        lock_id: LockId,
+        confirmed: bool,
+        epoch: int = 0,
+        holder: Optional[NodeId] = None,
+    ) -> None:
+        entry = self._rejoin.pop(lock_id, None)
+        if entry is None:
+            return
+        entry["generation"] += 1  # Disarm outstanding timers.
+        automaton = self.lockspace.automaton(lock_id)
+        if confirmed:
+            self.custody_confirmed += 1
+            if self.obs is not None:
+                self.obs.fault("custody-confirmed", self.node_id)
+            self._dispatch_replay(automaton.confirm_custody())
+            # Broadcast the settled placement so survivors re-home and
+            # any stale regeneration-in-progress stands down.
+            self._announce(
+                lock_id, self.node_id, automaton.token_epoch, broadcast=True
+            )
+        else:
+            self.custody_fenced += 1
+            if self.obs is not None:
+                self.obs.fault("custody-fenced", self.node_id)
+            self._note_hint(lock_id, holder, epoch)
+            self._dispatch_replay(automaton.fence_custody(epoch, holder))
+            if automaton.pending_mode is not LockMode.NONE:
+                # A request issued during the fence window was queued
+                # locally; re-route it under the new parent.
+                self._dispatch_replay(automaton.retransmit_pending())
+                self._arm_retry(lock_id)
 
     # ------------------------------------------------------------------
     # Periodic timers.
@@ -490,6 +751,12 @@ class RecoveryManager:
     ) -> None:
         automaton = self.lockspace.automaton(lock_id)
         if automaton.has_token:
+            if automaton.custody_pending:
+                # Restored custody is still being confirmed; announcing
+                # ourselves now could spread a stale placement.  The
+                # reporter keeps re-sending until the rejoin resolves and
+                # broadcasts the settled placement.
+                return
             # No mystery: the token is right here.  Tell the reporter.
             self._announce(
                 lock_id, self.node_id, automaton.token_epoch, {reporter}
@@ -535,6 +802,22 @@ class RecoveryManager:
             )
 
     def _on_token_ack(self, msg: TokenAck) -> None:
+        rejoin = self._rejoin.get(msg.lock_id)
+        if rejoin is not None:
+            if msg.sender != self.node_id and msg.epoch >= int(
+                rejoin["epoch"]
+            ):
+                # A live token of at least our restored epoch answers
+                # from elsewhere: our custody is stale.  Demote under it.
+                # (``>=`` also covers a handed-off token whose transfer
+                # was journalled but raced the crash.)
+                self._resolve_rejoin(
+                    msg.lock_id,
+                    confirmed=False,
+                    epoch=msg.epoch,
+                    holder=msg.sender,
+                )
+            return
         probe = self._probes.pop(msg.lock_id, None)
         if probe is None:
             return
@@ -674,6 +957,18 @@ class RecoveryManager:
     def _apply_reparent(
         self, lock_id: LockId, holder: NodeId, epoch: int
     ) -> None:
+        rejoin = self._rejoin.get(lock_id)
+        if rejoin is not None:
+            if holder != self.node_id and epoch >= int(rejoin["epoch"]):
+                # A placement of at least our restored epoch names
+                # someone else: fence immediately.
+                self._resolve_rejoin(
+                    lock_id, confirmed=False, epoch=epoch, holder=holder
+                )
+            # A hint naming *us* is a peer replaying our own pre-crash
+            # placement; agreement still waits for the settle deadline —
+            # a higher-epoch regeneration may be one hop behind it.
+            return
         automaton = self.lockspace.automaton(lock_id)
         self._dispatch(automaton.observe_epoch(epoch, holder))
         orphaned = self._orphans.pop(lock_id, None)

@@ -51,10 +51,12 @@ FAST_RECOVERY = RecoveryConfig(
     regen_settle=0.2,
 )
 
-#: Delay (seconds) standing in for ``reorder`` on wall-clock transports:
-#: long enough for later traffic on the pair to overtake, short enough
-#: not to trip retransmission.
-_REORDER_SLIP = 0.01
+#: How long (seconds) a reordered frame is held back waiting for later
+#: traffic on its (sender, dest) pair to overtake it.  If nothing else
+#: crosses the pair within the window the frame is force-flushed — a
+#: reorder against silence is indistinguishable from a delay.  Short
+#: enough not to trip channel retransmission under ``FAST_RECOVERY``.
+_REORDER_HOLD = 0.05
 
 
 class FaultyTransport:
@@ -74,8 +76,12 @@ class FaultyTransport:
         self._crashed: Set[NodeId] = set()
         self._state_lock = threading.Lock()
         self._timers: List[threading.Timer] = []
+        #: Reordered frames held back per (sender, dest) pair, waiting
+        #: for a later frame on the pair to overtake them (see ``send``).
+        self._held: Dict[tuple, List[Envelope]] = {}
         self._stopping = False
         self.messages_dropped = 0
+        self.messages_reordered = 0
 
     @property
     def injector(self) -> Optional[FaultInjector]:
@@ -130,7 +136,15 @@ class FaultyTransport:
         self.inner.stop()
 
     def send(self, sender: NodeId, envelopes: List[Envelope]) -> None:
-        """Apply the plan to each envelope, then ship the survivors."""
+        """Apply the plan to each envelope, then ship the survivors.
+
+        Reordered frames are scrambled at frame level, mirroring the
+        simulator's skip-the-FIFO-floor semantics: the frame is *held
+        back* and the next frame sent on the same (sender, dest) pair
+        overtakes it — the pair genuinely delivers out of order, rather
+        than approximating reorder with a small delay.  A hold timer
+        bounds the wait when the pair goes quiet.
+        """
 
         for envelope in envelopes:
             with self._state_lock:
@@ -146,19 +160,61 @@ class FaultyTransport:
                     )
             if decision is None:
                 self.inner.send(sender, [envelope])
+                self._flush_held((sender, envelope.dest))
                 continue
             if decision.drop:
                 with self._state_lock:
                     self.messages_dropped += 1
                 continue
-            delay = decision.extra_delay
             if decision.reorder:
-                delay += _REORDER_SLIP
+                for _copy in range(decision.copies):
+                    self._hold_reordered(sender, envelope)
+                continue
+            delay = decision.extra_delay
             for _copy in range(decision.copies):
                 if delay > 0.0:
                     self._send_later(sender, envelope, delay)
                 else:
                     self.inner.send(sender, [envelope])
+                    self._flush_held((sender, envelope.dest))
+
+    def _hold_reordered(self, sender: NodeId, envelope: Envelope) -> None:
+        """Stash a frame so the pair's next frame overtakes it."""
+
+        key = (sender, envelope.dest)
+        with self._state_lock:
+            if self._stopping:
+                return
+            self._held.setdefault(key, []).append(envelope)
+            self.messages_reordered += 1
+            timer = threading.Timer(
+                _REORDER_HOLD, lambda: self._flush_held(key)
+            )
+            timer.daemon = True
+            self._timers.append(timer)
+            if len(self._timers) > 64:  # Drop completed timers.
+                self._timers = [t for t in self._timers if t.is_alive()]
+        timer.start()
+
+    def _flush_held(self, key: tuple) -> None:
+        """Release held frames on *key*, after their overtaker shipped."""
+
+        with self._state_lock:
+            held = self._held.pop(key, None)
+            if not held:
+                return
+            if (
+                self._stopping
+                or key[0] in self._crashed
+                or key[1] in self._crashed
+            ):
+                self.messages_dropped += len(held)
+                return
+        for envelope in held:
+            try:
+                self.inner.send(key[0], [envelope])
+            except SimulationError:
+                pass  # Destination died while the frame was held.
 
     def _send_later(
         self, sender: NodeId, envelope: Envelope, delay: float
@@ -194,6 +250,9 @@ class FaultyTransport:
 
         with self._state_lock:
             self._crashed.add(node_id)
+            # Held reordered frames to/from the dead node die with it.
+            for key in [k for k in self._held if node_id in k]:
+                self.messages_dropped += len(self._held.pop(key))
 
     def restart(self, node_id: NodeId) -> None:
         """Reconnect *node_id* to the fabric."""
@@ -278,6 +337,7 @@ class ResilientThreadedCluster:
         monitor: Optional[Monitor] = None,
         obs: Optional[ObsSink] = None,
         seed: int = 0,
+        persistence=None,
     ) -> None:
         if num_nodes < 2:
             raise ConfigurationError(
@@ -298,6 +358,12 @@ class ResilientThreadedCluster:
         self.scheduler = WallScheduler()
         self.lockspaces: Dict[NodeId, LockSpace] = {}
         self.managers: Dict[NodeId, RecoveryManager] = {}
+        #: Per-node durability backend (see :mod:`repro.persist`);
+        #: ``None`` keeps the cluster volatile.
+        self.persistence = persistence
+        self.journals: Dict[NodeId, object] = {}
+        #: One rejoin report per durable restart, in restart order.
+        self.durability_log: List[Dict[str, object]] = []
         self._crashed: Set[NodeId] = set()
         self.crash_log: List[Dict[str, object]] = []
         for node_id in range(num_nodes):
@@ -333,6 +399,18 @@ class ResilientThreadedCluster:
         )
         self.lockspaces[node_id] = lockspace
         self.managers[node_id] = manager
+        if self.persistence is not None:
+            from ..persist import NodeJournal
+
+            journal = NodeJournal(
+                self.persistence.store_for(node_id),
+                node_id,
+                boot=boot,
+                obs=self.obs,
+            )
+            journal.attach(lockspace)
+            self.journals[node_id] = journal
+            manager.journal = journal
         if fresh:
             self.transport.register(node_id, manager.handle)
         else:
@@ -364,6 +442,11 @@ class ResilientThreadedCluster:
         )
         self.transport.crash(node_id)
         self.managers[node_id].stop()
+        journal = self.journals.pop(node_id, None)
+        if journal is not None:
+            # The store survives (it is the durable medium); only the
+            # in-process journal handle dies with the node.
+            journal.close()
         if self.monitor is not None:
             with self._monitor_lock:
                 self.monitor.on_crash(self.scheduler.now(), node_id)
@@ -371,15 +454,42 @@ class ResilientThreadedCluster:
             self.obs.fault("crash", node_id)
 
     def restart(self, node_id: NodeId) -> None:
-        """Bring *node_id* back with blank state and a bumped boot."""
+        """Bring *node_id* back under a bumped boot incarnation.
+
+        Without persistence the node rejoins blank; with it, the node
+        replays its snapshot + WAL and rejoins with its pre-crash locks
+        (token custody fenced until the epoch handshake settles — see
+        :meth:`~repro.faults.recovery.RecoveryManager.rejoin_from_journal`).
+        """
 
         if node_id not in self._crashed:
             return
         self._crashed.discard(node_id)
         boot = self.managers[node_id].boot + 1
         self._boot_node(node_id, boot=boot, fresh=False)
+        manager = self.managers[node_id]
+        # Fabric first: rejoin replay dispatches messages immediately.
         self.transport.restart(node_id)
-        self.managers[node_id].start()
+        if self.persistence is not None:
+            from ..persist import recover_node_state
+
+            state, recover_report = recover_node_state(
+                self.persistence.store_for(node_id)
+            )
+            rejoin_report = manager.rejoin_from_journal(state)
+            self.durability_log.append(
+                {
+                    "at": round(self.scheduler.now(), 6),
+                    "node": node_id,
+                    "boot": boot,
+                    "recovered": recover_report,
+                    "rejoin": rejoin_report,
+                }
+            )
+            # Re-seed the snapshot under the new boot so the next crash
+            # replays from here instead of the whole pre-crash log.
+            self.journals[node_id].compact()
+        manager.start()
         if self.obs is not None:
             self.obs.fault("restart", node_id)
 
@@ -400,6 +510,9 @@ class ResilientThreadedCluster:
             manager.stop()
         self.scheduler.stop()
         self.transport.stop()
+        for journal in self.journals.values():
+            journal.close()
+        self.journals.clear()
 
     def __enter__(self) -> "ResilientThreadedCluster":
         return self

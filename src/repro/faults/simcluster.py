@@ -97,6 +97,7 @@ class ResilientSimCluster:
         monitor: Optional[Monitor] = None,
         config: RecoveryConfig = RecoveryConfig(),
         obs: Optional[ObsSink] = None,
+        persistence=None,
     ) -> None:
         if num_nodes < 2:
             raise ConfigurationError(
@@ -128,6 +129,13 @@ class ResilientSimCluster:
         self._scheduler = SimScheduler(self.sim)
         self.lockspaces: Dict[NodeId, LockSpace] = {}
         self.managers: Dict[NodeId, RecoveryManager] = {}
+        #: Per-node durability backend (see :mod:`repro.persist`);
+        #: ``None`` keeps the cluster volatile and the code path
+        #: byte-identical to the pre-durability behaviour.
+        self.persistence = persistence
+        self.journals: Dict[NodeId, object] = {}
+        #: One rejoin report per durable restart, in restart order.
+        self.durability_log: List[Dict[str, object]] = []
         self._crashed: set = set()
         self.crash_log: List[Dict[str, object]] = []
         for node_id in range(num_nodes):
@@ -170,6 +178,18 @@ class ResilientSimCluster:
         )
         self.lockspaces[node_id] = lockspace
         self.managers[node_id] = manager
+        if self.persistence is not None:
+            from ..persist import NodeJournal
+
+            journal = NodeJournal(
+                self.persistence.store_for(node_id),
+                node_id,
+                boot=boot,
+                obs=self.obs,
+            )
+            journal.attach(lockspace)
+            self.journals[node_id] = journal
+            manager.journal = journal
         if fresh:
             self.network.register(node_id, manager.handle)
 
@@ -196,21 +216,53 @@ class ResilientSimCluster:
         self.crash_log.append({"at": self.sim.now, "node": node_id})
         self.network.crash(node_id)
         self.managers[node_id].stop()
+        journal = self.journals.pop(node_id, None)
+        if journal is not None:
+            # The store survives (it is the durable medium); only the
+            # in-process journal handle dies with the node.
+            journal.close()
         if self.monitor is not None:
             self.monitor.on_crash(self.sim.now, node_id)
         if self.obs is not None:
             self.obs.fault("crash", node_id)
 
     def restart(self, node_id: NodeId) -> None:
-        """Bring *node_id* back with blank state and a bumped boot."""
+        """Bring *node_id* back under a bumped boot incarnation.
+
+        Without persistence the node rejoins blank; with it, the node
+        replays its snapshot + WAL and rejoins with its pre-crash locks
+        (token custody fenced until the epoch handshake settles — see
+        :meth:`~repro.faults.recovery.RecoveryManager.rejoin_from_journal`).
+        """
 
         if node_id not in self._crashed:
             return
         self._crashed.discard(node_id)
         boot = self.managers[node_id].boot + 1
         self._boot_node(node_id, boot=boot, fresh=False)
-        self.network.restart(node_id, self.managers[node_id].handle)
-        self.managers[node_id].start()
+        manager = self.managers[node_id]
+        # Fabric first: rejoin replay dispatches messages immediately.
+        self.network.restart(node_id, manager.handle)
+        if self.persistence is not None:
+            from ..persist import recover_node_state
+
+            state, recover_report = recover_node_state(
+                self.persistence.store_for(node_id)
+            )
+            rejoin_report = manager.rejoin_from_journal(state)
+            self.durability_log.append(
+                {
+                    "at": round(self.sim.now, 6),
+                    "node": node_id,
+                    "boot": boot,
+                    "recovered": recover_report,
+                    "rejoin": rejoin_report,
+                }
+            )
+            # Re-seed the snapshot under the new boot so the next crash
+            # replays from here instead of the whole pre-crash log.
+            self.journals[node_id].compact()
+        manager.start()
         if self.obs is not None:
             self.obs.fault("restart", node_id)
 

@@ -68,6 +68,13 @@ class NaimiAutomaton:
         #: Optional observability sink (see :mod:`repro.obs`).  Span key
         #: is ``(lock_id, origin)`` — one outstanding request per node.
         self.obs: Optional[ObsSink] = None
+        #: Optional durability journal (see :mod:`repro.persist`); same
+        #: ``None``-gated pattern as ``obs``.
+        self.persist = None
+
+    def _persist(self, kind: str) -> None:
+        if self.persist is not None:
+            self.persist.record(self, kind)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -172,9 +179,11 @@ class NaimiAutomaton:
             if not self._has_token:
                 raise ProtocolError("root without token cannot self-grant")
             self._enter()
+            self._persist("request")
             return []
         target = self._last
         self._last = None  # Path reversal: the requester becomes a root.
+        self._persist("request")
         return [
             Envelope(
                 target,
@@ -197,10 +206,12 @@ class NaimiAutomaton:
         if self.obs is not None:
             self.obs.phase(self._node_id, self._lock_id, None, RELEASED)
         if self._next is None:
+            self._persist("release")
             return []  # Keep the token until someone asks.
         successor = self._next
         self._next = None
         self._has_token = False
+        self._persist("release")
         return [
             Envelope(
                 successor,
@@ -273,6 +284,7 @@ class NaimiAutomaton:
             )
         # Path reversal: future requests will be routed to this requester.
         self._last = msg.origin
+        self._persist("handle")
         return out
 
     def _handle_token(self, msg: NaimiTokenMessage) -> List[Envelope]:
@@ -284,6 +296,7 @@ class NaimiAutomaton:
             )
         self._has_token = True
         self._enter()
+        self._persist("handle")
         return []
 
     def _enter(self) -> None:
@@ -298,6 +311,38 @@ class NaimiAutomaton:
             )
         ctx, self._ctx = self._ctx, None
         self._listener(self._lock_id, ctx)
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.persist).
+    # ------------------------------------------------------------------
+
+    def persisted_state(self) -> dict:
+        """Full JSON-safe state for the durability journal."""
+
+        return {
+            "snapshot": self.snapshot().to_payload(),
+            "last": self._last,
+            "next": self._next,
+            "has_token": self._has_token,
+            "in_cs": self._in_cs,
+            "requesting": self._requesting,
+        }
+
+    def adopt_persisted(self, state: dict) -> None:
+        """Replace this automaton's state with a persisted payload.
+
+        The request context is not recoverable — a restored requesting
+        node's grant fires the listener with ``ctx=None``.
+        """
+
+        last = state.get("last")
+        self._last = None if last is None else int(last)
+        nxt = state.get("next")
+        self._next = None if nxt is None else int(nxt)
+        self._has_token = bool(state.get("has_token", False))
+        self._in_cs = bool(state.get("in_cs", False))
+        self._requesting = bool(state.get("requesting", False))
+        self._ctx = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

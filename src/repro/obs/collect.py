@@ -74,6 +74,7 @@ class RunObserver(ObsSink):
         self.freeze_series = GaugeSeries(window)
         self.send_latency = Histogram()
         self.faults = WindowedCounter(window)
+        self.persist_events = WindowedCounter(window)
         self._last_engine_events = 0
 
     def bind_clock(self, clock: Clock) -> None:
@@ -180,6 +181,13 @@ class RunObserver(ObsSink):
         with self._mutex:
             self.faults.add(now, "peer_lost")
 
+    # -- durability --------------------------------------------------------
+
+    def persist_event(self, node: NodeId, kind: str) -> None:
+        now = self._clock()
+        with self._mutex:
+            self.persist_events.add(now, kind)
+
     # -- engine -----------------------------------------------------------
 
     def engine_tick(self, now: float, events: int) -> None:
@@ -204,6 +212,7 @@ class RunObserver(ObsSink):
             "wire_bytes": self.wire_bytes,
             "engine_events": self.engine_events,
             "faults": self.faults,
+            "persist_events": self.persist_events,
         }
         return {name: series for name, series in named.items() if series}
 

@@ -73,6 +73,64 @@ AUDIT_RULES = (
     "deadlock",
 )
 
+#: Audit rules a *blank* (non-durable) crash-restart can legitimately
+#: produce: a node that rejoins without its journal has lost its
+#: pre-crash requests, queue entries and copyset edges — and, worse,
+#: re-creates each lock lazily from the static token home, so a
+#: restarted home *resurrects a stale token* and can grant against the
+#: regenerated lineage before the epoch announcements demote it.  The
+#: audit then sees token splits, copyset cycles and even conflicting
+#: grants that are gaps of the volatile configuration, not protocol
+#: bugs; durability (``repro.persist``) is the fix, and durable runs
+#: treat every one of these as a hard failure.
+BLANK_REJOIN_RULES = frozenset(
+    {
+        "token-missing",
+        "token-split",
+        "copyset-cycle",
+        "copyset-unrooted",
+        "stuck-request",
+        "dead-reference",
+        "rule1",
+    }
+)
+
+#: Name under which the expected blank-rejoin gap surfaces in verdicts.
+BLANK_REJOIN_GAP = "blank-rejoin-gap"
+
+
+def classify_crash_findings(
+    findings: Sequence["AuditFinding"],
+    crashed_any: bool,
+    durable: bool = False,
+) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+    """Split audit *findings* into regressions and expected crash gaps.
+
+    When the run crashed nodes and durability is **off**, findings under
+    :data:`BLANK_REJOIN_RULES` are classified as the expected
+    :data:`BLANK_REJOIN_GAP` (tagged ``expected`` in their payload) —
+    volatile rejoin cannot do better.  With ``durable=True`` a restarted
+    node recovers its state from its journal (see :mod:`repro.persist`),
+    the gap must not occur, and **every** finding is a regression.
+
+    Returns ``(regressions, expected)``, both as payload dict lists.
+    """
+
+    regressions: List[Dict[str, object]] = []
+    expected: List[Dict[str, object]] = []
+    for finding in findings:
+        payload = finding.to_payload()
+        if (
+            crashed_any
+            and not durable
+            and finding.rule in BLANK_REJOIN_RULES
+        ):
+            payload["expected"] = BLANK_REJOIN_GAP
+            expected.append(payload)
+        else:
+            regressions.append(payload)
+    return regressions, expected
+
 
 # ---------------------------------------------------------------------------
 # Snapshot records.
@@ -204,9 +262,17 @@ class RecoveryHealth:
     app_retransmits: int = 0
     #: Last announced token placements: ``(lock, holder, epoch)``.
     token_hints: Tuple[Tuple[LockId, NodeId, int], ...] = ()
+    #: Locks whose durably restored token custody is still fenced
+    #: (queueing, not granting) pending rejoin reconciliation.
+    custody_pending: Tuple[LockId, ...] = ()
+    #: Durability journal counters (``appends``, ``compactions``,
+    #: ``locks_restored``, ``custody_confirmed``, ``custody_fenced``)
+    #: when the node runs with a :mod:`repro.persist` journal attached;
+    #: ``None`` on volatile nodes.
+    durability: Optional[Mapping[str, int]] = None
 
     def to_payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "boot": self.boot,
             "suspected": list(self.suspected),
             "live_peers": list(self.live_peers),
@@ -214,10 +280,15 @@ class RecoveryHealth:
             "channel_retransmits": self.channel_retransmits,
             "app_retransmits": self.app_retransmits,
             "token_hints": [list(hint) for hint in self.token_hints],
+            "custody_pending": list(self.custody_pending),
         }
+        if self.durability is not None:
+            payload["durability"] = dict(self.durability)
+        return payload
 
     @staticmethod
     def from_payload(payload: Mapping[str, object]) -> "RecoveryHealth":
+        durability = payload.get("durability")
         return RecoveryHealth(
             boot=int(payload["boot"]),
             suspected=tuple(payload.get("suspected", ())),
@@ -228,6 +299,12 @@ class RecoveryHealth:
             token_hints=tuple(
                 (hint[0], hint[1], int(hint[2]))
                 for hint in payload.get("token_hints", ())
+            ),
+            custody_pending=tuple(payload.get("custody_pending", ())),
+            durability=(
+                {str(k): int(v) for k, v in durability.items()}
+                if durability is not None
+                else None
             ),
         )
 

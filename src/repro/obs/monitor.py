@@ -249,6 +249,17 @@ def render_health_table(view: ClusterView, report: AuditReport) -> str:
             )
             if suspected:
                 recovery += f" suspects=[{suspected}]"
+            durability = node.recovery.durability
+            if durability is not None:
+                recovery += (
+                    f" wal={durability.get('appends', 0)}a"
+                    f"/{durability.get('compactions', 0)}c"
+                )
+            if node.recovery.custody_pending:
+                pending = ",".join(
+                    str(lock) for lock in node.recovery.custody_pending
+                )
+                recovery += f" fencing=[{pending}]"
         rows.append(
             [
                 str(node.node),

@@ -116,6 +116,13 @@ class ObsSink:
         """A transport lost its connection to *node* (disconnect, corrupt
         or oversized frame); lazy reconnect may revive it later."""
 
+    # -- durability --------------------------------------------------------
+
+    def persist_event(self, node: NodeId, kind: str) -> None:
+        """*node*'s durability journal recorded an event of *kind* (a WAL
+        append labelled by the protocol transition, or ``"snapshot"`` for
+        a compaction).  See :mod:`repro.persist`."""
+
     # -- engine ----------------------------------------------------------
 
     def engine_tick(self, now: float, events: int) -> None:

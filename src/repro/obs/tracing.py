@@ -23,8 +23,10 @@ Hop kinds: ``"send"`` for ordinary hops, ``"retransmit"`` for
 session-channel / application-level re-sends of an already stamped
 message (recorded as an extra annotated hop sharing the original's
 parent), ``"regen"`` for messages born from an epoch-fenced token
-regeneration.  ``"heartbeat"`` and ``"session-ack"`` traffic is liveness
-machinery, not request causality, and is never traced.
+regeneration, ``"replay"`` for messages re-issued from a durable journal
+during a restarted node's rejoin (see :mod:`repro.persist`).
+``"heartbeat"`` and ``"session-ack"`` traffic is liveness machinery, not
+request causality, and is never traced.
 
 :func:`critical_path` walks a granted chain backwards from the grant hop
 and tiles the interval ``[issued_at, granted_at]`` into transit,
@@ -239,7 +241,8 @@ def critical_path(
     recovery_sends = [
         hop.sent_at
         for hop in chain.hops
-        if hop.kind in ("retransmit", "regen") and hop.sent_at is not None
+        if hop.kind in ("retransmit", "regen", "replay")
+        and hop.sent_at is not None
     ]
     segments = {name: 0.0 for name in PATH_SEGMENTS}
     prev = chain.issued_at
@@ -497,7 +500,8 @@ class MessageTracer:
     @contextlib.contextmanager
     def annotated(self, node: NodeId, kind: str) -> Iterator[None]:
         """Mark sends from this (node, thread) with a hop *kind* —
-        ``"retransmit"`` / ``"regen"`` around recovery-driven dispatch."""
+        ``"retransmit"`` / ``"regen"`` / ``"replay"`` around
+        recovery-driven dispatch."""
 
         key = (node, threading.get_ident())
         with self._mutex:

@@ -1,0 +1,57 @@
+"""JSON codecs for protocol objects that ride in WAL records.
+
+Only :class:`~repro.core.messages.RequestMessage` needs a codec of its
+own: queued and pending requests are the one piece of automaton state
+the read-only ``snapshot()`` view deliberately reduces (to origin/mode
+pairs), while recovery must replay them verbatim — same request ids,
+upgrade flags and priorities — so a restarted token node can keep serving
+the exact queue it promised FIFO order to.
+
+Trace contexts are *not* persisted: a restarted process has a fresh
+tracer, and replayed sends re-enter causal chains through the recovery
+manager's annotated ``replay`` scope instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.messages import RequestId, RequestMessage
+from ..core.modes import LockMode
+
+
+def request_to_payload(msg: RequestMessage) -> Dict[str, object]:
+    """Serialize one request message into a JSON-safe dict."""
+
+    return {
+        "lock": msg.lock_id,
+        "sender": msg.sender,
+        "origin": msg.origin,
+        "mode": str(msg.mode),
+        "id": [
+            msg.request_id.timestamp,
+            msg.request_id.origin,
+            msg.request_id.serial,
+        ],
+        "upgrade": msg.upgrade,
+        "priority": msg.priority,
+    }
+
+
+def request_from_payload(payload: Dict[str, object]) -> RequestMessage:
+    """Rebuild a request message from :func:`request_to_payload` output."""
+
+    timestamp, origin, serial = payload["id"]  # type: ignore[misc]
+    return RequestMessage(
+        lock_id=str(payload["lock"]),
+        sender=int(payload["sender"]),  # type: ignore[arg-type]
+        origin=int(payload["origin"]),  # type: ignore[arg-type]
+        mode=LockMode(str(payload["mode"])),
+        request_id=RequestId(
+            timestamp=int(timestamp),
+            origin=int(origin),
+            serial=int(serial),
+        ),
+        upgrade=bool(payload.get("upgrade", False)),
+        priority=int(payload.get("priority", 0)),  # type: ignore[arg-type]
+    )

@@ -1,0 +1,304 @@
+"""Pluggable per-node durability backends.
+
+A *node store* holds one node's write-ahead log plus its latest compacted
+snapshot.  Two backends share the frame codec of :mod:`repro.persist.wal`:
+
+* :class:`MemoryNodeStore` — frames kept as byte strings in process
+  memory.  The store object outlives the simulated node's crash, which is
+  exactly the durability model the sim engine needs: deterministic, no
+  I/O, no wall-clock, and byte-identical to what the file backend would
+  have written.
+* :class:`FileNodeStore` — one directory per node (``wal.log`` +
+  ``snapshot.json``) with a configurable fsync policy for the threaded /
+  TCP runtimes.  Snapshots are written atomically (temp file + fsync +
+  rename) so a crash mid-snapshot can never destroy the previous one.
+
+The :class:`MemoryPersistence` / :class:`FilePersistence` factories hand
+out one store per node id and aggregate write statistics across them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..core.messages import NodeId
+from ..errors import ConfigurationError
+from .wal import ScanReport, encode_frame, scan_frames
+
+#: fsync after every append: maximal durability, one fsync per record.
+FSYNC_ALWAYS = "always"
+#: fsync every ``batch_size`` appends (and on snapshot/close): the
+#: default trade-off — a crash loses at most one batch of records, which
+#: the epoch-fencing rejoin reconciliation absorbs (docs/PERSISTENCE.md).
+FSYNC_BATCH = "batch"
+#: Never fsync explicitly (tests / throwaway runs).
+FSYNC_NEVER = "never"
+
+_FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER)
+
+#: Loaded store content: (snapshot payload or None, WAL records, scan).
+LoadResult = Tuple[Optional[Dict[str, object]], List[Dict[str, object]], ScanReport]
+
+
+class MemoryNodeStore:
+    """In-memory WAL + snapshot for one simulated node."""
+
+    def __init__(self) -> None:
+        self._frames: List[bytes] = []
+        self._snapshot: Optional[bytes] = None
+        self.appends = 0
+        self.snapshots = 0
+        self.bytes_written = 0
+        #: Snapshot payloads that failed to parse on load.
+        self.snapshot_corrupt = 0
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one WAL record (framed exactly like the file backend)."""
+
+        frame = encode_frame(record)
+        self._frames.append(frame)
+        self.appends += 1
+        self.bytes_written += len(frame)
+
+    def write_snapshot(self, payload: Dict[str, object]) -> None:
+        """Replace the compacted snapshot atomically."""
+
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._snapshot = blob
+        self.snapshots += 1
+        self.bytes_written += len(blob)
+
+    def reset_log(self) -> None:
+        """Drop every WAL frame (called right after a snapshot)."""
+
+        self._frames.clear()
+
+    def load(self) -> LoadResult:
+        """Decode the snapshot and replayable WAL records."""
+
+        snapshot: Optional[Dict[str, object]] = None
+        if self._snapshot is not None:
+            try:
+                decoded = json.loads(self._snapshot.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                decoded = None
+            if isinstance(decoded, dict):
+                snapshot = decoded
+            else:
+                self.snapshot_corrupt += 1
+        records, _, report = scan_frames(b"".join(self._frames))
+        return snapshot, records, report
+
+    def sync(self) -> None:
+        """No-op: memory is as durable as this backend gets."""
+
+    def close(self) -> None:
+        """No-op: the store keeps its content for the next incarnation."""
+
+    # Test hook: raw byte access, so torn-tail/corruption tests can
+    # damage the log the same way for both backends.
+    @property
+    def log_bytes(self) -> bytes:
+        return b"".join(self._frames)
+
+    @log_bytes.setter
+    def log_bytes(self, blob: bytes) -> None:
+        self._frames = [blob] if blob else []
+
+
+class FileNodeStore:
+    """File-backed WAL + snapshot for one node (threaded/TCP runtimes)."""
+
+    WAL_NAME = "wal.log"
+    SNAPSHOT_NAME = "snapshot.json"
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = FSYNC_BATCH,
+        batch_size: int = 32,
+    ) -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"fsync policy must be one of {_FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        self.directory = directory
+        self.fsync = fsync
+        self.batch_size = batch_size
+        os.makedirs(directory, exist_ok=True)
+        self.wal_path = os.path.join(directory, self.WAL_NAME)
+        self.snapshot_path = os.path.join(directory, self.SNAPSHOT_NAME)
+        self._mutex = threading.Lock()
+        self._file = None
+        self._unsynced = 0
+        self.appends = 0
+        self.snapshots = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.snapshot_corrupt = 0
+
+    def _ensure_open(self):
+        if self._file is None or self._file.closed:
+            self._file = open(self.wal_path, "ab")
+        return self._file
+
+    def _fsync_file(self, handle) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.fsyncs += 1
+        self._unsynced = 0
+
+    def append(self, record: Dict[str, object]) -> None:
+        frame = encode_frame(record)
+        with self._mutex:
+            handle = self._ensure_open()
+            handle.write(frame)
+            handle.flush()
+            self.appends += 1
+            self.bytes_written += len(frame)
+            if self.fsync == FSYNC_ALWAYS:
+                self._fsync_file(handle)
+            elif self.fsync == FSYNC_BATCH:
+                self._unsynced += 1
+                if self._unsynced >= self.batch_size:
+                    self._fsync_file(handle)
+
+    def write_snapshot(self, payload: Dict[str, object]) -> None:
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        tmp_path = self.snapshot_path + ".tmp"
+        with self._mutex:
+            with open(tmp_path, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                if self.fsync != FSYNC_NEVER:
+                    os.fsync(handle.fileno())
+            os.replace(tmp_path, self.snapshot_path)
+            self.snapshots += 1
+            self.bytes_written += len(blob)
+
+    def reset_log(self) -> None:
+        with self._mutex:
+            handle = self._ensure_open()
+            handle.truncate(0)
+            handle.seek(0)
+            if self.fsync != FSYNC_NEVER:
+                self._fsync_file(handle)
+
+    def load(self) -> LoadResult:
+        with self._mutex:
+            if self._file is not None and not self._file.closed:
+                self._file.flush()
+            snapshot: Optional[Dict[str, object]] = None
+            if os.path.exists(self.snapshot_path):
+                try:
+                    with open(self.snapshot_path, "rb") as handle:
+                        decoded = json.loads(handle.read().decode("utf-8"))
+                except (OSError, UnicodeDecodeError, ValueError):
+                    decoded = None
+                if isinstance(decoded, dict):
+                    snapshot = decoded
+                else:
+                    self.snapshot_corrupt += 1
+            blob = b""
+            if os.path.exists(self.wal_path):
+                with open(self.wal_path, "rb") as handle:
+                    blob = handle.read()
+            records, good_end, report = scan_frames(blob)
+            if report.torn_bytes and good_end < len(blob):
+                # Repair the torn tail so the next append starts at a
+                # clean frame boundary instead of extending garbage.
+                if self._file is not None and not self._file.closed:
+                    self._file.close()
+                    self._file = None
+                with open(self.wal_path, "r+b") as handle:
+                    handle.truncate(good_end)
+            return snapshot, records, report
+
+    def sync(self) -> None:
+        with self._mutex:
+            if self._file is not None and not self._file.closed:
+                self._fsync_file(self._file)
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._file is not None and not self._file.closed:
+                self._file.flush()
+                if self.fsync != FSYNC_NEVER:
+                    os.fsync(self._file.fileno())
+                    self.fsyncs += 1
+                self._file.close()
+            self._file = None
+            self._unsynced = 0
+
+
+class _PersistenceBase:
+    """Shared store-cache + statistics plumbing of both factories."""
+
+    def __init__(self) -> None:
+        self._stores: Dict[NodeId, object] = {}
+
+    def _create(self, node_id: NodeId):
+        raise NotImplementedError
+
+    def store_for(self, node_id: NodeId):
+        """Return (creating on first use) node *node_id*'s store.
+
+        The same store object is handed out across that node's crash /
+        restart cycles — it *is* the durable medium.
+        """
+
+        store = self._stores.get(node_id)
+        if store is None:
+            store = self._stores[node_id] = self._create(node_id)
+        return store
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate write statistics across every node store."""
+
+        totals = {"appends": 0, "snapshots": 0, "bytes_written": 0}
+        for store in self._stores.values():
+            totals["appends"] += store.appends  # type: ignore[attr-defined]
+            totals["snapshots"] += store.snapshots  # type: ignore[attr-defined]
+            totals["bytes_written"] += store.bytes_written  # type: ignore[attr-defined]
+        return totals
+
+    def close(self) -> None:
+        for store in self._stores.values():
+            store.close()  # type: ignore[attr-defined]
+
+
+class MemoryPersistence(_PersistenceBase):
+    """Deterministic in-memory durability for the sim engine."""
+
+    backend = "memory"
+
+    def _create(self, node_id: NodeId) -> MemoryNodeStore:
+        return MemoryNodeStore()
+
+
+class FilePersistence(_PersistenceBase):
+    """File-backed durability rooted at *root* (one subdir per node)."""
+
+    backend = "file"
+
+    def __init__(
+        self,
+        root: str,
+        fsync: str = FSYNC_BATCH,
+        batch_size: int = 32,
+    ) -> None:
+        super().__init__()
+        self.root = root
+        self.fsync = fsync
+        self.batch_size = batch_size
+
+    def _create(self, node_id: NodeId) -> FileNodeStore:
+        directory = os.path.join(self.root, f"node-{node_id}")
+        return FileNodeStore(
+            directory, fsync=self.fsync, batch_size=self.batch_size
+        )

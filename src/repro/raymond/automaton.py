@@ -81,6 +81,13 @@ class RaymondAutomaton:
         #: Optional observability sink (see :mod:`repro.obs`).  Span key
         #: is ``(lock_id, node)`` — one outstanding request per node.
         self.obs: Optional[ObsSink] = None
+        #: Optional durability journal (see :mod:`repro.persist`); same
+        #: ``None``-gated pattern as ``obs``.
+        self.persist = None
+
+    def _persist(self, kind: str) -> None:
+        if self.persist is not None:
+            self.persist.record(self, kind)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -183,6 +190,7 @@ class RaymondAutomaton:
         out: List[Envelope] = []
         out.extend(self._assign_privilege())
         out.extend(self._make_request())
+        self._persist("request")
         return out
 
     def release(self) -> List[Envelope]:
@@ -198,6 +206,7 @@ class RaymondAutomaton:
         out: List[Envelope] = []
         out.extend(self._assign_privilege())
         out.extend(self._make_request())
+        self._persist("release")
         return out
 
     # ------------------------------------------------------------------
@@ -230,6 +239,7 @@ class RaymondAutomaton:
             raise ProtocolError(f"unknown message {type(message).__name__}")
         out.extend(self._assign_privilege())
         out.extend(self._make_request())
+        self._persist("handle")
         return out
 
     # ------------------------------------------------------------------
@@ -283,6 +293,39 @@ class RaymondAutomaton:
                 ),
             )
         ]
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.persist).
+    # ------------------------------------------------------------------
+
+    def persisted_state(self) -> dict:
+        """Full JSON-safe state for the durability journal.
+
+        Queue entries are the SELF sentinel or a neighbour id; trace
+        contexts are not persisted (a restored process has a fresh
+        tracer) and restore as ``None``.
+        """
+
+        return {
+            "snapshot": self.snapshot().to_payload(),
+            "holder": self._holder,
+            "asked": self._asked,
+            "using": self._using,
+            "queue": [entry for entry, _trace in self._request_q],
+        }
+
+    def adopt_persisted(self, state: dict) -> None:
+        """Replace this automaton's state with a persisted payload."""
+
+        holder = state.get("holder")
+        self._holder = None if holder is None else int(holder)
+        self._asked = bool(state.get("asked", False))
+        self._using = bool(state.get("using", False))
+        self._request_q = deque(
+            (SELF if entry == SELF else int(entry), None)
+            for entry in state.get("queue", ())
+        )
+        self._ctx = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -6,6 +6,8 @@ import json
 
 from benchmarks.record_faults_baseline import (
     BASELINE_PATH,
+    DURABLE_GROUP,
+    DURABLE_METRICS,
     OVERHEAD_METRICS,
     PLAN_METRICS,
     PLANS,
@@ -14,10 +16,11 @@ from benchmarks.record_faults_baseline import (
 )
 
 
-def _summary(none=None, drop1=None, overhead=None):
+def _summary(none=None, drop1=None, durable=None, overhead=None):
     return {
         "none": none or {m: 1.0 for m in PLAN_METRICS},
         "drop1": drop1 or {m: 1.2 for m in PLAN_METRICS},
+        DURABLE_GROUP: durable or {m: 1.5 for m in DURABLE_METRICS},
         "overhead": overhead or {m: 1.2 for m in OVERHEAD_METRICS},
     }
 
@@ -56,6 +59,13 @@ class TestCompareSummary:
         problems = compare_summary(base, current)
         assert any("drop1" in p for p in problems)
 
+    def test_missing_durable_group_is_drift(self):
+        base = _baseline(_summary())
+        current = _summary()
+        del current[DURABLE_GROUP]
+        problems = compare_summary(base, current)
+        assert any(DURABLE_GROUP in p for p in problems)
+
     def test_missing_metric_in_baseline_is_drift(self):
         summary = _summary()
         del summary["none"]["latency_p95"]
@@ -80,6 +90,8 @@ class TestCheckedInBaseline:
         for plan in PLANS:
             for metric in PLAN_METRICS:
                 assert metric in summary[plan]
+        for metric in DURABLE_METRICS:
+            assert metric in summary[DURABLE_GROUP]
         for metric in OVERHEAD_METRICS:
             assert metric in summary["overhead"]
         # A fresh summary compared against itself must pass the gate.

@@ -47,8 +47,10 @@ class TestFaultFreeAudit:
 
 class TestTokenCrashGap:
     def test_blank_rejoin_surfaces_as_named_expected_finding(self):
+        # Seed 1 is pinned empirically: the crashed token home restarts
+        # blank mid-run and its forgotten requests stay outstanding.
         verdict = run_chaos(
-            plan="token-crash", seed=7, nodes=5, duration=20.0, locks=3
+            plan="token-crash", seed=1, nodes=5, duration=20.0, locks=3
         )
         audit = _audit(verdict)
         # The gap is real: requests the crashed token node forgot stay

@@ -1,0 +1,129 @@
+"""Frame-level reorder on the wall-clock transports.
+
+The threaded :class:`~repro.faults.runtime.FaultyTransport` used to
+approximate ``reorder`` with a small delay; it now genuinely scrambles:
+a reordered frame is held back and the pair's next frame overtakes it.
+The reliable channel must absorb real out-of-order delivery on both
+engines — the same seeded plan must reach the same verdict on the
+simulator and on real threads.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import Envelope
+from repro.core.modes import LockMode
+from repro.faults.chaos import run_chaos
+from repro.faults.plan import REORDER, FaultPlan, FaultRule
+from repro.faults.runtime import FaultyTransport, ResilientThreadedCluster
+from repro.verification.invariants import CompatibilityMonitor
+
+
+def _reorder_plan(seed: int) -> FaultPlan:
+    return FaultPlan(
+        name="reorder-scramble",
+        seed=seed,
+        rules=(FaultRule(action=REORDER, probability=0.25),),
+    )
+
+
+class _RecordingTransport:
+    """Minimal inner transport capturing delivery order per pair."""
+
+    def __init__(self) -> None:
+        self.delivered = []
+
+    def register(self, node_id, handler) -> None:
+        pass
+
+    def start(self) -> None:
+        pass
+
+    def stop(self) -> None:
+        pass
+
+    def send(self, sender, envelopes) -> None:
+        for envelope in envelopes:
+            self.delivered.append((sender, envelope.dest, envelope.message))
+
+
+class TestFrameScrambler:
+    def test_held_frame_is_overtaken_by_the_next_send(self):
+        inner = _RecordingTransport()
+        plan = FaultPlan(
+            name="one-reorder",
+            seed=0,
+            rules=(FaultRule(action=REORDER, max_count=1),),
+        )
+        transport = FaultyTransport(inner, plan)
+        transport.send(0, [Envelope(1, "first")])
+        assert inner.delivered == []  # Held, waiting for an overtaker.
+        assert transport.messages_reordered == 1
+        transport.send(0, [Envelope(1, "second")])
+        # The second frame shipped first, then flushed the held one:
+        # the pair genuinely delivered out of order.
+        assert [m for (_, _, m) in inner.delivered] == ["second", "first"]
+        transport.stop()
+
+    def test_hold_timer_flushes_a_quiet_pair(self):
+        import time
+
+        inner = _RecordingTransport()
+        plan = FaultPlan(
+            name="one-reorder",
+            seed=0,
+            rules=(FaultRule(action=REORDER, max_count=1),),
+        )
+        transport = FaultyTransport(inner, plan)
+        transport.send(0, [Envelope(1, "only")])
+        assert inner.delivered == []
+        deadline = time.monotonic() + 2.0
+        while not inner.delivered and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert [m for (_, _, m) in inner.delivered] == ["only"]
+        transport.stop()
+
+    def test_crash_drops_held_frames(self):
+        inner = _RecordingTransport()
+        plan = FaultPlan(
+            name="one-reorder",
+            seed=0,
+            rules=(FaultRule(action=REORDER, max_count=1),),
+        )
+        transport = FaultyTransport(inner, plan)
+        transport.send(0, [Envelope(1, "doomed")])
+        transport.crash(1)
+        transport.restart(1)
+        transport.send(0, [Envelope(1, "after")])
+        assert [m for (_, _, m) in inner.delivered] == ["after"]
+        assert transport.messages_dropped >= 1
+        transport.stop()
+
+
+class TestSimVsThreadedVerdict:
+    def test_same_plan_same_verdict_on_both_engines(self):
+        """A reorder-heavy crash-free plan converges healthy on the
+        deterministic simulator *and* on real threads: the reliable
+        channel hides genuine scrambling from the automata on both."""
+
+        seed = 5
+        verdict = run_chaos(
+            plan=_reorder_plan(seed), seed=seed, nodes=3,
+            duration=12.0, locks=2,
+        )
+        assert verdict.ok, verdict.to_json()
+        assert verdict.data["faults"]["reordered"] > 0
+
+        monitor = CompatibilityMonitor()
+        with ResilientThreadedCluster(
+            3, plan=_reorder_plan(seed), seed=seed, monitor=monitor
+        ) as cluster:
+            for _round in range(4):
+                for node in range(3):
+                    client = cluster.client(node)
+                    client.acquire("lock-a", LockMode.R, timeout=15.0)
+                    client.release("lock-a", LockMode.R)
+                    client.acquire("lock-b", LockMode.IW, timeout=15.0)
+                    client.release("lock-b", LockMode.IW)
+            assert cluster.transport.messages_reordered > 0
+        # Same verdict as the simulator: every request granted, Rule 1
+        # intact throughout (the monitor raises on violation).

@@ -1,0 +1,109 @@
+"""Frame codec edge cases: torn tails and CRC corruption.
+
+The WAL's whole value is in what happens when the bytes are *wrong*:
+a process dying mid-append leaves a torn tail that must be discarded
+without losing the intact prefix, and a flipped bit inside one frame
+must skip exactly that record — counted, never silently — while replay
+continues behind it.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.persist.wal import MAX_RECORD_BYTES, encode_frame, scan_frames
+
+
+def _records(count: int):
+    return [{"lock": f"lock-{i}", "seq": i} for i in range(count)]
+
+
+class TestRoundTrip:
+    def test_frames_round_trip_in_order(self):
+        blob = b"".join(encode_frame(r) for r in _records(5))
+        records, good_end, report = scan_frames(blob)
+        assert records == _records(5)
+        assert good_end == len(blob)
+        assert report.records == 5
+        assert report.corrupt_skipped == 0
+        assert report.torn_bytes == 0
+
+    def test_empty_blob_is_a_clean_log(self):
+        records, good_end, report = scan_frames(b"")
+        assert records == []
+        assert good_end == 0
+        assert report.to_payload() == {
+            "records": 0, "corrupt_skipped": 0, "torn_bytes": 0
+        }
+
+    def test_oversized_record_is_rejected_at_encode_time(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            encode_frame({"blob": "x" * (MAX_RECORD_BYTES + 1)})
+
+
+class TestTornTail:
+    def test_truncated_final_frame_is_discarded(self):
+        intact = b"".join(encode_frame(r) for r in _records(3))
+        torn = encode_frame({"lock": "lock-torn"})[:-4]
+        records, good_end, report = scan_frames(intact + torn)
+        assert records == _records(3)
+        assert good_end == len(intact)
+        assert report.torn_bytes == len(torn)
+
+    def test_partial_header_is_a_torn_tail(self):
+        intact = encode_frame({"lock": "a"})
+        records, good_end, report = scan_frames(intact + b"\x00\x01")
+        assert records == [{"lock": "a"}]
+        assert good_end == len(intact)
+        assert report.torn_bytes == 2
+
+    def test_garbage_length_field_stops_the_scan(self):
+        # A length above MAX_RECORD_BYTES is framing damage, not a real
+        # frame — everything from there on is the torn suffix.
+        intact = encode_frame({"lock": "a"})
+        garbage = struct.pack(">II", MAX_RECORD_BYTES + 1, 0) + b"xx"
+        records, good_end, report = scan_frames(intact + garbage)
+        assert records == [{"lock": "a"}]
+        assert good_end == len(intact)
+        assert report.torn_bytes == len(garbage)
+
+
+class TestCorruptRecords:
+    def test_crc_mismatch_skips_only_that_record(self):
+        frames = [encode_frame(r) for r in _records(3)]
+        # Flip one payload byte inside the middle frame: framing stays
+        # intact, the CRC does not.
+        middle = bytearray(frames[1])
+        middle[-1] ^= 0xFF
+        blob = frames[0] + bytes(middle) + frames[2]
+        records, good_end, report = scan_frames(blob)
+        assert records == [_records(3)[0], _records(3)[2]]
+        assert good_end == len(blob)
+        assert report.records == 2
+        assert report.corrupt_skipped == 1
+        assert report.torn_bytes == 0
+
+    def test_valid_crc_but_non_object_json_is_skipped(self):
+        payload = b"[1,2,3]"  # Valid JSON, but not a record dict.
+        frame = struct.pack(
+            ">II", len(payload), zlib.crc32(payload)
+        ) + payload
+        good = encode_frame({"lock": "a"})
+        records, good_end, report = scan_frames(frame + good)
+        assert records == [{"lock": "a"}]
+        assert good_end == len(frame) + len(good)
+        assert report.corrupt_skipped == 1
+
+    def test_corruption_and_torn_tail_report_independently(self):
+        frames = [encode_frame(r) for r in _records(2)]
+        corrupt = bytearray(frames[0])
+        corrupt[-2] ^= 0x10
+        torn = frames[1][: len(frames[1]) // 2]
+        records, good_end, report = scan_frames(bytes(corrupt) + torn)
+        assert records == []
+        assert report.corrupt_skipped == 1
+        assert report.torn_bytes == len(torn)
+        assert good_end == len(corrupt)
