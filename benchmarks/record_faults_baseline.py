@@ -44,6 +44,15 @@ LOCKS = 3
 #: write-side cost of journaling (WAL appends per request).
 DURABLE_GROUP = "token-crash-durable"
 
+#: The lease-expiry group: minority-partition (the cut never heals), so
+#: the stranded holder's leases expire and the majority must revoke to
+#: make progress.  Gates the renewal piggyback cost and the time from
+#: lease deadline to revocation.  Seeds are chosen so the minority node
+#: actually holds leased modes at cut time — a seed where it holds
+#: nothing exercises nothing.
+LEASE_GROUP = "lease-expiry"
+LEASE_SEEDS = (2, 3, 7)
+
 #: Relative drift beyond which ``--check`` fails.
 TOLERANCE = 0.10
 
@@ -55,6 +64,13 @@ PLAN_METRICS = ("messages_per_request", "latency_mean", "latency_p95")
 
 #: Summary metrics of the durable group (adds journaling cost).
 DURABLE_METRICS = PLAN_METRICS + ("wal_appends_per_request",)
+
+#: Summary metrics of the lease-expiry group.
+LEASE_METRICS = (
+    "messages_per_request",
+    "lease_revoke_latency_mean",
+    "lease_renewals_per_request",
+)
 
 #: Cross-plan overhead factors diffed by ``--check``.
 OVERHEAD_METRICS = ("messages_per_request_factor", "latency_mean_factor")
@@ -95,6 +111,14 @@ def _one_run(plan: str, seed: int, durable: bool = False) -> Dict[str, object]:
         )
         run["wal_snapshots"] = wal["snapshots"]  # type: ignore[index]
         run["durable_restarts"] = len(durability["restarts"])  # type: ignore[arg-type]
+    leases = data["leases"]
+    if leases["revoked"] or leases["renewals_sent"]:  # type: ignore[index]
+        renewals = int(leases["renewals_sent"])  # type: ignore[index]
+        run["leases_revoked"] = leases["revoked"]  # type: ignore[index]
+        run["lease_revoke_latency_mean"] = leases["revoke_latency_mean"]  # type: ignore[index]
+        run["lease_renewals_per_request"] = (
+            round(renewals / issued, 3) if issued else None
+        )
     return run
 
 
@@ -114,6 +138,20 @@ def measure() -> Dict[str, object]:
             f"durable token-crash runs failed for seeds {failed}: "
             "durability must converge clean before its cost is recorded"
         )
+    runs[LEASE_GROUP] = [
+        _one_run("minority-partition", seed) for seed in LEASE_SEEDS
+    ]
+    bad = [
+        r["seed"]
+        for r in runs[LEASE_GROUP]
+        if not r["ok"] or not r.get("leases_revoked")
+    ]
+    if bad:
+        raise SystemExit(
+            f"lease-expiry runs for seeds {bad} failed or revoked "
+            "nothing: the group must exercise expiry before its cost "
+            "is recorded"
+        )
 
     def _mean(plan: str, field: str) -> float:
         values = [float(r[field]) for r in runs[plan]]  # type: ignore[arg-type]
@@ -125,6 +163,9 @@ def measure() -> Dict[str, object]:
     }
     summary[DURABLE_GROUP] = {
         metric: _mean(DURABLE_GROUP, metric) for metric in DURABLE_METRICS
+    }
+    summary[LEASE_GROUP] = {
+        metric: _mean(LEASE_GROUP, metric) for metric in LEASE_METRICS
     }
     clean, lossy = summary["none"], summary["drop1"]
     summary["overhead"] = {
@@ -155,6 +196,7 @@ def compare_summary(
     base_summary = baseline.get("summary", {})
     groups = [(plan, PLAN_METRICS) for plan in PLANS]
     groups.append((DURABLE_GROUP, DURABLE_METRICS))
+    groups.append((LEASE_GROUP, LEASE_METRICS))
     groups.append(("overhead", OVERHEAD_METRICS))
     for group, metrics in groups:
         base_group = base_summary.get(group)  # type: ignore[union-attr]
@@ -229,7 +271,9 @@ def record(out_path: str) -> Dict[str, object]:
         "config": {
             "plans": list(PLANS),
             "durable_plan": "token-crash",
+            "lease_plan": "minority-partition",
             "seeds": list(SEEDS),
+            "lease_seeds": list(LEASE_SEEDS),
             "nodes": NODES,
             "duration": DURATION,
             "locks": LOCKS,
@@ -272,6 +316,12 @@ def main(argv: List[str]) -> int:
         f"{DURABLE_GROUP}: {durable['messages_per_request']:.2f} msgs/req, "
         f"mean latency {durable['latency_mean'] * 1000:.1f} ms, "
         f"{durable['wal_appends_per_request']:.2f} WAL appends/req"
+    )
+    lease = summary[LEASE_GROUP]  # type: ignore[index]
+    print(
+        f"{LEASE_GROUP}: {lease['messages_per_request']:.2f} msgs/req, "
+        f"revoke latency {lease['lease_revoke_latency_mean'] * 1000:.0f} ms, "
+        f"{lease['lease_renewals_per_request']:.2f} renewals/req"
     )
     overhead = summary["overhead"]  # type: ignore[index]
     print(

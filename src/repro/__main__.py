@@ -103,6 +103,12 @@ def _chaos_main(argv: Sequence[str]) -> int:
         "keep them after the run (default: a temp dir, always removed)",
     )
     parser.add_argument(
+        "--reclaim", action="store_true",
+        help="with --durable: surviving application sessions re-assert "
+        "their journaled holds under fresh leases after a restart "
+        "instead of disowning them (see repro.services.sessions)",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="print the full verdict as JSON instead of a summary",
     )
@@ -111,6 +117,9 @@ def _chaos_main(argv: Sequence[str]) -> int:
         help="write an observability JSONL trace of the run",
     )
     args = parser.parse_args(list(argv))
+    if args.reclaim and not args.durable:
+        parser.error("--reclaim requires --durable (holds are reclaimed "
+                     "from the journal)")
     obs = RunObserver() if args.trace_out is not None else None
     persistence = None
     tmpdir = None
@@ -136,17 +145,21 @@ def _chaos_main(argv: Sequence[str]) -> int:
             obs=obs,
             durable=args.durable,
             persistence=persistence,
+            reclaim=args.reclaim,
         )
     except KeyboardInterrupt:
         return 130
     finally:
         # A temp WAL root never outlives the run — not on success, not
-        # on a failing verdict, not on ^C.  An explicit --wal-dir is
-        # user-owned and kept.
-        if persistence is not None:
-            persistence.close()
-        if tmpdir is not None:
-            shutil.rmtree(tmpdir, ignore_errors=True)
+        # on a failing verdict, not on ^C.  Nested so a close() that
+        # raises (e.g. a full disk flushing the final snapshot) cannot
+        # skip the rmtree; an explicit --wal-dir is user-owned and kept.
+        try:
+            if persistence is not None:
+                persistence.close()
+        finally:
+            if tmpdir is not None:
+                shutil.rmtree(tmpdir, ignore_errors=True)
     if args.trace_out is not None and obs is not None:
         meta = {
             "label": f"chaos:{args.plan}",
@@ -177,13 +190,23 @@ def _chaos_main(argv: Sequence[str]) -> int:
         print(
             f"  requests: {req['granted']}/{req['issued']} granted, "
             f"{req['outstanding']} outstanding, "
-            f"{req['abandoned_by_crash']} abandoned by crash"
+            f"{req['abandoned_by_crash']} abandoned by crash, "
+            f"{req['abandoned_by_expiry']} abandoned by lease expiry"
         )
         print(
             f"  recovery: {rec['suspect_events']} suspects, "
             f"{len(rec['regenerations'])} regenerations, "
             f"{rec['app_retransmits']} request retransmits"
         )
+        leases = data.get("leases")
+        if leases is not None:
+            fenced = ",".join(str(n) for n in leases["fenced_nodes"])
+            print(
+                f"  leases: {leases['renewals_sent']} renewals, "
+                f"{leases['revoked']} revoked, "
+                f"fenced=[{fenced}], "
+                f"{leases['holds_reclaimed']} holds reclaimed"
+            )
         durability = data.get("durability")
         if durability is not None:
             wal = durability["wal"]

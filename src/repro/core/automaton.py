@@ -220,6 +220,15 @@ class HierarchicalLockAutomaton:
         self._custody_pending = False
         self._provisional_children: set = set()
         self._local_serial = 0
+        # Lease fencing (recovery extension, see repro.leases): the fence
+        # floor is the highest revoked fencing token observed for this
+        # lock — messages presenting a positive token at or below it come
+        # from a holder whose lease expired and are dropped.  While
+        # ``_lease_fenced`` (this node lost quorum contact past its lease
+        # duration and force-released its holds) the automaton grants
+        # nothing, like custody fencing.
+        self._fence_floor = 0
+        self._lease_fenced = False
 
     def _trace(self, event: str, detail: str = "") -> None:
         if self.trace_hook is not None:
@@ -291,6 +300,18 @@ class HierarchicalLockAutomaton:
         """Request ids of remembered grants (for explorer signatures)."""
 
         return tuple(self._recent_grants)
+
+    @property
+    def fence_floor(self) -> int:
+        """Highest revoked fencing token observed (lease extension)."""
+
+        return self._fence_floor
+
+    @property
+    def lease_fenced(self) -> bool:
+        """True once this node self-fenced after losing quorum contact."""
+
+        return self._lease_fenced
 
     @property
     def children(self) -> Dict[NodeId, LockMode]:
@@ -395,11 +416,21 @@ class HierarchicalLockAutomaton:
             ),
             frozen=tuple(sorted(str(mode) for mode in self._frozen)),
             token_epoch=self._token_epoch,
+            fenced=self._lease_fenced,
         )
 
     # ------------------------------------------------------------------
     # Application API: request / release / upgrade.
     # ------------------------------------------------------------------
+
+    def _grants_blocked(self) -> bool:
+        """True while this automaton must not self-grant or serve grants.
+
+        Covers both fencing regimes: restored token custody awaiting its
+        probe handshake, and a lease self-fence after quorum loss.
+        """
+
+        return self._custody_pending or self._lease_fenced
 
     def request(
         self, mode: LockMode, ctx: object = None, priority: int = 0
@@ -427,7 +458,7 @@ class HierarchicalLockAutomaton:
             if (
                 token_can_grant(owned, mode)
                 and mode not in self._frozen
-                and not self._custody_pending
+                and not self._grants_blocked()
             ):
                 self._acquire_locally(mode, ctx)
                 return []
@@ -438,6 +469,7 @@ class HierarchicalLockAutomaton:
             self._options.local_reentry
             and child_can_grant(owned, mode)
             and mode not in self._frozen
+            and not self._lease_fenced
         ):
             # Rule 2, local path: no messages at all.
             self._acquire_locally(mode, ctx)
@@ -491,7 +523,7 @@ class HierarchicalLockAutomaton:
             )
         if self._pending is not None:
             raise LockUsageError("a request is already pending on this lock")
-        if self._upgrade_possible_now() and not self._custody_pending:
+        if self._upgrade_possible_now() and not self._grants_blocked():
             self._held[LockMode.U] -= 1
             if self.obs is not None:
                 self.obs.phase(
@@ -577,6 +609,8 @@ class HierarchicalLockAutomaton:
                 f"message for lock {message.lock_id!r} delivered to "
                 f"automaton of {self._lock_id!r}"
             )
+        if self._options.recovery and self._stale_fencing_token(message):
+            return []
         if isinstance(message, RequestMessage):
             return self._handle_request(message)
         if isinstance(message, GrantMessage):
@@ -588,6 +622,18 @@ class HierarchicalLockAutomaton:
         if isinstance(message, FreezeMessage):
             return self._handle_freeze(message)
         raise ProtocolError(f"unknown message type {type(message).__name__}")
+
+    def _stale_fencing_token(self, message: Message) -> bool:
+        """True iff *message* presents a fencing token at/below the floor.
+
+        ``0`` (the default) means the sender is not fenced at all; only a
+        positive token can be stale.  A stale token identifies traffic
+        from a holder whose lease was revoked — acting on it could
+        resurrect a hold the revocation already released (Rule 1).
+        """
+
+        token = getattr(message, "fencing_token", 0)
+        return 0 < token <= self._fence_floor
 
     # ------------------------------------------------------------------
     # Message handlers.
@@ -617,7 +663,7 @@ class HierarchicalLockAutomaton:
             if (
                 token_can_grant(owned, msg.mode)
                 and msg.mode not in self._frozen
-                and not self._custody_pending
+                and not self._grants_blocked()
             ):
                 return self._grant_from_token(msg)
             self._enqueue(msg)
@@ -627,6 +673,7 @@ class HierarchicalLockAutomaton:
             and child_can_grant(owned, msg.mode)
             and msg.mode not in self._frozen
             and msg.origin != self._node_id
+            and not self._lease_fenced
         ):
             return [self._grant_copy(msg)]
         if (
@@ -845,6 +892,20 @@ class HierarchicalLockAutomaton:
         if recorded_seq is not None and msg.attachment_seq < recorded_seq:
             # Stale: sent before the attachment currently on record.
             return []
+        if (
+            not self._has_token
+            and msg.sender == self._parent
+            and msg.attachment_seq < self._attach_seq
+        ):
+            # Crossed lineage: our own parent announcing itself as our
+            # child, decided before we attached under it (e.g. its
+            # reassert to the old pre-regeneration parent racing our
+            # custody-fence demotion).  Recording it would make each
+            # side a child of the other, pinning both owned modes at
+            # the announced mode forever.  The newer attachment
+            # decision — ours — wins; the sender's pointer is the
+            # stale one and is corrected by the lineage it raced.
+            return []
         owned_before = self.owned_mode()
         if msg.new_mode is LockMode.NONE:
             self._children.pop(msg.sender, None)
@@ -1034,7 +1095,7 @@ class HierarchicalLockAutomaton:
         as the owned mode allows, regardless of freezing.
         """
 
-        if not self._has_token or self._custody_pending:
+        if not self._has_token or self._grants_blocked():
             return []
         out: List[Envelope] = []
         while self._queue:
@@ -1145,7 +1206,7 @@ class HierarchicalLockAutomaton:
     def _refresh_frozen(self) -> List[Envelope]:
         """Recompute the frozen set from the queue, notify granters (Rule 6)."""
 
-        if not self._has_token or self._custody_pending:
+        if not self._has_token or self._grants_blocked():
             return []
         frozen: set = set()
         if self._options.freezing:
@@ -1339,6 +1400,7 @@ class HierarchicalLockAutomaton:
         # raised this node's own floor to the claimed epoch.
         self._token_epoch = epoch
         self._has_token = True
+        old_parent, old_seq = self._parent, self._attach_seq
         self._parent = None
         self._attach_seq = fresh_attachment_seq()
         self._persist("token-regenerated")
@@ -1348,7 +1410,84 @@ class HierarchicalLockAutomaton:
             self._enqueue(self._pending)
         if self.obs is not None:
             self.obs.fault("regenerate", self._node_id)
-        return self._check_queue()
+        out: List[Envelope] = []
+        if old_parent is not None:
+            # Mirror ``reattach``'s old-parent notice: any owned mode we
+            # announced under the old attachment dissolved the moment we
+            # became root.  Without this a crossed pre-regeneration
+            # announce leaves the old parent holding us as a child while
+            # we hold it as ours — a parent↔child cycle that pins both
+            # owned modes forever and wedges the new root's queue.
+            out.append(self._release_to(old_parent, LockMode.NONE, old_seq))
+        out.extend(self._check_queue())
+        return out
+
+    def raise_fence_floor(self, token: int) -> None:
+        """Reject future messages fenced at or below *token*.
+
+        Called when a holder's lease on this lock is revoked: any later
+        operation presenting the revoked (or an older) fencing token is
+        dropped by :meth:`handle`.
+        """
+
+        self._require_recovery()
+        if token > self._fence_floor:
+            self._fence_floor = int(token)
+            self._persist("fence-raised")
+
+    def fence_holds(self) -> Tuple[List[Envelope], List[Tuple[LockMode, int]]]:
+        """Self-fence: force-release every local hold, stop granting.
+
+        Invoked by the recovery manager when this node has been unable
+        to reach a quorum for a full lease duration: its leases are void
+        and peers are about to revoke them, so the application's holds
+        are released *here first* (the ordering that keeps revocation
+        Rule-1 safe).  The pending request is abandoned and the local
+        queue is cleared — queued foreign requests will be retransmitted
+        by their origins and re-homed toward the majority.
+
+        Returns ``(envelopes, released)`` where *released* lists the
+        ``(mode, count)`` holds that were forcibly dropped, so the
+        caller can report them to application-level monitors.
+        """
+
+        self._require_recovery()
+        if self._lease_fenced:
+            return [], []
+        self._lease_fenced = True
+        released = sorted(
+            ((mode, count) for mode, count in self._held.items() if count > 0),
+            key=lambda item: str(item[0]),
+        )
+        owned_before = self.owned_mode()
+        for mode, count in released:
+            self._held[mode] = 0
+            if self.obs is not None:
+                for _ in range(count):
+                    self.obs.phase(
+                        self._node_id, self._lock_id, None, RELEASED, mode
+                    )
+        self._pending = None
+        self._pending_ctx = None
+        if self._queue:
+            self._queue = []
+            self._obs_queue()
+        if self.obs is not None:
+            self.obs.fault("lease-fence", self._node_id)
+        self._persist("lease-fenced")
+        out: List[Envelope] = []
+        owned_now = self.owned_mode()
+        if (
+            not self._has_token
+            and self._parent is not None
+            and owned_now is not owned_before
+        ):
+            # Rule-1-safe release replayed up the hierarchy: the parent's
+            # copyset weakens exactly as if the holds were released
+            # cleanly.  Under a partition the message may never arrive —
+            # the majority's lease revocation covers that path.
+            out.append(self._release_to(self._parent, owned_now))
+        return out, released
 
     def retransmit_pending(self) -> List[Envelope]:
         """Re-send the node's own in-flight request, if any.
@@ -1453,6 +1592,8 @@ class HierarchicalLockAutomaton:
                 else None
             ),
             "custody_pending": self._custody_pending,
+            "fence_floor": self._fence_floor,
+            "lease_fenced": self._lease_fenced,
         }
 
     def adopt_persisted(self, state: Dict[str, object]) -> None:
@@ -1500,6 +1641,8 @@ class HierarchicalLockAutomaton:
         )
         self._pending_ctx = None
         self._custody_pending = False
+        self._fence_floor = int(state.get("fence_floor", 0))
+        self._lease_fenced = bool(state.get("lease_fenced", False))
         self._recent_grants.clear()
         self._provisional_children = set(self._children)
         floor = max(

@@ -109,6 +109,11 @@ class RequestMessage(Message):
     #: Arbitration priority (higher first) when the hosting automaton runs
     #: with ``ProtocolOptions.priority_scheduling``; ignored otherwise.
     priority: int = 0
+    #: Fencing token the issuing session presents (see :mod:`repro.leases`).
+    #: ``0`` means unfenced (the fault-free protocol); a positive token at
+    #: or below the receiving automaton's fence floor marks the request as
+    #: coming from a holder whose lease was revoked — it is dropped.
+    fencing_token: int = 0
 
 
 @dataclasses.dataclass(frozen=True)

@@ -80,6 +80,7 @@ def run_chaos(
     obs: Optional[ObsSink] = None,
     durable: bool = False,
     persistence=None,
+    reclaim: bool = False,
 ) -> ChaosVerdict:
     """Run one chaos scenario and return its verdict.
 
@@ -93,6 +94,11 @@ def run_chaos(
     rejoining blank.  Durability removes the blank-rejoin excuse: crash
     findings that a volatile run classifies as the expected
     :data:`BLANK_REJOIN_GAP` become hard failures.
+
+    With ``reclaim=True`` (durable runs only) a restarted node's
+    surviving application sessions re-assert their restored holds under
+    fresh leases instead of disowning them — see
+    :mod:`repro.services.sessions`.
     """
 
     if isinstance(plan, str):
@@ -117,6 +123,7 @@ def run_chaos(
         config=config if config is not None else RecoveryConfig(),
         obs=obs,
         persistence=persistence,
+        reclaim=reclaim,
     )
     sim = cluster.sim
     if sim_clock_pending is not None:
@@ -189,7 +196,20 @@ def run_chaos(
         return any(t >= issued_at for t in crash_times.get(node, ()))
 
     abandoned = [r for r in ungranted if _abandoned(r)]
-    outstanding = [r for r in ungranted if not _abandoned(r)]
+    # A lease-fenced node (quorum-silent past the lease duration, e.g.
+    # the minority side of an unhealed partition) abandons its pending
+    # requests at the fence and rejects new acquires: those waiters have
+    # no liveness claim either — the majority's progress does.
+    fence_times = {
+        n: m.fenced_at
+        for n, m in cluster.managers.items()
+        if m.fenced_at is not None
+    }
+    remaining = [r for r in ungranted if not _abandoned(r)]
+    abandoned_by_expiry = [
+        r for r in remaining if int(r["node"]) in fence_times
+    ]
+    outstanding = [r for r in remaining if int(r["node"]) not in fence_times]
     eventual_grant = violation is None and not outstanding
 
     # Post-drain cluster audit: the run is quiescent now (nothing more
@@ -239,6 +259,7 @@ def run_chaos(
             "issued": issued,
             "granted": granted,
             "abandoned_by_crash": len(abandoned),
+            "abandoned_by_expiry": len(abandoned_by_expiry),
             "outstanding": len(outstanding),
         },
         "latency": {
@@ -251,6 +272,7 @@ def run_chaos(
         "releases": releases[0],
         "faults": faults,
         "recovery": cluster.recovery_stats(),
+        "leases": _lease_stats(cluster, fence_times),
         "invariants": {
             "rule1_violations": 0 if violation is None else 1,
             "violation": violation,
@@ -271,6 +293,7 @@ def run_chaos(
     if durable:
         data["durability"] = {
             "backend": persistence.backend,
+            "reclaim": reclaim,
             "restarts": list(cluster.durability_log),
             "wal": persistence.stats(),
         }
@@ -279,3 +302,30 @@ def run_chaos(
     if outstanding:
         data["outstanding_requests"] = outstanding[:10]
     return ChaosVerdict(data=data)
+
+
+def _lease_stats(
+    cluster: ResilientSimCluster, fence_times: Dict[int, float]
+) -> Dict[str, object]:
+    """Aggregate the lease layer's counters for the verdict."""
+
+    managers = cluster.managers.values()
+    latencies = [
+        lat for m in managers for lat in m.revoke_latencies
+    ]
+    return {
+        "renewals_sent": sum(m.lease_renewals_sent for m in managers),
+        "renewals_received": sum(
+            m.lease_renewals_received for m in managers
+        ),
+        "revoked": sum(m.leases_revoked for m in managers),
+        "revoke_latency_mean": (
+            round(sum(latencies) / len(latencies), 6) if latencies else None
+        ),
+        "fenced_nodes": sorted(fence_times),
+        "fenced_at": {
+            str(n): round(t, 6) for n, t in sorted(fence_times.items())
+        },
+        "holds_reclaimed": sum(m.holds_reclaimed for m in managers),
+        "sessions_gced": sum(m.sessions_gced for m in managers),
+    }

@@ -70,3 +70,13 @@ class HeartbeatDetector:
         """Tracked peers not currently suspected, ascending."""
 
         return sorted(p for p in self._last_seen if p not in self._suspected)
+
+    def last_seen(self, peer: NodeId) -> float:
+        """When *peer* was last heard from (creation time if never).
+
+        Used by the lease layer's quorum-contact horizon: a node that has
+        heard from no majority for a full lease duration must assume its
+        own leases expired and self-fence (see docs/FAULTS.md §4).
+        """
+
+        return self._last_seen.get(peer, 0.0)

@@ -58,10 +58,18 @@ class HeartbeatMessage(Message):
     """Liveness beacon, sent every heartbeat interval to every peer.
 
     ``boot`` lets peers notice a silent crash + restart (the incarnation
-    jumps) even when no heartbeat was ever missed.
+    jumps) even when no heartbeat was ever missed.  ``leases`` piggybacks
+    the sender's active lease table — each entry is a 4-tuple
+    ``(lock, mode, holder, fencing_token)`` (see :mod:`repro.leases`); a
+    heartbeat therefore *is* the lease renewal, so a holder that keeps
+    beating keeps its holds.  ``restored`` marks a durable rejoin: the
+    new incarnation re-owns its journalled holds, so peers cancel any
+    lease-deferred evictions instead of firing them.
     """
 
     boot: int = 0
+    leases: Tuple = ()
+    restored: bool = False
 
 
 @dataclasses.dataclass(frozen=True)

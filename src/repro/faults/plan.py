@@ -364,6 +364,27 @@ NAMED_PLANS: Dict[str, Callable[[int], FaultPlan]] = dict(
                 name="partition",
             ),
         ),
+        _named(
+            # One node is cut off from everyone else and the partition
+            # NEVER heals: the lease layer's defining scenario.  The
+            # minority holder must self-fence (quorum silence past the
+            # lease duration), the majority revokes its leases one
+            # revoke-margin later, and waiting majority requests are
+            # then granted — all without a Rule-1 window.
+            "minority-partition",
+            lambda seed: FaultPlan(
+                partitions=(
+                    Partition(
+                        side_a=frozenset({4}),
+                        side_b=frozenset({0, 1, 2, 3, 5, 6, 7}),
+                        start=5.0,
+                        end=math.inf,
+                    ),
+                ),
+                seed=seed,
+                name="minority-partition",
+            ),
+        ),
     )
 )
 

@@ -38,13 +38,16 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 from ..core.lockspace import LockSpace
 from ..core.messages import Envelope, LockId, Message, NodeId
 from ..core.modes import LockMode
+from ..leases import LeaseConfig, LeaseTable, mint_fencing_token
 from ..obs.sink import ObsSink
+from ..services.sessions import SessionManager
 from .channel import ReliableChannel
 from .detector import HeartbeatDetector
 from .messages import (
     HeartbeatMessage,
     OrphanReport,
     ReparentMessage,
+    SessionAck,
     TokenAck,
     TokenProbe,
 )
@@ -89,6 +92,21 @@ class RecoveryConfig:
     #: reason: confirming on the minority side of a partition could fork
     #: the lock space against a regenerated token across the cut.
     rejoin_settle: float = 1.5
+    #: How long a granted hold's lease lives past its last renewal
+    #: (renewals piggyback on heartbeats).  Also the quorum-silence
+    #: horizon after which a holder must self-fence: a node that has
+    #: heard from no majority for this long can no longer assume its
+    #: leases are being honoured.  Must exceed the longest partition any
+    #: plan expects to *heal* (the canned ``partition`` plan severs for
+    #: 5 s), or a healed node spuriously revokes itself.
+    lease_duration: float = 6.0
+    #: Extra slack peers wait past a lease deadline before revoking.
+    #: The holder self-fences at ``lease_duration`` of silence while
+    #: peers revoke only at ``lease_duration + lease_revoke_margin``, so
+    #: the forced release always happens holder-side first — the
+    #: ordering that keeps revocation Rule-1 safe without synchronized
+    #: clocks.
+    lease_revoke_margin: float = 1.5
 
 
 class RecoveryManager:
@@ -155,12 +173,53 @@ class RecoveryManager:
         #: Durability journal of this node, attached by the cluster
         #: wiring when persistence is enabled (see repro.persist).
         self.journal = None
+        # -- leases and sessions (see repro.leases / repro.services) ----
+        self.lease_config = LeaseConfig(
+            duration=config.lease_duration,
+            revoke_margin=config.lease_revoke_margin,
+        )
+        #: Leases on this node's own holds, advertised (= renewed) with
+        #: every outgoing heartbeat.  Populated only when the hosting
+        #: cluster calls :meth:`note_grant`; managers that never mint a
+        #: lease behave exactly as before the lease layer existed.
+        self.own_leases = LeaseTable(self.lease_config)
+        #: Mirror of peers' advertised leases, rebuilt from their
+        #: heartbeats; the source both of eviction deferral (an active
+        #: lease pins the holder's copyset entry) and of revocation.
+        self.remote_leases = LeaseTable(self.lease_config)
+        #: Application sessions owning this node's holds.
+        self.sessions = SessionManager(node_id)
+        #: Evictions skipped at suspicion time because the suspect still
+        #: held an active lease: suspect -> locks awaiting lease expiry.
+        self._deferred_evictions: Dict[NodeId, Set[LockId]] = {}
+        self._fenced = False
+        #: When this node self-fenced (``None`` = never); the chaos
+        #: harness uses it to classify the fenced node's dead requests.
+        self.fenced_at: Optional[float] = None
+        #: Whether this incarnation restored holds from its journal
+        #: (advertised in heartbeats: a restored peer's deferred
+        #: evictions must wait for its re-advertised leases).
+        self._restored = False
+        #: Called as ``hook(holder, lock_id)`` whenever the lease layer
+        #: force-releases holds — self-fence here, or revocation of a
+        #: peer's expired lease.  The cluster wiring points this at the
+        #: compatibility monitor so forced releases are not later
+        #: misread as leaked holds.
+        self.forced_release_hook: Optional[
+            Callable[[NodeId, LockId], None]
+        ] = None
         # -- verdict / test counters ------------------------------------
         self.app_retransmits = 0
         self.suspect_log: List[Tuple[float, NodeId]] = []
         self.regenerations: List[Dict[str, object]] = []
         self.custody_confirmed = 0
         self.custody_fenced = 0
+        self.lease_renewals_sent = 0
+        self.lease_renewals_received = 0
+        self.leases_revoked = 0
+        self.revoke_latencies: List[float] = []
+        self.holds_reclaimed = 0
+        self.sessions_gced = 0
         #: Report of the last :meth:`rejoin_from_journal`, if any.
         self.rejoin_report: Optional[Dict[str, object]] = None
 
@@ -217,8 +276,34 @@ class RecoveryManager:
                     "appends": int(stats.get("appends", 0)),
                     "compactions": int(stats.get("compactions", 0)),
                     "locks_restored": int(report.get("locks_restored", 0)),
+                    "holds_reclaimed": int(report.get("holds_reclaimed", 0)),
                     "custody_confirmed": self.custody_confirmed,
                     "custody_fenced": self.custody_fenced,
+                }
+            leases = None
+            if (
+                len(self.own_leases)
+                or len(self.remote_leases)
+                or self._fenced
+                or self.leases_revoked
+                or self.holds_reclaimed
+            ):
+                leases = {
+                    "fenced": self._fenced,
+                    "own": [
+                        [l.lock, l.mode, l.holder, l.token, l.deadline]
+                        for l in self.own_leases.leases()
+                    ],
+                    "remote": [
+                        [l.lock, l.mode, l.holder, l.token, l.deadline]
+                        for l in self.remote_leases.leases()
+                    ],
+                    "renewals_sent": self.lease_renewals_sent,
+                    "renewals_received": self.lease_renewals_received,
+                    "revoked": self.leases_revoked,
+                    "reclaimed": self.holds_reclaimed,
+                    "sessions": len(self.sessions),
+                    "sessions_gced": self.sessions_gced,
                 }
             return RecoveryHealth(
                 boot=self.boot,
@@ -236,6 +321,7 @@ class RecoveryManager:
                 ),
                 custody_pending=tuple(sorted(self._rejoin)),
                 durability=durability,
+                leases=leases,
             )
 
     # ------------------------------------------------------------------
@@ -287,16 +373,223 @@ class RecoveryManager:
                 self._arm_retry(lock_id)
 
     def release(self, lock_id: LockId, mode: LockMode) -> None:
-        """Release one hold of *mode* on *lock_id*."""
+        """Release one hold of *mode* on *lock_id*.
+
+        A no-op on a lease-fenced node: the fence already force-released
+        every hold (and reported it through ``forced_release_hook``), so
+        a late application release has nothing left to release.
+        """
 
         with self._mutex:
+            if self._fenced:
+                return
             self._dispatch(self.lockspace.release(lock_id, mode))
+            now = self._scheduler.now()
+            self.sessions.note_release(lock_id, str(mode), now)
+            held = self.lockspace.automaton(lock_id).snapshot().held
+            if not held:
+                self.own_leases.drop(lock_id, self.node_id)
+            self._journal_sessions()
 
     def upgrade(self, lock_id: LockId, ctx: object = None) -> None:
         """Upgrade a held ``U`` on *lock_id* to ``W``."""
 
         with self._mutex:
             self._dispatch(self.lockspace.upgrade(lock_id, ctx))
+
+    # ------------------------------------------------------------------
+    # Leases and sessions (see repro.leases / repro.services.sessions).
+    # ------------------------------------------------------------------
+
+    @property
+    def fenced(self) -> bool:
+        """Whether this node lease-fenced itself (quorum-silent too long).
+
+        A fenced node has force-released every hold, stopped granting,
+        and rejects new acquires; the state is permanent for the process
+        (a partitioned minority rejoins by restarting, at which point
+        the journal — not the fenced incarnation — is authoritative).
+        """
+
+        return self._fenced
+
+    def note_grant(self, lock_id: LockId, mode: LockMode) -> None:
+        """Record an application-level grant: lease it, credit the session.
+
+        Called by the hosting cluster's grant listener.  Managers whose
+        cluster never calls this run leaseless and keep the pre-lease
+        behaviour everywhere (immediate eviction on suspicion, no
+        self-fencing, no session tracking).
+        """
+
+        with self._mutex:
+            now = self._scheduler.now()
+            self.mint_lease(lock_id, mode)
+            self.sessions.note_grant(lock_id, str(mode), now)
+            self._journal_sessions()
+
+    def mint_lease(self, lock_id: LockId, mode: LockMode) -> int:
+        """Mint (or refresh) this node's lease on *lock_id*; return token.
+
+        Split out of :meth:`note_grant` for the durable-rejoin reclaim
+        path, where the owning session already records the hold and must
+        not be credited twice.
+        """
+
+        with self._mutex:
+            now = self._scheduler.now()
+            epoch = self.lockspace.automaton(lock_id).token_epoch
+            token = mint_fencing_token(epoch)
+            lease = self.own_leases.grant(
+                lock_id, str(mode), self.node_id, token, now
+            )
+            return lease.token
+
+    def _journal_sessions(self) -> None:
+        if self.journal is not None:
+            self.journal.record_sessions(self.sessions.export())
+
+    def _quorum_horizon(self) -> float:
+        """The most recent instant this node had contact with a quorum.
+
+        Counting itself, the node needs ``⌊n/2⌋`` peers: the horizon is
+        the ``⌊n/2⌋``-th most recent peer last-seen time.  While
+        connected this tracks ``now`` to within a heartbeat; on the
+        minority side of a partition it freezes at the cut.
+        """
+
+        peers_needed = len(self.membership) // 2 + 1 - 1
+        if peers_needed <= 0:
+            return self._scheduler.now()
+        seen = sorted(
+            (
+                self.detector.last_seen(peer)
+                for peer in self.membership
+                if peer != self.node_id
+            ),
+            reverse=True,
+        )
+        if peers_needed > len(seen):
+            return 0.0
+        return seen[peers_needed - 1]
+
+    def _lease_tick(self, now: float) -> None:
+        """Periodic lease maintenance, from :meth:`_failure_tick`.
+
+        Order matters: revocation of peers' expired leases runs first
+        (their self-fence deadline — one revoke margin earlier — has
+        provably passed), then this node's own self-fence check, then
+        session GC.
+
+        A fenced node never revokes: it fenced *because* its view of the
+        cluster is stale, so its mirrored peer leases reflect the other
+        side of a cut it cannot see across — revoking them would forcibly
+        "release" holds that are perfectly healthy over there.  (The
+        self-fence check runs before any minority revocation could: a
+        quorum-silent node crosses the fence threshold one revoke margin
+        before the earliest mirror expiry it could act on.)
+        """
+
+        for lease in [] if self._fenced else self.remote_leases.expired(now):
+            if not self.detector.is_suspected(lease.holder):
+                # Still heartbeating: its own advertisements refresh or
+                # retire the lease; revoking a reachable holder is the
+                # clock-skew trap the margin exists to avoid.
+                continue
+            self.remote_leases.drop(lease.lock, lease.holder)
+            self.leases_revoked += 1
+            self.revoke_latencies.append(max(0.0, now - lease.deadline))
+            deferred = self._deferred_evictions.get(lease.holder)
+            if deferred is not None:
+                deferred.discard(lease.lock)
+                if not deferred:
+                    del self._deferred_evictions[lease.holder]
+            automaton = self.lockspace.automaton(lease.lock)
+            # Floor first: any in-flight traffic stamped with the
+            # revoked token dies at every automaton that saw the revoke.
+            automaton.raise_fence_floor(lease.token)
+            self._dispatch(automaton.evict_child(lease.holder))
+            if self.obs is not None:
+                self.obs.fault("lease-revoke", lease.holder)
+            if self.forced_release_hook is not None:
+                self.forced_release_hook(lease.holder, lease.lock)
+        self._maybe_self_fence(now)
+        removed = self.sessions.gc(now, self.lease_config.session_ttl)
+        if removed:
+            self.sessions_gced += removed
+            self._journal_sessions()
+
+    def _maybe_self_fence(self, now: float) -> None:
+        if self._fenced or not self._leases_in_use():
+            return
+        if len(self.membership) < 3:
+            # With two members either node alone "loses quorum" the
+            # moment the other blips; self-fencing would turn every
+            # false suspicion into data loss.  Two-node clusters keep
+            # the pre-lease behaviour (operator-resolved splits).
+            return
+        if now - self._quorum_horizon() >= self.lease_config.duration:
+            self._self_fence(now)
+
+    def _leases_in_use(self) -> bool:
+        """Whether this cluster runs the lease layer at all.
+
+        Managers whose hosting cluster never mints or advertises leases
+        (plain recovery deployments) keep the pre-lease behaviour —
+        no self-fencing.  Any lease traffic, own or observed, opts the
+        node in: a quorum-silent member of a leased cluster must fence
+        even when it holds nothing, because its *pending* requests are
+        stuck forever and must be abandoned for the verdict to account
+        for them.
+        """
+
+        return bool(
+            len(self.own_leases)
+            or len(self.remote_leases)
+            or self.lease_renewals_sent
+            or self.lease_renewals_received
+        )
+
+    def _self_fence(self, now: float) -> None:
+        """Void this node's own leases: force-release every hold.
+
+        Runs strictly before any peer's revocation of the same leases
+        (peers wait the extra revoke margin), so at no instant do a
+        revoked-and-regranted hold and this node's original hold
+        coexist — the Rule-1 argument of the lease layer.
+        """
+
+        self._fenced = True
+        self.fenced_at = now
+        self.own_leases.clear()
+        self.sessions.expire_all()
+        for automaton in list(self.lockspace.automata()):
+            out, released = automaton.fence_holds()
+            self._dispatch(out)
+            if released and self.forced_release_hook is not None:
+                self.forced_release_hook(self.node_id, automaton.lock_id)
+        self._journal_sessions()
+
+    def _lease_regen_horizon(self, lock_id: LockId) -> Optional[float]:
+        """Earliest safe instant to regenerate *lock_id*'s token.
+
+        ``None`` when no suspected holder has an unexpired lease on the
+        lock; otherwise the latest such lease's revocation instant
+        (deadline + revoke margin) — by which the holder, if alive, has
+        self-fenced.
+        """
+
+        now = self._scheduler.now()
+        horizon = None
+        for lease in self.remote_leases.leases():
+            if lease.lock != lock_id:
+                continue
+            if not self.detector.is_suspected(lease.holder):
+                continue
+            until = lease.deadline + self.lease_config.revoke_margin
+            if until > now and (horizon is None or until > horizon):
+                horizon = until
+        return horizon
 
     # ------------------------------------------------------------------
     # Inbound.
@@ -313,10 +606,22 @@ class RecoveryManager:
         with self._mutex:
             if not self._running:
                 return []
-            self._note_life(message.sender, getattr(message, "boot", None))
+            # A SessionAck's ``boot`` echoes the acked FRAME's boot (the
+            # receiver of this ack), not the ack sender's incarnation.
+            # Reading it as the sender's would make every peer acking a
+            # restarted node's frames look freshly restarted itself, and
+            # the resulting stop_peer would wipe a live in-stream mid
+            # conversation — deadlocking the pair (the sender believes
+            # its early frames are acked and never resends; the wiped
+            # receiver waits for seq 0 forever).
+            boot = getattr(message, "boot", None)
+            if isinstance(message, SessionAck):
+                boot = None
+            self._note_life(message.sender, boot)
             if self.channel.handle(message):
                 return []
             if isinstance(message, HeartbeatMessage):
+                self._on_heartbeat(message)
                 return []
             if isinstance(message, OrphanReport):
                 self._on_orphan_report(message)
@@ -337,6 +642,32 @@ class RecoveryManager:
 
         with self._mutex:
             self._dispatch(self.lockspace.handle(payload))
+
+    def _on_heartbeat(self, message: HeartbeatMessage) -> None:
+        """A peer's heartbeat: resolve deferred evictions, renew leases.
+
+        The advertised lease set is authoritative for the sender's
+        incarnation: a deferred eviction (suspicion of a leased holder)
+        is resolved by comparing against it.  A false suspicion or a
+        durable reclaim advertises the hold — keep it; a blank restart
+        advertises nothing — evict the ghost copyset entry now.
+        """
+
+        now = self._scheduler.now()
+        deferred = self._deferred_evictions.pop(message.sender, None)
+        if deferred:
+            advertised = {str(row[0]) for row in message.leases}
+            for lock_id in sorted(deferred):
+                if lock_id in advertised:
+                    continue
+                self._dispatch(
+                    self.lockspace.automaton(lock_id).evict_child(
+                        message.sender
+                    )
+                )
+        self.lease_renewals_received += self.remote_leases.observe(
+            message.sender, message.leases, now
+        )
 
     def _note_life(self, peer: NodeId, boot: Optional[int]) -> None:
         now = self._scheduler.now()
@@ -468,8 +799,11 @@ class RecoveryManager:
                         ),
                     )
             self.rejoin_report = report
-            if self.obs is not None and report["locks_restored"]:
-                self.obs.fault("rejoin", self.node_id)
+            self.holds_reclaimed = int(report["holds_reclaimed"])
+            if report["locks_restored"]:
+                self._restored = True
+                if self.obs is not None:
+                    self.obs.fault("rejoin", self.node_id)
         return report
 
     def _begin_rejoin(self, lock_id: LockId, epoch: int) -> None:
@@ -594,8 +928,30 @@ class RecoveryManager:
         with self._mutex:
             if not self._running:
                 return
+            # The heartbeat IS the lease renewal: every own lease is
+            # renewed locally and the full set is advertised so peers'
+            # mirrors extend in lockstep.  No extra messages per lease.
+            now = self._scheduler.now()
+            if not self._fenced:
+                for row in self.own_leases.export():
+                    self.own_leases.renew(str(row[0]), self.node_id, now)
+            leases = self.own_leases.export()
+            self.lease_renewals_sent += len(leases)
+            # Advertisement makes a hold reclaimable after a durable
+            # restart (peers pin advertised leases until expiry), so the
+            # journaled session payload must record it before the beat
+            # leaves — a crash between grant and first advertisement
+            # leaves the hold correctly un-reclaimable.
+            if leases and self.sessions.note_advertised(
+                [row[0] for row in leases]
+            ):
+                self._journal_sessions()
             beat = HeartbeatMessage(
-                lock_id="", sender=self.node_id, boot=self.boot
+                lock_id="",
+                sender=self.node_id,
+                boot=self.boot,
+                leases=leases,
+                restored=self._restored,
             )
             peers = [n for n in self.membership if n != self.node_id]
             self._scheduler.call_later(
@@ -608,12 +964,14 @@ class RecoveryManager:
         with self._mutex:
             if not self._running:
                 return
-            fresh = self.detector.check(self._scheduler.now())
+            now = self._scheduler.now()
+            fresh = self.detector.check(now)
             self._scheduler.call_later(
                 self.config.heartbeat_interval, self._failure_tick
             )
             for peer in fresh:
                 self._on_suspect(peer)
+            self._lease_tick(now)
 
     # -- request retransmission -----------------------------------------
 
@@ -691,7 +1049,16 @@ class RecoveryManager:
         self.channel.stop_peer(peer)
         for automaton in list(self.lockspace.automata()):
             lock_id = automaton.lock_id
-            self._dispatch(automaton.evict_child(peer))
+            if self.remote_leases.holder_active(lock_id, peer, now):
+                # The suspect still owns an unexpired lease on this lock:
+                # its hold stays pinned until the lease runs out (it may
+                # be a false suspicion, and even a real death must wait
+                # for the holder's self-fence deadline before the hold is
+                # broken).  The eviction resolves at the peer's next
+                # heartbeat (kept, if advertised) or at lease revocation.
+                self._deferred_evictions.setdefault(peer, set()).add(lock_id)
+            else:
+                self._dispatch(automaton.evict_child(peer))
             if automaton.parent == peer:
                 self._start_orphan(lock_id, peer)
 
@@ -889,6 +1256,17 @@ class RecoveryManager:
             automaton = self.lockspace.automaton(lock_id)
             if automaton.has_token:
                 return  # The token surfaced after all (e.g. adopted).
+            horizon = self._lease_regen_horizon(lock_id)
+            if horizon is not None:
+                # A suspected holder still owns an unexpired lease on
+                # this lock: regenerating now could grant over its hold.
+                # Wait out the latest such lease (plus the revoke margin
+                # already folded into the horizon) and try again.
+                self._scheduler.call_later(
+                    horizon - self._scheduler.now() + 0.1,
+                    lambda: self._regen_fire(lock_id, epoch),
+                )
+                return
             out = automaton.regenerate_token(epoch)
             self.regenerations.append(
                 {"lock": lock_id, "epoch": epoch, "node": self.node_id}

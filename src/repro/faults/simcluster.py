@@ -66,6 +66,8 @@ class ResilientClient:
         cluster = self._cluster
         if cluster.is_crashed(self._node_id):
             raise SimulationError(f"node {self._node_id} is crashed")
+        if cluster.managers[self._node_id].fenced:
+            raise SimulationError(f"node {self._node_id} is lease-fenced")
         cluster._record_request(self._node_id, lock_id, mode)
         event = SimEvent(cluster.sim)
         cluster.managers[self._node_id].request(
@@ -79,6 +81,11 @@ class ResilientClient:
         cluster = self._cluster
         if cluster.is_crashed(self._node_id):
             raise SimulationError(f"node {self._node_id} is crashed")
+        if cluster.managers[self._node_id].fenced:
+            # The fence already force-released this hold and told the
+            # monitor via the forced-release hook; recording a second,
+            # application-driven release would double-count it.
+            return
         cluster._record_release(self._node_id, lock_id, mode)
         cluster.managers[self._node_id].release(lock_id, mode)
 
@@ -98,6 +105,7 @@ class ResilientSimCluster:
         config: RecoveryConfig = RecoveryConfig(),
         obs: Optional[ObsSink] = None,
         persistence=None,
+        reclaim: bool = False,
     ) -> None:
         if num_nodes < 2:
             raise ConfigurationError(
@@ -133,6 +141,9 @@ class ResilientSimCluster:
         #: ``None`` keeps the cluster volatile and the code path
         #: byte-identical to the pre-durability behaviour.
         self.persistence = persistence
+        #: Whether a durable restart re-asserts the surviving sessions'
+        #: holds (lease reclaim) instead of disowning them.
+        self.reclaim = reclaim
         self.journals: Dict[NodeId, object] = {}
         #: One rejoin report per durable restart, in restart order.
         self.durability_log: List[Dict[str, object]] = []
@@ -176,6 +187,7 @@ class ResilientSimCluster:
             obs=self.obs,
             boot=boot,
         )
+        manager.forced_release_hook = self._forced_release
         self.lockspaces[node_id] = lockspace
         self.managers[node_id] = manager
         if self.persistence is not None:
@@ -188,6 +200,7 @@ class ResilientSimCluster:
                 obs=self.obs,
             )
             journal.attach(lockspace)
+            journal.session_source = manager.sessions.export
             self.journals[node_id] = journal
             manager.journal = journal
         if fresh:
@@ -202,10 +215,19 @@ class ResilientSimCluster:
     def _make_listener(self, node_id: NodeId):
         def listener(lock_id: LockId, mode: LockMode, ctx: object) -> None:
             self._record_grant(node_id, lock_id, mode)
+            # Every grant is leased: looked up at call time so the
+            # current incarnation's manager leases its own grants.
+            self.managers[node_id].note_grant(lock_id, mode)
             if isinstance(ctx, _GrantCtx):
                 ctx.event.trigger(mode)
 
         return listener
+
+    def _forced_release(self, holder: NodeId, lock_id: LockId) -> None:
+        """Lease layer revoked *holder*'s holds on *lock_id*."""
+
+        if self.monitor is not None:
+            self.monitor.on_forced_release(self.sim.now, holder, lock_id)
 
     def crash(self, node_id: NodeId) -> None:
         """Kill *node_id*: volatile state gone, fabric silenced."""
@@ -245,11 +267,36 @@ class ResilientSimCluster:
         self.network.restart(node_id, manager.handle)
         if self.persistence is not None:
             from ..persist import recover_node_state
+            from ..services.sessions import SESSIONS_JOURNAL_KEY
 
             state, recover_report = recover_node_state(
                 self.persistence.store_for(node_id)
             )
-            rejoin_report = manager.rejoin_from_journal(state)
+            # Sessions ride the same WAL under a reserved key; they are
+            # not a lock and must never reach the per-lock rejoin.
+            sessions_payload = state.pop(SESSIONS_JOURNAL_KEY, None)
+            if sessions_payload is not None:
+                manager.sessions.restore(sessions_payload)
+            reclaim_cb = None
+            reclaimed: List = []
+            if self.reclaim and sessions_payload is not None:
+                base, survivors = manager.sessions.reclaimer(
+                    self.sim.now, manager.lease_config.session_ttl
+                )
+
+                def reclaim_cb(lock_id, mode):
+                    if not base(lock_id, str(mode)):
+                        return False
+                    # Fresh lease under the restored epoch; the session
+                    # already carries the hold count, so no note_grant.
+                    manager.mint_lease(lock_id, mode)
+                    self._record_grant(node_id, lock_id, mode)
+                    reclaimed.append((lock_id, mode))
+                    return True
+
+            rejoin_report = manager.rejoin_from_journal(
+                state, reclaim=reclaim_cb
+            )
             self.durability_log.append(
                 {
                     "at": round(self.sim.now, 6),
@@ -263,8 +310,27 @@ class ResilientSimCluster:
             # replays from here instead of the whole pre-crash log.
             self.journals[node_id].compact()
         manager.start()
+        if self.persistence is not None and reclaimed:
+            # The restarted workload won't re-release holds it never
+            # knowingly re-acquired: hand each reclaimed hold back after
+            # a short grace so waiters eventually progress.
+            for i, (lock_id, mode) in enumerate(reclaimed):
+                self.sim.schedule(
+                    0.5 + 0.25 * i,
+                    lambda n=node_id, l=lock_id, m=mode: (
+                        self._release_reclaimed(n, l, m)
+                    ),
+                )
         if self.obs is not None:
             self.obs.fault("restart", node_id)
+
+    def _release_reclaimed(
+        self, node_id: NodeId, lock_id: LockId, mode: LockMode
+    ) -> None:
+        if node_id in self._crashed or self.managers[node_id].fenced:
+            return
+        self._record_release(node_id, lock_id, mode)
+        self.managers[node_id].release(lock_id, mode)
 
     def is_crashed(self, node_id: NodeId) -> bool:
         """Whether *node_id* is currently down."""
@@ -358,5 +424,11 @@ class ResilientSimCluster:
             ),
             "duplicates_dropped": sum(
                 m.channel.duplicates_dropped for m in self.managers.values()
+            ),
+            "leases_revoked": sum(
+                m.leases_revoked for m in self.managers.values()
+            ),
+            "fenced_nodes": sorted(
+                n for n, m in self.managers.items() if m.fenced
             ),
         }

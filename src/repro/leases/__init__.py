@@ -1,0 +1,39 @@
+"""Lease-fenced lock holds (`repro.leases`).
+
+The paper's protocol assumes lock holders stay reachable forever; a
+holder isolated on the minority side of a partition therefore keeps its
+granted modes indefinitely (docs/FAULTS.md §4 used to name this gap).
+This package supplies the standard hardening: every granted hold carries
+a **lease** — a deadline plus a monotonically increasing **fencing
+token** minted from the lock's token epoch.  The holder renews the lease
+by piggybacking it on its heartbeats; every peer mirrors the
+advertisement in a remote :class:`LeaseTable`.  When the holder falls
+silent past the deadline (plus a revoke margin) the hold is revoked with
+a Rule-1-safe release replayed up the hierarchy, the lock's fence floor
+is raised past the dead lease's token, and any later message presenting
+the stale fencing token is rejected by all three protocol automata.
+
+Every method takes an explicit ``now`` so the tables are pure functions
+of their inputs: the clock-skew and frozen-clock tests drive them with
+arbitrary timestamps, and the deterministic simulator drives them with
+its own virtual clock.  Renewal never moves a deadline *backwards*, so a
+skewed (earlier) renewal timestamp cannot shorten a lease.
+"""
+
+from .lease import (
+    FENCING_EPOCH_SHIFT,
+    Lease,
+    LeaseConfig,
+    LeaseTable,
+    fencing_epoch,
+    mint_fencing_token,
+)
+
+__all__ = [
+    "FENCING_EPOCH_SHIFT",
+    "Lease",
+    "LeaseConfig",
+    "LeaseTable",
+    "fencing_epoch",
+    "mint_fencing_token",
+]

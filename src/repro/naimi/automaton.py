@@ -71,6 +71,23 @@ class NaimiAutomaton:
         #: Optional durability journal (see :mod:`repro.persist`); same
         #: ``None``-gated pattern as ``obs``.
         self.persist = None
+        # Lease fencing (see repro.leases): highest revoked fencing token
+        # observed for this lock.  Messages presenting a positive token at
+        # or below the floor are dropped by :meth:`handle`.
+        self._fence_floor = 0
+
+    @property
+    def fence_floor(self) -> int:
+        """Highest revoked fencing token observed (lease extension)."""
+
+        return self._fence_floor
+
+    def raise_fence_floor(self, token: int) -> None:
+        """Reject future messages fenced at or below *token*."""
+
+        if token > self._fence_floor:
+            self._fence_floor = int(token)
+            self._persist("fence-raised")
 
     def _persist(self, kind: str) -> None:
         if self.persist is not None:
@@ -231,6 +248,9 @@ class NaimiAutomaton:
                 f"message for lock {message.lock_id!r} delivered to "
                 f"automaton of {self._lock_id!r}"
             )
+        token = getattr(message, "fencing_token", 0)
+        if 0 < token <= self._fence_floor:
+            return []  # Stale fencing token: a revoked holder's traffic.
         if isinstance(message, NaimiRequestMessage):
             return self._handle_request(message)
         if isinstance(message, NaimiTokenMessage):
@@ -326,6 +346,7 @@ class NaimiAutomaton:
             "has_token": self._has_token,
             "in_cs": self._in_cs,
             "requesting": self._requesting,
+            "fence_floor": self._fence_floor,
         }
 
     def adopt_persisted(self, state: dict) -> None:
@@ -342,6 +363,7 @@ class NaimiAutomaton:
         self._has_token = bool(state.get("has_token", False))
         self._in_cs = bool(state.get("in_cs", False))
         self._requesting = bool(state.get("requesting", False))
+        self._fence_floor = int(state.get("fence_floor", 0))
         self._ctx = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

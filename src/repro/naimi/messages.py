@@ -29,6 +29,11 @@ class NaimiRequestMessage(NaimiMessage):
     """A request by ``origin``, forwarded along probable-owner links."""
 
     origin: NodeId
+    #: Fencing token the issuing session presents (see
+    #: :mod:`repro.leases`); ``0`` = unfenced.  A positive token at or
+    #: below the receiver's fence floor marks a revoked holder's request
+    #: and is dropped.
+    fencing_token: int = 0
 
 
 @dataclasses.dataclass(frozen=True)

@@ -68,6 +68,8 @@ AUDIT_RULES = (
     "copyset-unrooted",
     "dead-reference",
     "rule1",
+    "expired-but-held",
+    "double-active-lease",
     "stuck-request",
     "starvation",
     "deadlock",
@@ -200,6 +202,11 @@ class LockSnapshot:
     frozen: Tuple[str, ...] = ()
     #: Token incarnation floor (recovery extension; 0 = original token).
     token_epoch: int = 0
+    #: Whether the lease layer fenced this node's holds (see
+    #: :mod:`repro.leases`): its grants were revoked, so its residual
+    #: beliefs — including a stale token claim on a partitioned minority
+    #: — no longer count toward token-split or Rule-1 reconciliation.
+    fenced: bool = False
 
     def held_modes(self) -> List[LockMode]:
         """The held multiset as :class:`LockMode` values (with repeats)."""
@@ -220,6 +227,7 @@ class LockSnapshot:
             "queue": [entry.to_payload() for entry in self.queue],
             "frozen": list(self.frozen),
             "token_epoch": self.token_epoch,
+            "fenced": self.fenced,
         }
 
     @staticmethod
@@ -241,6 +249,7 @@ class LockSnapshot:
             ),
             frozen=tuple(str(m) for m in payload.get("frozen", ())),
             token_epoch=int(payload.get("token_epoch", 0)),
+            fenced=bool(payload.get("fenced", False)),
         )
 
 
@@ -270,6 +279,11 @@ class RecoveryHealth:
     #: when the node runs with a :mod:`repro.persist` journal attached;
     #: ``None`` on volatile nodes.
     durability: Optional[Mapping[str, int]] = None
+    #: Lease-layer health (see :mod:`repro.leases`): ``fenced``, the
+    #: ``own``/``remote`` lease tables as ``[lock, mode, holder, token,
+    #: deadline]`` rows, and renewal/revocation counters.  ``None`` when
+    #: the manager predates the lease layer or leases are unused.
+    leases: Optional[Mapping[str, object]] = None
 
     def to_payload(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -284,11 +298,14 @@ class RecoveryHealth:
         }
         if self.durability is not None:
             payload["durability"] = dict(self.durability)
+        if self.leases is not None:
+            payload["leases"] = dict(self.leases)
         return payload
 
     @staticmethod
     def from_payload(payload: Mapping[str, object]) -> "RecoveryHealth":
         durability = payload.get("durability")
+        leases = payload.get("leases")
         return RecoveryHealth(
             boot=int(payload["boot"]),
             suspected=tuple(payload.get("suspected", ())),
@@ -306,6 +323,7 @@ class RecoveryHealth:
                 if durability is not None
                 else None
             ),
+            leases=dict(leases) if leases is not None else None,
         )
 
 
@@ -396,14 +414,20 @@ class ClusterView:
         return sorted(locks, key=str)
 
     def token_believers(self, lock_id: LockId) -> List[NodeId]:
-        """Alive nodes believing they hold *lock_id*'s token."""
+        """Alive nodes believing they hold *lock_id*'s token.
+
+        A lease-fenced believer is excluded: a partitioned minority that
+        fenced itself may still carry a stale token claim, but that
+        claim no longer serves grants (its residual held state is the
+        ``expired-but-held`` rule's business instead).
+        """
 
         believers = []
         for snapshot in self.nodes:
             if not snapshot.alive:
                 continue
             entry = snapshot.lock(lock_id)
-            if entry is not None and entry.believes_token:
+            if entry is not None and entry.believes_token and not entry.fenced:
                 believers.append(snapshot.node)
         return believers
 
@@ -561,7 +585,9 @@ def _audit_lock(
     """Audit one lock's per-node beliefs; append findings."""
 
     believers = sorted(
-        node for node, snap in snaps.items() if snap.believes_token
+        node
+        for node, snap in snaps.items()
+        if snap.believes_token and not snap.fenced
     )
     if len(believers) > 1:
         findings.append(
@@ -574,15 +600,25 @@ def _audit_lock(
             )
         )
     elif not believers:
-        findings.append(
-            AuditFinding(
-                rule="token-missing",
-                severity=_transient(quiescent),
-                lock=lock_id,
-                nodes=tuple(sorted(snaps)),
-                detail="no alive node believes it holds the token",
-            )
+        fenced_believers = sorted(
+            node
+            for node, snap in snaps.items()
+            if snap.believes_token and snap.fenced
         )
+        if not fenced_believers:
+            # A fenced believer is not "missing": the token exists but
+            # its holder revoked itself; liveness resumes through
+            # regeneration on the quorum side, and any residual holds
+            # there are the expired-but-held rule's business.
+            findings.append(
+                AuditFinding(
+                    rule="token-missing",
+                    severity=_transient(quiescent),
+                    lock=lock_id,
+                    nodes=tuple(sorted(snaps)),
+                    detail="no alive node believes it holds the token",
+                )
+            )
 
     # -- copyset/tree edges: acyclic, rooted at the token believer ------
     seen_cycles: Set[frozenset] = set()
@@ -746,6 +782,70 @@ def _audit_lock(
                 )
 
 
+def _audit_leases(
+    view: ClusterView, findings: List[AuditFinding]
+) -> None:
+    """Reconcile the lease layer's beliefs with the lock automata.
+
+    Two rules, both applicable only to nodes that expose lease health
+    (``RecoveryHealth.leases``); clusters without the lease layer are
+    untouched:
+
+    * ``expired-but-held`` — a node that lease-fenced itself (its leases
+      expired while it was quorum-silent) must have force-released every
+      hold; any residual held mode means the fence failed.
+    * ``double-active-lease`` — two different holders advertising active
+      leases in incompatible modes on one lock is the lease-level
+      Rule-1 break: a revocation granted over a hold that was still
+      covered.
+    """
+
+    now = view.captured_at
+    active: Dict[LockId, List[Tuple[NodeId, str, int]]] = {}
+    for node in view.nodes:
+        if not node.alive or node.recovery is None:
+            continue
+        info = node.recovery.leases
+        if info is None:
+            continue
+        if info.get("fenced"):
+            for snap in node.locks:
+                if snap.held:
+                    findings.append(
+                        AuditFinding(
+                            rule="expired-but-held",
+                            severity=VIOLATION,
+                            lock=snap.lock,
+                            nodes=(node.node,),
+                            detail=f"node {node.node} is lease-fenced but "
+                            f"still holds {list(snap.held)}",
+                        )
+                    )
+        for row in info.get("own", ()):
+            lock, mode, holder, _token, deadline = row
+            if float(deadline) > now:
+                active.setdefault(lock, []).append(
+                    (holder, str(mode), int(_token))
+                )
+    for lock_id in sorted(active, key=str):
+        entries = active[lock_id]
+        for index, (node_a, mode_a, _ta) in enumerate(entries):
+            for node_b, mode_b, _tb in entries[index + 1:]:
+                if node_a == node_b:
+                    continue
+                if not compatible(LockMode(mode_a), LockMode(mode_b)):
+                    findings.append(
+                        AuditFinding(
+                            rule="double-active-lease",
+                            severity=VIOLATION,
+                            lock=lock_id,
+                            nodes=(node_a, node_b),
+                            detail=f"node {node_a} leases {mode_a} while "
+                            f"node {node_b} leases incompatible {mode_b}",
+                        )
+                    )
+
+
 def quiescent_idle(snap: LockSnapshot) -> bool:
     """Whether *snap* shows no activity that needs a root to resolve.
 
@@ -792,6 +892,9 @@ def audit_view(
             if snap is not None:
                 snaps[node.node] = snap
         _audit_lock(lock_id, snaps, alive, quiescent, findings)
+
+    # -- lease reconciliation (nodes exposing lease health only) --------
+    _audit_leases(view, findings)
 
     if mean_grant_latency is not None and mean_grant_latency > 0:
         threshold = starvation_factor * mean_grant_latency

@@ -173,6 +173,48 @@ def render_prometheus(
         "Session-channel frames awaiting acknowledgement, per node.",
         backlog,
     )
+    lease_rows = [
+        (node, node.recovery.leases)
+        for node in view.nodes
+        if node.alive
+        and node.recovery is not None
+        and node.recovery.leases is not None
+    ]
+    emit(
+        "repro_leases_active",
+        "gauge",
+        "Active leases per node: own = this node's granted holds, "
+        "remote = leases mirrored from peers' heartbeats.",
+        [
+            _sample(
+                "repro_leases_active",
+                len(info.get("own", ())),
+                {"node": str(node.node), "table": "own"},
+            )
+            for node, info in lease_rows
+        ]
+        + [
+            _sample(
+                "repro_leases_active",
+                len(info.get("remote", ())),
+                {"node": str(node.node), "table": "remote"},
+            )
+            for node, info in lease_rows
+        ],
+    )
+    emit(
+        "repro_lease_fenced",
+        "gauge",
+        "1 iff the node lease-fenced itself (quorum-silent past expiry).",
+        [
+            _sample(
+                "repro_lease_fenced",
+                1 if info.get("fenced") else 0,
+                {"node": str(node.node)},
+            )
+            for node, info in lease_rows
+        ],
+    )
     emit(
         "repro_audit_ok",
         "gauge",
@@ -260,6 +302,18 @@ def render_health_table(view: ClusterView, report: AuditReport) -> str:
                     str(lock) for lock in node.recovery.custody_pending
                 )
                 recovery += f" fencing=[{pending}]"
+            leases = node.recovery.leases
+            if leases is not None:
+                recovery += (
+                    f" leases={len(leases.get('own', ()))}o"
+                    f"/{len(leases.get('remote', ()))}r"
+                )
+                if leases.get("revoked"):
+                    recovery += f" revoked={leases['revoked']}"
+                if leases.get("reclaimed"):
+                    recovery += f" reclaimed={leases['reclaimed']}"
+                if leases.get("fenced"):
+                    recovery += " FENCED"
         rows.append(
             [
                 str(node.node),

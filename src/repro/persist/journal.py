@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..core.messages import LockId, NodeId
+from ..services.sessions import SESSIONS_JOURNAL_KEY
 
 #: WAL records between automatic compactions.  Count-based (never
 #: time-based) so simulated runs stay deterministic.
@@ -61,6 +62,11 @@ class NodeJournal:
         self._since_compact = 0
         self.appends = 0
         self.compactions = 0
+        #: Optional zero-arg callable returning the hosting node's
+        #: session payload (see :mod:`repro.services.sessions`); wired by
+        #: the recovery manager so compaction folds the session table
+        #: into the snapshot instead of losing it with the truncated WAL.
+        self.session_source = None
 
     def attach(self, lockspace) -> None:
         """Become *lockspace*'s persist hook (existing automata included)."""
@@ -90,6 +96,30 @@ class NodeJournal:
         if self._since_compact >= self.compact_every:
             self.compact()
 
+    def record_sessions(self, payload: Dict[str, object]) -> None:
+        """Append the node's session table under the reserved key.
+
+        Sessions ride the same WAL as lock state (one record, last wins
+        on replay) so a recovered node sees lock holds and their owning
+        sessions from one consistent medium; recovery pops the reserved
+        key out of the replayed state before per-lock rejoin.
+        """
+
+        self.store.append(
+            {
+                "v": 1,
+                "lock": SESSIONS_JOURNAL_KEY,
+                "kind": "sessions",
+                "state": payload,
+            }
+        )
+        self.appends += 1
+        self._since_compact += 1
+        if self.obs is not None:
+            self.obs.persist_event(self.node_id, "sessions")
+        if self._since_compact >= self.compact_every:
+            self.compact()
+
     # -- compaction -----------------------------------------------------
 
     def compact(self) -> None:
@@ -101,6 +131,8 @@ class NodeJournal:
             automaton.lock_id: automaton.persisted_state()
             for automaton in self._lockspace.automata()
         }
+        if self.session_source is not None:
+            locks[SESSIONS_JOURNAL_KEY] = self.session_source()
         self.store.write_snapshot(
             {"v": 1, "boot": self.boot, "locks": locks}
         )

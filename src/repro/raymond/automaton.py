@@ -84,6 +84,23 @@ class RaymondAutomaton:
         #: Optional durability journal (see :mod:`repro.persist`); same
         #: ``None``-gated pattern as ``obs``.
         self.persist = None
+        # Lease fencing (see repro.leases): highest revoked fencing token
+        # observed for this lock.  Messages presenting a positive token at
+        # or below the floor are dropped by :meth:`handle`.
+        self._fence_floor = 0
+
+    @property
+    def fence_floor(self) -> int:
+        """Highest revoked fencing token observed (lease extension)."""
+
+        return self._fence_floor
+
+    def raise_fence_floor(self, token: int) -> None:
+        """Reject future messages fenced at or below *token*."""
+
+        if token > self._fence_floor:
+            self._fence_floor = int(token)
+            self._persist("fence-raised")
 
     def _persist(self, kind: str) -> None:
         if self.persist is not None:
@@ -221,6 +238,9 @@ class RaymondAutomaton:
                 f"message for lock {message.lock_id!r} delivered to "
                 f"automaton of {self._lock_id!r}"
             )
+        token = getattr(message, "fencing_token", 0)
+        if 0 < token <= self._fence_floor:
+            return []  # Stale fencing token: a revoked holder's traffic.
         out: List[Envelope] = []
         if isinstance(message, RaymondRequestMessage):
             self._request_q.append((message.sender, message.trace))
@@ -312,6 +332,7 @@ class RaymondAutomaton:
             "asked": self._asked,
             "using": self._using,
             "queue": [entry for entry, _trace in self._request_q],
+            "fence_floor": self._fence_floor,
         }
 
     def adopt_persisted(self, state: dict) -> None:
@@ -325,6 +346,7 @@ class RaymondAutomaton:
             (SELF if entry == SELF else int(entry), None)
             for entry in state.get("queue", ())
         )
+        self._fence_floor = int(state.get("fence_floor", 0))
         self._ctx = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -26,7 +26,15 @@ class RaymondMessage:
 
 @dataclasses.dataclass(frozen=True)
 class RaymondRequestMessage(RaymondMessage):
-    """A request from a neighbour (or, transitively, its subtree)."""
+    """A request from a neighbour (or, transitively, its subtree).
+
+    ``fencing_token`` is the issuing session's lease fencing token (see
+    :mod:`repro.leases`); ``0`` = unfenced.  A positive token at or below
+    the receiver's fence floor marks a revoked holder's request and is
+    dropped.
+    """
+
+    fencing_token: int = 0
 
 
 @dataclasses.dataclass(frozen=True)

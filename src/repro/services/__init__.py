@@ -1,12 +1,16 @@
 """CORBA-concurrency-service-style public facade and transactions."""
 
 from .lockset import HierarchicalLockSet, LockSet, LockSetFactory
+from .sessions import Session, SessionManager, SESSIONS_JOURNAL_KEY
 from .transaction import Transaction, TransactionManager, TxState
 
 __all__ = [
     "HierarchicalLockSet",
     "LockSet",
     "LockSetFactory",
+    "Session",
+    "SessionManager",
+    "SESSIONS_JOURNAL_KEY",
     "Transaction",
     "TransactionManager",
     "TxState",

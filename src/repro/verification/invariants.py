@@ -52,6 +52,19 @@ class Monitor:
         as leaked at end of run.
         """
 
+    def on_forced_release(
+        self, time: float, node: NodeId, lock_id: LockId
+    ) -> None:
+        """*node*'s holds on *lock_id* were revoked by the lease layer.
+
+        A lease expiry (self-fence on the holder, revocation on its
+        peers) force-releases holds without the application calling
+        ``release``.  Several peers revoke the same lease independently,
+        and the holder may have released just before its peers revoked,
+        so — unlike :meth:`on_release` — this must be idempotent: forget
+        whatever holds remain, raise on nothing.
+        """
+
 
 class CompatibilityMonitor(Monitor):
     """Asserts pairwise compatibility of all concurrent holds per lock."""
@@ -97,6 +110,13 @@ class CompatibilityMonitor(Monitor):
         for holds in self._holds.values():
             for key in [k for k in holds if k[0] == node]:
                 del holds[key]
+
+    def on_forced_release(
+        self, time: float, node: NodeId, lock_id: LockId
+    ) -> None:
+        holds = self._holds[lock_id]
+        for key in [k for k in holds if k[0] == node]:
+            del holds[key]
 
     def current_holds(self, lock_id: LockId) -> List[Tuple[NodeId, LockMode]]:
         """Return the live (node, mode) holds of *lock_id*."""
@@ -147,6 +167,12 @@ class MutualExclusionMonitor(Monitor):
         for lock_id, holder in self._holder.items():
             if holder == node:
                 self._holder[lock_id] = None
+
+    def on_forced_release(
+        self, time: float, node: NodeId, lock_id: LockId
+    ) -> None:
+        if self._holder.get(lock_id) == node:
+            self._holder[lock_id] = None
 
     def assert_all_released(self) -> None:
         """Raise unless every critical section has been exited."""
@@ -219,3 +245,9 @@ class MonitorSet(Monitor):
     def on_crash(self, time: float, node: NodeId) -> None:
         for monitor in self.monitors:
             monitor.on_crash(time, node)
+
+    def on_forced_release(
+        self, time: float, node: NodeId, lock_id: LockId
+    ) -> None:
+        for monitor in self.monitors:
+            monitor.on_forced_release(time, node, lock_id)

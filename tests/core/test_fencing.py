@@ -1,0 +1,202 @@
+"""Fence-floor enforcement across all three protocol automata.
+
+A revoked lease's fencing token must be rejected by every automaton
+that could otherwise act on the dead holder's traffic — the
+hierarchical protocol and both baselines.  The permutation tests drive
+every interleaving of {lease expiry/revocation, stale delivery, late
+renewal} and check the one property revocation safety needs: once the
+fence floor is at ``T``, no later delivery presenting a token ``<= T``
+has any effect, no matter what arrived before or arrives after.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.automaton import HierarchicalLockAutomaton, ProtocolOptions
+from repro.core.clock import LamportClock
+from repro.core.messages import RequestMessage, fresh_request_id
+from repro.core.modes import LockMode
+from repro.errors import ProtocolError
+from repro.leases import LeaseConfig, LeaseTable, mint_fencing_token
+from repro.naimi.automaton import NaimiAutomaton
+from repro.naimi.messages import NaimiRequestMessage
+from repro.raymond.automaton import RaymondAutomaton
+from repro.raymond.messages import RaymondRequestMessage
+
+
+def make_token_node():
+    grants = []
+    automaton = HierarchicalLockAutomaton(
+        node_id=0,
+        lock_id="L",
+        clock=LamportClock(),
+        parent=None,
+        has_token=True,
+        listener=lambda lock, mode, ctx: grants.append((mode, ctx)),
+        options=ProtocolOptions(recovery=True),
+    )
+    return automaton, grants
+
+
+def remote_request(origin: int, token: int, mode=LockMode.R):
+    return RequestMessage(
+        lock_id="L",
+        sender=origin,
+        origin=origin,
+        mode=mode,
+        request_id=fresh_request_id(timestamp=origin, origin=origin),
+        fencing_token=token,
+    )
+
+
+class TestHierarchicalFencing:
+    def test_unfenced_traffic_is_never_dropped(self):
+        automaton, _ = make_token_node()
+        automaton.raise_fence_floor(10_000)
+        out = automaton.handle(remote_request(1, token=0))
+        assert out  # token 0 = "no lease layer", always admitted
+
+    def test_stale_token_is_dropped_silently(self):
+        automaton, _ = make_token_node()
+        floor = mint_fencing_token(0)
+        automaton.raise_fence_floor(floor)
+        assert automaton.handle(remote_request(1, token=floor)) == []
+        assert automaton.handle(remote_request(1, token=floor - 1)) == []
+
+    def test_fresh_token_clears_the_floor(self):
+        automaton, _ = make_token_node()
+        floor = mint_fencing_token(0)
+        automaton.raise_fence_floor(floor)
+        out = automaton.handle(remote_request(1, token=floor + 1))
+        assert out
+
+    def test_floor_is_monotonic(self):
+        automaton, _ = make_token_node()
+        automaton.raise_fence_floor(50)
+        automaton.raise_fence_floor(20)
+        assert automaton.fence_floor == 50
+
+    def test_floor_requires_recovery_mode(self):
+        automaton = HierarchicalLockAutomaton(
+            node_id=0, lock_id="L", clock=LamportClock(),
+            parent=None, has_token=True,
+        )
+        with pytest.raises(ProtocolError):
+            automaton.raise_fence_floor(1)
+
+
+class TestBaselineFencing:
+    def test_naimi_drops_stale_requests(self):
+        root = NaimiAutomaton(node_id=0, lock_id="L", last=None)
+        floor = mint_fencing_token(0)
+        root.raise_fence_floor(floor)
+        stale = NaimiRequestMessage(
+            lock_id="L", sender=1, origin=1, fencing_token=floor
+        )
+        assert root.handle(stale) == []
+        fresh = NaimiRequestMessage(
+            lock_id="L", sender=2, origin=2, fencing_token=floor + 1
+        )
+        out = root.handle(fresh)
+        assert out and out[0].dest == 2  # The token moved to the requester.
+
+    def test_raymond_drops_stale_requests(self):
+        holder = RaymondAutomaton(node_id=0, lock_id="L", holder=None)
+        floor = mint_fencing_token(0)
+        holder.raise_fence_floor(floor)
+        stale = RaymondRequestMessage(lock_id="L", sender=1,
+                                      fencing_token=floor)
+        assert holder.handle(stale) == []
+        fresh = RaymondRequestMessage(lock_id="L", sender=1,
+                                      fencing_token=floor + 1)
+        out = holder.handle(fresh)
+        assert out and out[0].dest == 1  # The privilege moved.
+
+    def test_baseline_floors_are_monotonic(self):
+        for automaton in (
+            NaimiAutomaton(node_id=0, lock_id="L", last=None),
+            RaymondAutomaton(node_id=0, lock_id="L", holder=None),
+        ):
+            automaton.raise_fence_floor(9)
+            automaton.raise_fence_floor(3)
+            assert automaton.fence_floor == 9
+
+
+class TestExpiryRenewalInterleavings:
+    """Every ordering of revocation vs. a revoked holder's last gasps."""
+
+    def test_all_orderings_of_revoke_stale_fresh(self):
+        # Three events in every order: the revoker raises the floor to
+        # T, the dead holder's request (token T) arrives, a live
+        # holder's request (token > T) arrives.  Invariants: the live
+        # request is always served; the dead one is served only if it
+        # arrived before the revocation (its lease was active then).
+        stale_token = mint_fencing_token(0)
+        fresh_token = stale_token + 1
+        for order in itertools.permutations(("revoke", "stale", "fresh")):
+            automaton, grants = make_token_node()
+            revoked = False
+            stale_output = None
+            fresh_output = None
+            for event in order:
+                if event == "revoke":
+                    automaton.raise_fence_floor(stale_token)
+                    revoked = True
+                elif event == "stale":
+                    stale_output = automaton.handle(
+                        remote_request(1, token=stale_token)
+                    )
+                    stale_served_after_revoke = revoked and bool(stale_output)
+                    assert not stale_served_after_revoke, order
+                else:
+                    fresh_output = automaton.handle(
+                        remote_request(2, token=fresh_token)
+                    )
+            assert fresh_output, order  # The live holder always got through.
+            assert automaton.fence_floor == stale_token, order
+            assert not grants  # Remote requests; grants leave as envelopes.
+
+    def test_late_renewal_cannot_resurrect_a_revoked_token(self):
+        # The mirror-table and the automaton floor interleave freely; in
+        # every ordering where revocation precedes the stale delivery,
+        # the delivery is dead — even when a late (clock-skewed) renewal
+        # re-populates the mirror in between.
+        config = LeaseConfig(duration=1.0, revoke_margin=0.5)
+        stale_token = mint_fencing_token(0)
+        row = ["L", "R", 1, stale_token]
+        events = ("revoke", "late-renewal", "stale")
+        for order in itertools.permutations(events):
+            automaton, _ = make_token_node()
+            mirror = LeaseTable(config)
+            mirror.grant("L", "R", holder=1, token=stale_token, now=0.0)
+            revoked_at = None
+            for step, event in enumerate(order):
+                if event == "revoke":
+                    # Deadline + margin passed: drop and fence.
+                    assert mirror.expired(now=2.0)
+                    mirror.drop("L", 1)
+                    automaton.raise_fence_floor(stale_token)
+                    revoked_at = step
+                elif event == "late-renewal":
+                    # The partitioned holder's heartbeat finally lands,
+                    # stamped with its own (stale) clock.
+                    mirror.observe(1, [row], now=0.2)
+                else:
+                    out = automaton.handle(
+                        remote_request(1, token=stale_token)
+                    )
+                    if revoked_at is not None:
+                        assert out == [], order
+            # Whatever the mirror now believes, the floor holds: any
+            # future traffic under the dead token stays dead.
+            assert automaton.handle(
+                remote_request(1, token=stale_token)
+            ) == []
+            lease = mirror.get("L", 1)
+            if lease is not None:
+                # A resurrected mirror entry still cannot outrank the
+                # floor: its token is the revoked one.
+                assert lease.token <= automaton.fence_floor

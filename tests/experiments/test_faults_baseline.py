@@ -8,6 +8,8 @@ from benchmarks.record_faults_baseline import (
     BASELINE_PATH,
     DURABLE_GROUP,
     DURABLE_METRICS,
+    LEASE_GROUP,
+    LEASE_METRICS,
     OVERHEAD_METRICS,
     PLAN_METRICS,
     PLANS,
@@ -16,11 +18,12 @@ from benchmarks.record_faults_baseline import (
 )
 
 
-def _summary(none=None, drop1=None, durable=None, overhead=None):
+def _summary(none=None, drop1=None, durable=None, lease=None, overhead=None):
     return {
         "none": none or {m: 1.0 for m in PLAN_METRICS},
         "drop1": drop1 or {m: 1.2 for m in PLAN_METRICS},
         DURABLE_GROUP: durable or {m: 1.5 for m in DURABLE_METRICS},
+        LEASE_GROUP: lease or {m: 1.1 for m in LEASE_METRICS},
         "overhead": overhead or {m: 1.2 for m in OVERHEAD_METRICS},
     }
 
@@ -66,6 +69,13 @@ class TestCompareSummary:
         problems = compare_summary(base, current)
         assert any(DURABLE_GROUP in p for p in problems)
 
+    def test_missing_lease_group_is_drift(self):
+        base = _baseline(_summary())
+        current = _summary()
+        del current[LEASE_GROUP]
+        problems = compare_summary(base, current)
+        assert any(LEASE_GROUP in p for p in problems)
+
     def test_missing_metric_in_baseline_is_drift(self):
         summary = _summary()
         del summary["none"]["latency_p95"]
@@ -92,6 +102,8 @@ class TestCheckedInBaseline:
                 assert metric in summary[plan]
         for metric in DURABLE_METRICS:
             assert metric in summary[DURABLE_GROUP]
+        for metric in LEASE_METRICS:
+            assert metric in summary[LEASE_GROUP]
         for metric in OVERHEAD_METRICS:
             assert metric in summary["overhead"]
         # A fresh summary compared against itself must pass the gate.

@@ -27,7 +27,10 @@ FAST_SIM = RecoveryConfig(
     probe_timeout=0.5,
     orphan_interval=0.25,
     regen_settle=0.6,
-    rejoin_settle=0.8,
+    # Comfortably above the fabric's latency tail: probe answers ride
+    # FIFO links, so one slow draw delays every reply behind it, and a
+    # settle window close to that tail confirms custody spuriously.
+    rejoin_settle=2.0,
 )
 
 
@@ -139,10 +142,12 @@ class TestCustodyHandshake:
         Process(sim, contender())
         sim.run(until=2.0)
         cluster.crash(0)
-        sim.run(until=10.0)  # Suspect, probe, regenerate, grant.
+        # Suspect, wait out the dead holder's lease (deadline + revoke
+        # margin), probe, regenerate, grant.
+        sim.run(until=13.0)
         assert granted, "survivors must regenerate and grant"
         cluster.restart(0)
-        sim.run(until=20.0)
+        sim.run(until=23.0)
         manager = cluster.managers[0]
         automaton = cluster.lockspaces[0].automaton("lock-a")
         assert manager.custody_fenced >= 1

@@ -17,6 +17,7 @@ from repro.persist import (
     NodeJournal,
     recover_node_state,
 )
+from repro.services.sessions import SESSIONS_JOURNAL_KEY
 from repro.sim.engine import Process, Timeout
 from repro.verification.invariants import CompatibilityMonitor
 
@@ -76,6 +77,8 @@ class TestReplayEquivalence:
                 automaton.lock_id: automaton
                 for automaton in cluster.lockspaces[node].automata()
             }
+            # Sessions ride the WAL under a reserved non-lock key.
+            state.pop(SESSIONS_JOURNAL_KEY, None)
             # Every journaled lock the node still knows must agree.
             for lock_id, payload in state.items():
                 assert lock_id in live
@@ -113,6 +116,9 @@ class TestReplayEquivalence:
         for node in range(3):
             mem_state, _ = recover_node_state(mem.store_for(node))
             disk_state, _ = recover_node_state(disk.store_for(node))
+            assert mem_state.pop(SESSIONS_JOURNAL_KEY, None) == (
+                disk_state.pop(SESSIONS_JOURNAL_KEY, None)
+            )
             assert {
                 lock: payload["snapshot"]
                 for lock, payload in mem_state.items()
@@ -186,5 +192,8 @@ class TestDoubleCrash:
         journal.close()
         after, report = recover_node_state(store)
         assert report["snapshot_boot"] == 1
+        # The fresh journal has no session source, so the re-seeded
+        # snapshot carries lock state only.
+        before.pop(SESSIONS_JOURNAL_KEY, None)
         for lock_id, payload in before.items():
             assert after[lock_id]["snapshot"] == payload["snapshot"]
