@@ -15,7 +15,10 @@ Runs any of the paper's experiments from the shell:
 * ``chaos``    — run a fault-injection scenario and print its verdict
   (see ``python -m repro chaos --help`` and docs/FAULTS.md),
 * ``monitor``  — poll a live cluster's monitor endpoint and render a
-  health table with audit verdicts (see docs/MONITORING.md).
+  health table with audit verdicts (see docs/MONITORING.md),
+* ``replay``   — time-travel debugger for flight-recorder dumps
+  (``chaos --flight-dir``); reconstruct state at any seq, diff, grep,
+  bisect for the first bad event (see docs/DEBUGGING.md).
 
 ``--quick`` switches the sweeps to CI scale (a few seconds total);
 ``--nodes N`` overrides the node counts with a single cluster size.
@@ -56,7 +59,11 @@ OBSERVABLE = ("fig5", "fig6", "fig7", "headline")
 def _chaos_main(argv: Sequence[str]) -> int:
     """``python -m repro chaos``: one fault scenario, one verdict."""
 
-    from .faults.chaos import run_chaos
+    from .faults.chaos import (
+        CHAOS_OBS_MAX_BUCKETS,
+        CHAOS_OBS_MAX_SPANS,
+        run_chaos,
+    )
     from .faults.plan import NAMED_PLANS
     from .obs.collect import RunObserver
     from .obs.export import write_run
@@ -116,11 +123,24 @@ def _chaos_main(argv: Sequence[str]) -> int:
         "--trace-out", default=None, metavar="PATH",
         help="write an observability JSONL trace of the run",
     )
+    parser.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="record every node's inputs into a flight-recorder ring "
+        "buffer; on a failing verdict (or audit findings) dump all ring "
+        "buffers into DIR for `python -m repro replay`",
+    )
     args = parser.parse_args(list(argv))
     if args.reclaim and not args.durable:
         parser.error("--reclaim requires --durable (holds are reclaimed "
                      "from the journal)")
-    obs = RunObserver() if args.trace_out is not None else None
+    obs = (
+        RunObserver(
+            max_buckets=CHAOS_OBS_MAX_BUCKETS,
+            max_spans=CHAOS_OBS_MAX_SPANS,
+        )
+        if args.trace_out is not None
+        else None
+    )
     persistence = None
     tmpdir = None
     if args.durable:
@@ -146,6 +166,7 @@ def _chaos_main(argv: Sequence[str]) -> int:
             durable=args.durable,
             persistence=persistence,
             reclaim=args.reclaim,
+            flight_dir=args.flight_dir,
         )
     except KeyboardInterrupt:
         return 130
@@ -237,7 +258,194 @@ def _chaos_main(argv: Sequence[str]) -> int:
                 f"    [{finding['severity']}] {finding['rule']}: "
                 f"{finding['detail']}"
             )
+        flight = data.get("flight")
+        if flight is not None and "dump" in flight:
+            print(
+                f"  flight recorder: dumped to {flight['dump']} "
+                f"(python -m repro replay {flight['dump']})"
+            )
     return 0 if verdict.ok else 1
+
+
+def _replay_main(argv: Sequence[str]) -> int:
+    """``python -m repro replay``: time-travel through a flightrec dump."""
+
+    import json as _json
+
+    from .obs.flightrec import (
+        NodeReplayer,
+        bisect_timeline,
+        build_timeline,
+        load_dump,
+        run_self_test,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro replay",
+        description="Inspect a flight-recorder dump: reconstruct any "
+        "node's state at any recorded seq, diff two points in history, "
+        "grep events, or bisect for the first event at which an audit "
+        "rule fires (see docs/DEBUGGING.md).",
+    )
+    parser.add_argument(
+        "dump", nargs="?", default=None,
+        help="flight-recorder dump file (written by chaos --flight-dir "
+        "or repro.obs.flightrec.write_dump)",
+    )
+    parser.add_argument(
+        "--node", type=int, default=None,
+        help="node to replay (required by --at/--step/--diff)",
+    )
+    parser.add_argument(
+        "--at", type=int, default=None, metavar="SEQ",
+        help="print the node's reconstructed state after seq SEQ",
+    )
+    parser.add_argument(
+        "--step", default=None, metavar="A:B",
+        help="print every event of the node in seq range A:B (inclusive)",
+    )
+    parser.add_argument(
+        "--diff", nargs=2, type=int, default=None, metavar=("A", "B"),
+        help="print the node's state delta between seqs A and B",
+    )
+    parser.add_argument(
+        "--grep", action="append", default=[], metavar="KEY=VALUE",
+        help="filter events (keys: kind, lock, op, type, seq); "
+        "repeatable, criteria are ANDed",
+    )
+    parser.add_argument(
+        "--bisect", default=None, metavar="RULE",
+        help="binary-search the merged timeline for the first event "
+        "after which audit RULE fires (e.g. token-split)",
+    )
+    parser.add_argument(
+        "--lock", default=None,
+        help="with --bisect: only count findings on this lock",
+    )
+    parser.add_argument(
+        "--quiescent", action="store_true",
+        help="with --bisect: audit at quiescent severity (transient "
+        "disagreements count as violations)",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="record a short seeded run, verify replay determinism, "
+        "and bisect a synthetic injected violation (CI smoke)",
+    )
+    args = parser.parse_args(list(argv))
+    if args.self_test:
+        return run_self_test()
+    if args.dump is None:
+        parser.error("a dump file is required (or --self-test)")
+    try:
+        dump = load_dump(args.dump)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    criteria = {}
+    for item in args.grep:
+        key, sep, value = item.partition("=")
+        if not sep:
+            parser.error(f"--grep wants KEY=VALUE, got {item!r}")
+        criteria[key] = value
+
+    needs_node = (
+        args.at is not None or args.step is not None or args.diff is not None
+    )
+    if needs_node and args.node is None:
+        parser.error("--at/--step/--diff need --node")
+    if args.node is not None and args.node not in dump.events:
+        print(f"error: node {args.node} is not in the dump "
+              f"(nodes: {dump.nodes()})", file=sys.stderr)
+        return 2
+
+    if args.bisect is not None:
+        verdict = bisect_timeline(
+            dump, args.bisect, lock=args.lock, quiescent=args.quiescent
+        )
+        print(_json.dumps(verdict, indent=2, sort_keys=True, default=str))
+        return 0 if verdict.get("fires") else 1
+
+    if args.diff is not None:
+        replayer = NodeReplayer.from_dump(dump, args.node)
+        print(_json.dumps(
+            replayer.diff(args.diff[0], args.diff[1]),
+            indent=2, sort_keys=True,
+        ))
+        return 0
+
+    if args.at is not None:
+        replayer = NodeReplayer.from_dump(dump, args.node)
+        print(_json.dumps(
+            replayer.state_at(args.at), indent=2, sort_keys=True
+        ))
+        return 0
+
+    if args.step is not None:
+        lo_s, sep, hi_s = args.step.partition(":")
+        try:
+            lo = int(lo_s) if lo_s else 0
+            hi = int(hi_s) if sep and hi_s else (1 << 62)
+        except ValueError:
+            parser.error(f"--step wants A:B seq range, got {args.step!r}")
+        replayer = NodeReplayer.from_dump(dump, args.node)
+        shown = 0
+        for event in replayer.events:
+            seq = int(event.get("seq", 0))
+            if lo <= seq <= hi and _event_matches_cli(event, criteria):
+                print(_json.dumps(event, sort_keys=True))
+                shown += 1
+        print(f"{shown} event(s)", file=sys.stderr)
+        return 0
+
+    if criteria:
+        nodes = [args.node] if args.node is not None else dump.nodes()
+        shown = 0
+        for node_id in nodes:
+            replayer = NodeReplayer.from_dump(dump, node_id)
+            for event in replayer.grep(criteria):
+                print(_json.dumps(
+                    dict(event, node=node_id), sort_keys=True
+                ))
+                shown += 1
+        print(f"{shown} event(s)", file=sys.stderr)
+        return 0
+
+    # Default: summary + full determinism verification.
+    meta = ", ".join(f"{k}={v}" for k, v in sorted(dump.meta.items()))
+    print(f"flight dump: protocol={dump.protocol} "
+          f"nodes={dump.nodes()}" + (f" ({meta})" if meta else ""))
+    if dump.corrupt_skipped or dump.torn_bytes:
+        print(f"  damage: {dump.corrupt_skipped} corrupt record(s) "
+              f"skipped, {dump.torn_bytes} torn byte(s)")
+    timeline = build_timeline(dump)
+    print(f"  {len(timeline)} events on the merged timeline")
+    findings = []
+    for node_id in dump.nodes():
+        replayer = NodeReplayer.from_dump(dump, node_id)
+        node_findings = replayer.verify()
+        findings.extend(node_findings)
+        ckpts = sum(1 for e in replayer.events if e.get("kind") == "ckpt")
+        dropped = dump.node_meta.get(node_id, {}).get("dropped", 0)
+        status = ("ok" if not node_findings
+                  else f"{len(node_findings)} finding(s)")
+        print(f"  node {node_id}: {len(replayer.events)} events, "
+              f"{ckpts} checkpoints, {dropped} dropped — replay {status}")
+    if findings:
+        print(f"{len(findings)} nondeterminism finding(s):")
+        for finding in findings:
+            print(f"  node {finding['node']} seq {finding['seq']}: "
+                  f"{finding['kind']} — {finding['detail']}")
+        return 1
+    print("replay clean: every checkpoint reproduced bit-for-bit")
+    return 0
+
+
+def _event_matches_cli(event, criteria) -> bool:
+    from .obs.flightrec import _event_matches
+
+    return not criteria or _event_matches(event, criteria)
 
 
 def _monitor_main(argv: Sequence[str]) -> int:
@@ -293,11 +501,19 @@ def _monitor_main(argv: Sequence[str]) -> int:
         except (urllib.error.URLError, OSError, ValueError) as exc:
             print(f"error: cannot poll {base}/cluster: {exc}", file=sys.stderr)
             return 2
+        flight = None
+        try:
+            with urllib.request.urlopen(
+                f"{base}/flightrec", timeout=10
+            ) as resp:
+                flight = _json.loads(resp.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError):
+            flight = None  # Recording not enabled on that cluster.
         view = ClusterView.from_payload(payload["view"])
         report = AuditReport.from_payload(payload["audit"])
         if not args.once and sys.stdout.isatty():
             print("\x1b[2J\x1b[H", end="")
-        print(render_health_table(view, report))
+        print(render_health_table(view, report, flight=flight))
         if args.once:
             return 0 if report.ok else 1
         print()
@@ -426,6 +642,12 @@ def _parse(argv: Sequence[str]) -> argparse.Namespace:
     return args
 
 
+def _is_flight_dump(path: str) -> bool:
+    from .obs.flightrec import looks_like_flight_dump
+
+    return looks_like_flight_dump(path)
+
+
 def main(argv: Sequence[str] = ()) -> int:
     """Entry point; returns a process exit status."""
 
@@ -437,6 +659,9 @@ def main(argv: Sequence[str] = ()) -> int:
     if raw and raw[0] == "monitor":
         # Live-monitor CLI: polls a cluster endpoint (or self-tests one).
         return _monitor_main(raw[1:])
+    if raw and raw[0] == "replay":
+        # Flight-recorder debugger: replay/diff/bisect a recorded dump.
+        return _replay_main(raw[1:])
     args = _parse(raw)
     if args.experiment == "report":
         try:
@@ -445,10 +670,22 @@ def main(argv: Sequence[str] = ()) -> int:
             print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
             return 2
         except ValueError as exc:  # bad JSON, binary data, truncated line
+            if _is_flight_dump(args.trace):
+                print(
+                    f"error: {args.trace} looks like a flightrec dump — "
+                    "use `python -m repro replay`", file=sys.stderr,
+                )
+                return 2
             print(f"error: {args.trace} is not a trace file: {exc}",
                   file=sys.stderr)
             return 2
         if not runs:
+            if _is_flight_dump(args.trace):
+                print(
+                    f"error: {args.trace} looks like a flightrec dump — "
+                    "use `python -m repro replay`", file=sys.stderr,
+                )
+                return 2
             print(f"error: {args.trace} contains no run sections "
                   "(empty trace file?)", file=sys.stderr)
             return 2

@@ -57,10 +57,10 @@ from .messages import (
     Message,
     NodeId,
     ReleaseMessage,
+    RequestId,
     RequestMessage,
     TokenMessage,
     fresh_attachment_seq,
-    fresh_request_id,
 )
 from .modes import (
     LockMode,
@@ -209,6 +209,11 @@ class HierarchicalLockAutomaton:
         #: ``None``-gated pattern as ``obs`` so runs without durability
         #: stay bit-identical.
         self.persist = None
+        #: Optional flight recorder (see :mod:`repro.obs.flightrec`);
+        #: same ``None``-gated pattern.  During replay this holds the
+        #: replay feed, which supplies recorded serials to
+        #: :meth:`_mint_serial`.
+        self.flightrec = None
         # Durable-rejoin state (only meaningful under ``options.recovery``
         # with a journal attached): while ``_custody_pending`` a restored
         # token holder answers probes but grants nothing — its token
@@ -260,6 +265,24 @@ class HierarchicalLockAutomaton:
 
         if self.persist is not None:
             self.persist.record(self, kind)
+
+    # -- flight recording (no-ops while ``self.flightrec`` is None) ----
+
+    def _mint_serial(self) -> int:
+        """Draw a request serial / attachment epoch.
+
+        Routed through the flight recorder when one is attached: the
+        global counter's values depend on cross-node interleaving, so the
+        recorder logs each drawn value (and replay feeds them back).
+        """
+
+        if self.flightrec is not None:
+            return self.flightrec.mint_serial()
+        return fresh_attachment_seq()
+
+    def _flight_op(self, op: str, **args) -> None:
+        if self.flightrec is not None:
+            self.flightrec.record_op(self._lock_id, op, args)
 
     # ------------------------------------------------------------------
     # Introspection (read-only views used by tests, monitors, metrics).
@@ -446,6 +469,7 @@ class HierarchicalLockAutomaton:
         *priority* only matters under ``ProtocolOptions.priority_scheduling``.
         """
 
+        self._flight_op("request", mode=str(mode), priority=priority)
         if mode is LockMode.NONE:
             raise LockUsageError("cannot request the empty mode")
         if self._pending is not None:
@@ -485,6 +509,7 @@ class HierarchicalLockAutomaton:
         weakened (Rule 5.2).
         """
 
+        self._flight_op("release", mode=str(mode))
         if self._held.get(mode, 0) <= 0:
             raise LockUsageError(
                 f"node {self._node_id} does not hold {mode} on {self._lock_id}"
@@ -513,6 +538,7 @@ class HierarchicalLockAutomaton:
         exactly how upgrade locks prevent the read-then-write deadlock.
         """
 
+        self._flight_op("upgrade")
         if self._held.get(LockMode.U, 0) <= 0:
             raise LockUsageError(
                 f"node {self._node_id} holds no U lock on {self._lock_id}"
@@ -537,7 +563,11 @@ class HierarchicalLockAutomaton:
             sender=self._node_id,
             origin=self._node_id,
             mode=LockMode.W,
-            request_id=fresh_request_id(timestamp, self._node_id),
+            request_id=RequestId(
+                timestamp=timestamp,
+                origin=self._node_id,
+                serial=self._mint_serial(),
+            ),
             upgrade=True,
         )
         self._pending = request
@@ -567,6 +597,7 @@ class HierarchicalLockAutomaton:
         with a concurrent IW holder) raise :class:`LockUsageError`.
         """
 
+        self._flight_op("downgrade", held=str(held), to=str(to))
         if self._held.get(held, 0) <= 0:
             raise LockUsageError(
                 f"node {self._node_id} does not hold {held} on {self._lock_id}"
@@ -609,6 +640,8 @@ class HierarchicalLockAutomaton:
                 f"message for lock {message.lock_id!r} delivered to "
                 f"automaton of {self._lock_id!r}"
             )
+        if self.flightrec is not None:
+            self.flightrec.record_msg(self._lock_id, message)
         if self._options.recovery and self._stale_fencing_token(message):
             return []
         if isinstance(message, RequestMessage):
@@ -795,7 +828,7 @@ class HierarchicalLockAutomaton:
         self._parent = None
         self._frozen = msg.frozen
         self._token_epoch = msg.epoch
-        self._attach_seq = fresh_attachment_seq()
+        self._attach_seq = self._mint_serial()
         if old_parent is not None and old_parent != msg.sender:
             if owned_before is not LockMode.NONE:
                 out.append(self._release_to(old_parent, LockMode.NONE, old_seq))
@@ -856,7 +889,7 @@ class HierarchicalLockAutomaton:
         self._parent = None
         self._frozen = msg.frozen
         self._token_epoch = msg.epoch
-        self._attach_seq = fresh_attachment_seq()
+        self._attach_seq = self._mint_serial()
         if old_parent is not None and old_parent != msg.sender:
             if owned_before is not LockMode.NONE:
                 out.append(self._release_to(old_parent, LockMode.NONE, old_seq))
@@ -959,7 +992,7 @@ class HierarchicalLockAutomaton:
         self._children[msg.origin] = max_mode((recorded, msg.mode))
         self._provisional_children.discard(msg.origin)
         self._obs_copyset()
-        attachment_seq = fresh_attachment_seq()
+        attachment_seq = self._mint_serial()
         self._child_seqs[msg.origin] = attachment_seq
         if self._options.recovery:
             self._recent_grants[msg.request_id] = (msg.mode, attachment_seq)
@@ -1010,14 +1043,14 @@ class HierarchicalLockAutomaton:
         self._provisional_children.discard(msg.origin)
         self._obs_copyset()
         # Filter out releases the requester sent before becoming the root.
-        self._child_seqs[msg.origin] = fresh_attachment_seq()
+        self._child_seqs[msg.origin] = self._mint_serial()
         prev_owner_mode = self.owned_mode()
         queue = tuple(self._queue)
         self._queue = []
         self._obs_queue()
         self._has_token = False
         self._parent = msg.origin
-        self._attach_seq = fresh_attachment_seq()
+        self._attach_seq = self._mint_serial()
         # Journal before the token leaves: a crash between this record
         # and the send is indistinguishable (to recovery) from a crash
         # just after the send, and the probe/fence handshake covers both.
@@ -1260,7 +1293,11 @@ class HierarchicalLockAutomaton:
             sender=self._node_id,
             origin=self._node_id,
             mode=mode,
-            request_id=fresh_request_id(timestamp, self._node_id),
+            request_id=RequestId(
+                timestamp=timestamp,
+                origin=self._node_id,
+                serial=self._mint_serial(),
+            ),
             priority=priority,
         )
         self._pending = request
@@ -1303,6 +1340,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("evict_child", node=node)
         owned_before = self.owned_mode()
         self._children.pop(node, None)
         self._child_seqs.pop(node, None)
@@ -1356,11 +1394,12 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("reattach", parent=new_parent, detach=detach)
         if self._has_token or new_parent == self._node_id:
             return []
         old_parent, old_seq = self._parent, self._attach_seq
         self._parent = new_parent
-        self._attach_seq = fresh_attachment_seq()
+        self._attach_seq = self._mint_serial()
         self._evict_new_parent(new_parent)
         out: List[Envelope] = []
         owned = self.owned_mode()
@@ -1389,6 +1428,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("regenerate_token", epoch=epoch)
         if self._has_token:
             raise ProtocolError("cannot regenerate a token this node holds")
         if epoch < self._token_epoch:
@@ -1402,7 +1442,7 @@ class HierarchicalLockAutomaton:
         self._has_token = True
         old_parent, old_seq = self._parent, self._attach_seq
         self._parent = None
-        self._attach_seq = fresh_attachment_seq()
+        self._attach_seq = self._mint_serial()
         self._persist("token-regenerated")
         if self._pending is not None and not any(
             q.request_id == self._pending.request_id for q in self._queue
@@ -1431,6 +1471,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("raise_fence_floor", token=int(token))
         if token > self._fence_floor:
             self._fence_floor = int(token)
             self._persist("fence-raised")
@@ -1452,6 +1493,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("fence_holds")
         if self._lease_fenced:
             return [], []
         self._lease_fenced = True
@@ -1498,6 +1540,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("retransmit_pending")
         if self._pending is None or self._has_token or self._parent is None:
             return []
         if self.obs is not None:
@@ -1523,6 +1566,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("observe_epoch", epoch=epoch, holder=token_holder)
         if epoch <= self._token_epoch:
             return []
         demote = (
@@ -1536,7 +1580,7 @@ class HierarchicalLockAutomaton:
             return []
         self._has_token = False
         self._parent = token_holder
-        self._attach_seq = fresh_attachment_seq()
+        self._attach_seq = self._mint_serial()
         self._evict_new_parent(token_holder)
         out: List[Envelope] = []
         owned = self.owned_mode()
@@ -1596,6 +1640,114 @@ class HierarchicalLockAutomaton:
             "lease_fenced": self._lease_fenced,
         }
 
+    def flight_state(self) -> Dict[str, object]:
+        """Exact JSON-safe state for flight-recorder checkpoints.
+
+        Unlike :meth:`persisted_state` (rejoin semantics: children turn
+        provisional, the serial counter advances, recent grants drop)
+        this captures and :meth:`restore_flight_state` restores the
+        automaton *verbatim*, which is what lets a replayed checkpoint
+        reproduce the next recorded one bit-for-bit.  Pure read.
+        """
+
+        from ..obs.flightrec import (
+            _request_id_to_payload,
+            message_to_payload,
+        )
+
+        return {
+            "token": self._has_token,
+            "parent": self._parent,
+            "held": sorted(
+                [str(mode), count]
+                for mode, count in self._held.items()
+                if count > 0
+            ),
+            "children": sorted(
+                [int(node), str(mode)]
+                for node, mode in self._children.items()
+            ),
+            "queue": [message_to_payload(msg) for msg in self._queue],
+            "frozen": sorted(str(mode) for mode in self._frozen),
+            "pending": (
+                message_to_payload(self._pending)
+                if self._pending is not None
+                else None
+            ),
+            "attach_seq": self._attach_seq,
+            "child_seqs": sorted(
+                [int(node), int(seq)]
+                for node, seq in self._child_seqs.items()
+            ),
+            "token_epoch": self._token_epoch,
+            "recent_grants": [
+                [_request_id_to_payload(rid), str(mode), int(seq)]
+                for rid, (mode, seq) in self._recent_grants.items()
+            ],
+            "custody_pending": self._custody_pending,
+            "provisional_children": sorted(self._provisional_children),
+            "local_serial": self._local_serial,
+            "fence_floor": self._fence_floor,
+            "lease_fenced": self._lease_fenced,
+        }
+
+    def restore_flight_state(self, state: Dict[str, object]) -> None:
+        """Exact inverse of :meth:`flight_state` (replay only).
+
+        No rejoin-side effects: no recovery guard, no provisional
+        demotion, no global serial advancement, no journal writes.  The
+        pending-request context is not part of protocol state and
+        restores as ``None``.
+        """
+
+        from ..obs.flightrec import (
+            _request_id_from_payload,
+            message_from_payload,
+        )
+
+        self._has_token = bool(state.get("token", False))
+        parent = state.get("parent")
+        self._parent = None if parent is None else int(parent)
+        self._held = {
+            LockMode(str(mode)): int(count)
+            for mode, count in state.get("held", ())
+        }
+        self._children = {
+            int(node): LockMode(str(mode))
+            for node, mode in state.get("children", ())
+        }
+        self._queue = [
+            message_from_payload(payload)
+            for payload in state.get("queue", ())
+        ]
+        self._frozen = frozenset(
+            LockMode(str(mode)) for mode in state.get("frozen", ())
+        )
+        pending = state.get("pending")
+        self._pending = (
+            message_from_payload(pending) if pending is not None else None
+        )
+        self._pending_ctx = None
+        self._attach_seq = int(state.get("attach_seq", 0))
+        self._child_seqs = {
+            int(node): int(seq) for node, seq in state.get("child_seqs", ())
+        }
+        self._token_epoch = int(state.get("token_epoch", 0))
+        self._recent_grants = OrderedDict(
+            (
+                _request_id_from_payload(rid),
+                (LockMode(str(mode)), int(seq)),
+            )
+            for rid, mode, seq in state.get("recent_grants", ())
+        )
+        self._custody_pending = bool(state.get("custody_pending", False))
+        self._provisional_children = {
+            int(node) for node in state.get("provisional_children", ())
+        }
+        self._local_serial = int(state.get("local_serial", 0))
+        self._fence_floor = int(state.get("fence_floor", 0))
+        self._lease_fenced = bool(state.get("lease_fenced", False))
+
     def adopt_persisted(self, state: Dict[str, object]) -> None:
         """Replace this automaton's state with a persisted *state* payload.
 
@@ -1608,6 +1760,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("adopt_persisted", state=state)
         from ..persist.codec import request_from_payload
         from .messages import advance_serial_past
 
@@ -1668,6 +1821,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("begin_custody_fence")
         if not self._has_token:
             raise ProtocolError(
                 "custody fencing applies only to a restored token holder"
@@ -1679,10 +1833,11 @@ class HierarchicalLockAutomaton:
         """Custody settled in our favour: resume granting."""
 
         self._require_recovery()
+        self._flight_op("confirm_custody")
         if not self._custody_pending:
             return []
         self._custody_pending = False
-        out = self.expire_provisional_children()
+        out = self._expire_provisional()
         out.extend(self._check_queue())
         out.extend(self._refresh_frozen())
         self._persist("custody-confirmed")
@@ -1699,13 +1854,14 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("fence_custody", epoch=int(epoch), holder=holder)
         if not self._custody_pending:
             return []
         self._custody_pending = False
         self._token_epoch = max(self._token_epoch, int(epoch))
         self._has_token = False
         self._parent = holder
-        self._attach_seq = fresh_attachment_seq()
+        self._attach_seq = self._mint_serial()
         self._children.clear()
         self._child_seqs.clear()
         self._provisional_children.clear()
@@ -1736,6 +1892,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("abandon_pending")
         had_pending = self._pending is not None
         self._pending = None
         self._pending_ctx = None
@@ -1765,6 +1922,7 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("reassert_owned")
         if self._has_token or self._parent is None:
             return []
         return [self._release_to(self._parent, self.owned_mode())]
@@ -1780,6 +1938,10 @@ class HierarchicalLockAutomaton:
         """
 
         self._require_recovery()
+        self._flight_op("expire_provisional_children")
+        return self._expire_provisional()
+
+    def _expire_provisional(self) -> List[Envelope]:
         stale = sorted(
             node for node in self._provisional_children if node in self._children
         )

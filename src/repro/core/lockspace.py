@@ -91,6 +91,9 @@ class LockSpace:
         #: Optional durability journal, propagated the same way (see
         #: :class:`repro.persist.NodeJournal`).
         self.persist = None
+        #: Optional flight recorder, propagated the same way (see
+        #: :class:`repro.obs.flightrec.FlightRecorder`).
+        self.flightrec = None
 
     @property
     def node_id(self) -> NodeId:
@@ -128,6 +131,17 @@ class LockSpace:
         )
         automaton.obs = self.obs
         automaton.persist = self.persist
+        automaton.flightrec = self.flightrec
+        if self.flightrec is not None:
+            # Birth precedes insertion: a checkpoint due on the next
+            # event must not include the not-yet-born lock.
+            self.flightrec.record_birth(
+                lock_id,
+                {
+                    "parent": automaton.parent,
+                    "token": automaton.has_token,
+                },
+            )
         self._automata[lock_id] = automaton
         return automaton
 
@@ -160,6 +174,17 @@ class LockSpace:
         """Route an incoming message to the automaton it concerns."""
 
         return self.automaton(message.lock_id).handle(message)
+
+    def flight_state(self):
+        """Whole-node state for flight-recorder checkpoints (pure read)."""
+
+        return {
+            "clock": self._clock.time,
+            "locks": [
+                [lock_id, self._automata[lock_id].flight_state()]
+                for lock_id in sorted(self._automata, key=str)
+            ],
+        }
 
     def automata(self) -> Iterable[HierarchicalLockAutomaton]:
         """Iterate over every instantiated automaton (for monitors)."""

@@ -50,6 +50,13 @@ WORKLOAD_MODES = (LockMode.IR, LockMode.R, LockMode.IW, LockMode.W)
 #: (covers suspect timeout + probe timeout + several retry backoffs).
 DEFAULT_GRACE = 15.0
 
+#: Ring-buffer caps applied to the chaos harness's observer so nightly
+#: sweeps stay memory-bounded: retained series windows per metric and
+#: retained request spans (run-level totals stay exact — see
+#: :class:`repro.obs.series.WindowedCounter`).
+CHAOS_OBS_MAX_BUCKETS = 4096
+CHAOS_OBS_MAX_SPANS = 65536
+
 
 @dataclasses.dataclass
 class ChaosVerdict:
@@ -81,6 +88,7 @@ def run_chaos(
     durable: bool = False,
     persistence=None,
     reclaim: bool = False,
+    flight_dir: Optional[str] = None,
 ) -> ChaosVerdict:
     """Run one chaos scenario and return its verdict.
 
@@ -99,6 +107,13 @@ def run_chaos(
     surviving application sessions re-assert their restored holds under
     fresh leases instead of disowning them — see
     :mod:`repro.services.sessions`.
+
+    With *flight_dir* set, every node records its inputs into a
+    :class:`~repro.obs.flightrec.FlightRecorder` ring buffer; if the
+    verdict fails (``ok=false``) or the post-drain audit finds
+    violations, all ring buffers are dumped into that directory for
+    ``python -m repro replay`` (the verdict's ``"flight"`` section names
+    the file).
     """
 
     if isinstance(plan, str):
@@ -124,6 +139,7 @@ def run_chaos(
         obs=obs,
         persistence=persistence,
         reclaim=reclaim,
+        flight={} if flight_dir is not None else None,
     )
     sim = cluster.sim
     if sim_clock_pending is not None:
@@ -237,6 +253,37 @@ def run_chaos(
         and audit_healthy
     )
 
+    flight_info: Optional[Dict[str, object]] = None
+    if cluster.flight is not None:
+        flight_info = {
+            "recorded": True,
+            "last_seq": {
+                str(n): rec.last_seq
+                for n, rec in sorted(cluster.flight.items())
+            },
+        }
+        if not ok or audit_findings:
+            import os
+
+            from ..obs.flightrec import write_dump
+
+            os.makedirs(flight_dir, exist_ok=True)
+            dump_path = os.path.join(
+                flight_dir, f"{plan.name}-seed{seed}.flight"
+            )
+            write_dump(
+                dump_path,
+                cluster.flight,
+                meta={
+                    "plan": plan.name,
+                    "seed": seed,
+                    "nodes": nodes,
+                    "durable": durable,
+                    "ok": ok,
+                },
+            )
+            flight_info["dump"] = dump_path
+
     injector = cluster.network.injector
     faults: Dict[str, object] = (
         dict(injector.counters()) if injector is not None else {}
@@ -290,6 +337,8 @@ def run_chaos(
             ),
         },
     }
+    if flight_info is not None:
+        data["flight"] = flight_info
     if durable:
         data["durability"] = {
             "backend": persistence.backend,

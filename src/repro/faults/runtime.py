@@ -338,6 +338,7 @@ class ResilientThreadedCluster:
         obs: Optional[ObsSink] = None,
         seed: int = 0,
         persistence=None,
+        flight=None,
     ) -> None:
         if num_nodes < 2:
             raise ConfigurationError(
@@ -366,6 +367,22 @@ class ResilientThreadedCluster:
         self.durability_log: List[Dict[str, object]] = []
         self._crashed: Set[NodeId] = set()
         self.crash_log: List[Dict[str, object]] = []
+        #: Per-node flight recorders (see :mod:`repro.obs.flightrec`);
+        #: ``None`` disables black-box recording.
+        self.flight = None
+        if flight is not None:
+            from ..obs.flightrec import FlightRecorder
+
+            self.flight = flight if isinstance(flight, dict) else {}
+            for node_id in range(num_nodes):
+                self.flight.setdefault(
+                    node_id,
+                    FlightRecorder(
+                        node_id,
+                        protocol="hierarchical",
+                        clock=self.scheduler.now,
+                    ),
+                )
         for node_id in range(num_nodes):
             self._boot_node(node_id, boot=0, fresh=True)
         self.clients = [
@@ -387,6 +404,11 @@ class ResilientThreadedCluster:
             options=RESILIENT_OPTIONS,
         )
         lockspace.obs = self.obs
+        if self.flight is not None:
+            recorder = self.flight[node_id]
+            if not fresh:
+                recorder.record_restart()
+            recorder.attach(lockspace)
         manager = RecoveryManager(
             node_id=node_id,
             lockspace=lockspace,
@@ -437,6 +459,8 @@ class ResilientThreadedCluster:
         if node_id in self._crashed:
             return
         self._crashed.add(node_id)
+        if self.flight is not None:
+            self.flight[node_id].record_crash()
         self.crash_log.append(
             {"at": self.scheduler.now(), "node": node_id}
         )

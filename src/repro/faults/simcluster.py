@@ -106,6 +106,7 @@ class ResilientSimCluster:
         obs: Optional[ObsSink] = None,
         persistence=None,
         reclaim: bool = False,
+        flight=None,
     ) -> None:
         if num_nodes < 2:
             raise ConfigurationError(
@@ -145,6 +146,23 @@ class ResilientSimCluster:
         #: holds (lease reclaim) instead of disowning them.
         self.reclaim = reclaim
         self.journals: Dict[NodeId, object] = {}
+        #: Per-node flight recorders (see :mod:`repro.obs.flightrec`):
+        #: pass a dict to share recorders with the harness, ``True`` to
+        #: create one per node, ``None`` (default) to record nothing.
+        self.flight = None
+        if flight is not None:
+            from ..obs.flightrec import FlightRecorder
+
+            self.flight = flight if isinstance(flight, dict) else {}
+            for node_id in range(num_nodes):
+                self.flight.setdefault(
+                    node_id,
+                    FlightRecorder(
+                        node_id,
+                        protocol="hierarchical",
+                        clock=lambda: self.sim.now,
+                    ),
+                )
         #: One rejoin report per durable restart, in restart order.
         self.durability_log: List[Dict[str, object]] = []
         self._crashed: set = set()
@@ -177,6 +195,11 @@ class ResilientSimCluster:
             options=RESILIENT_OPTIONS,
         )
         lockspace.obs = self.obs
+        if self.flight is not None:
+            recorder = self.flight[node_id]
+            if not fresh:
+                recorder.record_restart()
+            recorder.attach(lockspace)
         manager = RecoveryManager(
             node_id=node_id,
             lockspace=lockspace,
@@ -235,6 +258,8 @@ class ResilientSimCluster:
         if node_id in self._crashed:
             return
         self._crashed.add(node_id)
+        if self.flight is not None:
+            self.flight[node_id].record_crash()
         self.crash_log.append({"at": self.sim.now, "node": node_id})
         self.network.crash(node_id)
         self.managers[node_id].stop()

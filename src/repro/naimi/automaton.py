@@ -71,6 +71,9 @@ class NaimiAutomaton:
         #: Optional durability journal (see :mod:`repro.persist`); same
         #: ``None``-gated pattern as ``obs``.
         self.persist = None
+        #: Optional flight recorder (see :mod:`repro.obs.flightrec`);
+        #: same ``None``-gated pattern.
+        self.flightrec = None
         # Lease fencing (see repro.leases): highest revoked fencing token
         # observed for this lock.  Messages presenting a positive token at
         # or below the floor are dropped by :meth:`handle`.
@@ -85,6 +88,7 @@ class NaimiAutomaton:
     def raise_fence_floor(self, token: int) -> None:
         """Reject future messages fenced at or below *token*."""
 
+        self._flight_op("raise_fence_floor", token=int(token))
         if token > self._fence_floor:
             self._fence_floor = int(token)
             self._persist("fence-raised")
@@ -92,6 +96,10 @@ class NaimiAutomaton:
     def _persist(self, kind: str) -> None:
         if self.persist is not None:
             self.persist.record(self, kind)
+
+    def _flight_op(self, op: str, **args) -> None:
+        if self.flightrec is not None:
+            self.flightrec.record_op(self._lock_id, op, args)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -181,6 +189,7 @@ class NaimiAutomaton:
     def request(self, ctx: object = None) -> List[Envelope]:
         """Request the critical section; grant arrives via the listener."""
 
+        self._flight_op("request")
         if self._requesting or self._in_cs:
             raise LockUsageError(
                 f"node {self._node_id} already requested {self._lock_id}"
@@ -215,6 +224,7 @@ class NaimiAutomaton:
     def release(self) -> List[Envelope]:
         """Leave the critical section; pass the token to any successor."""
 
+        self._flight_op("release")
         if not self._in_cs:
             raise LockUsageError(
                 f"node {self._node_id} is not in the CS of {self._lock_id}"
@@ -248,6 +258,8 @@ class NaimiAutomaton:
                 f"message for lock {message.lock_id!r} delivered to "
                 f"automaton of {self._lock_id!r}"
             )
+        if self.flightrec is not None:
+            self.flightrec.record_msg(self._lock_id, message)
         token = getattr(message, "fencing_token", 0)
         if 0 < token <= self._fence_floor:
             return []  # Stale fencing token: a revoked holder's traffic.
@@ -355,6 +367,32 @@ class NaimiAutomaton:
         The request context is not recoverable — a restored requesting
         node's grant fires the listener with ``ctx=None``.
         """
+
+        self._flight_op("adopt_persisted", state=state)
+        last = state.get("last")
+        self._last = None if last is None else int(last)
+        nxt = state.get("next")
+        self._next = None if nxt is None else int(nxt)
+        self._has_token = bool(state.get("has_token", False))
+        self._in_cs = bool(state.get("in_cs", False))
+        self._requesting = bool(state.get("requesting", False))
+        self._fence_floor = int(state.get("fence_floor", 0))
+        self._ctx = None
+
+    def flight_state(self) -> dict:
+        """Exact JSON-safe state for flight-recorder checkpoints."""
+
+        return {
+            "last": self._last,
+            "next": self._next,
+            "has_token": self._has_token,
+            "in_cs": self._in_cs,
+            "requesting": self._requesting,
+            "fence_floor": self._fence_floor,
+        }
+
+    def restore_flight_state(self, state: dict) -> None:
+        """Exact inverse of :meth:`flight_state` (replay only)."""
 
         last = state.get("last")
         self._last = None if last is None else int(last)

@@ -49,6 +49,8 @@ class RunObserver(ObsSink):
         clock: Optional[Clock] = None,
         window: float = DEFAULT_WINDOW,
         tracing: bool = True,
+        max_buckets: Optional[int] = None,
+        max_spans: Optional[int] = None,
     ) -> None:
         self._clock_rebindable = clock is None
         if clock is None:
@@ -62,19 +64,25 @@ class RunObserver(ObsSink):
         )
         self._mutex = threading.Lock()
         #: Every span ever opened, in issue order (complete or not).
-        self.spans: List[RequestSpan] = []
+        #: ``max_spans`` turns this into a ring buffer (oldest spans age
+        #: out) so long chaos sweeps stay memory-bounded; the default
+        #: keeps everything, as the report renderer expects.
+        self.max_spans = max_spans
+        self.spans: List[RequestSpan] = (
+            [] if max_spans is None else deque(maxlen=max_spans)
+        )
         self._open: Dict[SpanKey, RequestSpan] = {}
         self._granted: Dict[Tuple[NodeId, LockId, str], Deque[RequestSpan]] = {}
-        self.messages = WindowedCounter(window)
-        self.peer_messages = WindowedCounter(window)
-        self.wire_bytes = WindowedCounter(window)
-        self.engine_events = WindowedCounter(window)
-        self.queue_depth_series = GaugeSeries(window)
-        self.copyset_series = GaugeSeries(window)
-        self.freeze_series = GaugeSeries(window)
+        self.messages = WindowedCounter(window, max_buckets=max_buckets)
+        self.peer_messages = WindowedCounter(window, max_buckets=max_buckets)
+        self.wire_bytes = WindowedCounter(window, max_buckets=max_buckets)
+        self.engine_events = WindowedCounter(window, max_buckets=max_buckets)
+        self.queue_depth_series = GaugeSeries(window, max_buckets=max_buckets)
+        self.copyset_series = GaugeSeries(window, max_buckets=max_buckets)
+        self.freeze_series = GaugeSeries(window, max_buckets=max_buckets)
         self.send_latency = Histogram()
-        self.faults = WindowedCounter(window)
-        self.persist_events = WindowedCounter(window)
+        self.faults = WindowedCounter(window, max_buckets=max_buckets)
+        self.persist_events = WindowedCounter(window, max_buckets=max_buckets)
         self._last_engine_events = 0
 
     def bind_clock(self, clock: Clock) -> None:

@@ -264,13 +264,35 @@ def _table(headers: List[str], rows: List[List[str]]) -> str:
     return "\n".join(out)
 
 
-def render_health_table(view: ClusterView, report: AuditReport) -> str:
-    """Render one poll as the monitor CLI's health table + verdict."""
+def render_health_table(
+    view: ClusterView,
+    report: AuditReport,
+    flight: Optional[dict] = None,
+) -> str:
+    """Render one poll as the monitor CLI's health table + verdict.
+
+    *flight*, when given, maps node ids to flight-recorder stats (the
+    ``/flightrec`` endpoint's payload) and adds a last-seq column.
+    """
+
+    def flight_cell(node_id) -> str:
+        if flight is None:
+            return "-"
+        stats = flight.get(str(node_id), flight.get(node_id))
+        if not stats:
+            return "-"
+        cell = f"seq={stats.get('last_seq', 0)}"
+        if stats.get("dropped"):
+            cell += f" dropped={stats['dropped']}"
+        return cell
 
     rows: List[List[str]] = []
     for node in view.nodes:
         if not node.alive:
-            rows.append([str(node.node), "DOWN", "-", "-", "-", "-", "-"])
+            row = [str(node.node), "DOWN", "-", "-", "-", "-", "-"]
+            if flight is not None:
+                row.append(flight_cell(node.node))
+            rows.append(row)
             continue
         tokens = sorted(
             str(snap.lock) for snap in node.locks if snap.believes_token
@@ -314,25 +336,26 @@ def render_health_table(view: ClusterView, report: AuditReport) -> str:
                     recovery += f" reclaimed={leases['reclaimed']}"
                 if leases.get("fenced"):
                     recovery += " FENCED"
-        rows.append(
-            [
-                str(node.node),
-                "up",
-                ",".join(tokens) if tokens else "-",
-                ",".join(held) if held else "-",
-                str(queued),
-                str(frozen),
-                recovery,
-            ]
-        )
+        row = [
+            str(node.node),
+            "up",
+            ",".join(tokens) if tokens else "-",
+            ",".join(held) if held else "-",
+            str(queued),
+            str(frozen),
+            recovery,
+        ]
+        if flight is not None:
+            row.append(flight_cell(node.node))
+        rows.append(row)
+    headers = ["node", "state", "tokens", "held", "queued", "frozen",
+               "recovery"]
+    if flight is not None:
+        headers.append("flight")
     lines = [
         f"cluster: protocol={view.protocol} t={view.captured_at:.3f} "
         f"nodes={len(view.nodes)} locks={len(view.lock_ids())}",
-        _table(
-            ["node", "state", "tokens", "held", "queued", "frozen",
-             "recovery"],
-            rows,
-        ),
+        _table(headers, rows),
         f"audit: {report.verdict()}",
     ]
     for finding in report.findings:
@@ -359,9 +382,12 @@ class MonitorServer:
         observer=None,
         host: str = "127.0.0.1",
         port: int = 0,
+        flight=None,
     ) -> None:
         self._monitor = monitor
         self._observer = observer
+        #: Optional node→FlightRecorder mapping served at ``/flightrec``.
+        self._flight = flight
         self._thread: Optional[threading.Thread] = None
 
         server = self
@@ -406,6 +432,22 @@ class MonitorServer:
             if report.ok:
                 return 200, "text/plain; charset=utf-8", b"ok\n"
             return 503, "text/plain; charset=utf-8", b"unhealthy\n"
+        if path == "/flightrec":
+            if self._flight is None:
+                return (
+                    404,
+                    "text/plain; charset=utf-8",
+                    b"flight recording not enabled\n",
+                )
+            payload = {
+                str(node): recorder.stats()
+                for node, recorder in sorted(self._flight.items())
+            }
+            return (
+                200,
+                "application/json; charset=utf-8",
+                (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(),
+            )
         return 404, "text/plain; charset=utf-8", b"not found\n"
 
     # -- lifecycle ---------------------------------------------------------

@@ -23,29 +23,50 @@ class WindowedCounter:
     engine events — anything that accumulates.
     """
 
-    def __init__(self, window: float = DEFAULT_WINDOW) -> None:
+    def __init__(
+        self,
+        window: float = DEFAULT_WINDOW,
+        max_buckets: Optional[int] = None,
+    ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
+        if max_buckets is not None and max_buckets < 1:
+            raise ValueError("max_buckets must be positive")
         self.window = window
+        #: Ring-buffer cap on retained windows (``None`` = unbounded).
+        #: Evicted windows fold into :attr:`evicted` so run-level sums
+        #: (``total``/``totals``) stay exact; only ``items`` rows age out.
+        self.max_buckets = max_buckets
         self._buckets: Dict[int, Counter] = {}
+        self._evicted: Counter = Counter()
+        self.evicted_buckets = 0
 
     def add(self, time: float, label: str, value: int = 1) -> None:
         """Count *value* occurrences of *label* at *time*."""
 
         bucket = self._buckets.setdefault(int(time // self.window), Counter())
         bucket[label] += value
+        if self.max_buckets is not None:
+            while len(self._buckets) > self.max_buckets:
+                oldest = min(self._buckets)
+                self._evicted.update(self._buckets.pop(oldest))
+                self.evicted_buckets += 1
 
     def total(self, label: Optional[str] = None) -> int:
         """Sum over all windows, for one label or all of them."""
 
         if label is None:
-            return sum(sum(c.values()) for c in self._buckets.values())
-        return sum(c.get(label, 0) for c in self._buckets.values())
+            return sum(self._evicted.values()) + sum(
+                sum(c.values()) for c in self._buckets.values()
+            )
+        return self._evicted.get(label, 0) + sum(
+            c.get(label, 0) for c in self._buckets.values()
+        )
 
     def totals(self) -> Dict[str, int]:
         """Per-label sums over the whole run (Figure 7's numerators)."""
 
-        merged: Counter = Counter()
+        merged: Counter = Counter(self._evicted)
         for bucket in self._buckets.values():
             merged.update(bucket)
         return dict(sorted(merged.items()))
@@ -64,12 +85,12 @@ class WindowedCounter:
         ]
 
     def __bool__(self) -> bool:
-        return bool(self._buckets)
+        return bool(self._buckets) or bool(self._evicted)
 
     # -- serialization ---------------------------------------------------
 
     def to_payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "type": "counter",
             "window": self.window,
             "buckets": {
@@ -77,12 +98,16 @@ class WindowedCounter:
                 for index, bucket in sorted(self._buckets.items())
             },
         }
+        if self._evicted:
+            payload["evicted"] = dict(sorted(self._evicted.items()))
+        return payload
 
     @staticmethod
     def from_payload(payload: Dict[str, object]) -> "WindowedCounter":
         series = WindowedCounter(window=payload["window"])
         for index, bucket in payload["buckets"].items():
             series._buckets[int(index)] = Counter(bucket)
+        series._evicted = Counter(payload.get("evicted", {}))
         return series
 
 
@@ -90,12 +115,23 @@ class GaugeSeries:
     """Windowed samples of an instantaneous gauge (queue depth, copyset
     size, freeze occupancy): per window keeps count, sum and max."""
 
-    def __init__(self, window: float = DEFAULT_WINDOW) -> None:
+    def __init__(
+        self,
+        window: float = DEFAULT_WINDOW,
+        max_buckets: Optional[int] = None,
+    ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
+        if max_buckets is not None and max_buckets < 1:
+            raise ValueError("max_buckets must be positive")
         self.window = window
+        #: Ring-buffer cap on retained windows (``None`` = unbounded);
+        #: :meth:`peak` stays whole-run exact, timeline rows age out.
+        self.max_buckets = max_buckets
         # bucket index → [sample_count, sample_sum, sample_max]
         self._buckets: Dict[int, List[float]] = {}
+        self._evicted_peak = 0.0
+        self.evicted_buckets = 0
 
     def sample(self, time: float, value: float) -> None:
         """Record one observation of the gauge at *time*."""
@@ -104,6 +140,13 @@ class GaugeSeries:
         bucket = self._buckets.get(index)
         if bucket is None:
             self._buckets[index] = [1, value, value]
+            if self.max_buckets is not None:
+                while len(self._buckets) > self.max_buckets:
+                    oldest = min(self._buckets)
+                    dropped = self._buckets.pop(oldest)
+                    if dropped[2] > self._evicted_peak:
+                        self._evicted_peak = dropped[2]
+                    self.evicted_buckets += 1
         else:
             bucket[0] += 1
             bucket[1] += value
@@ -121,10 +164,11 @@ class GaugeSeries:
     def peak(self) -> float:
         """Largest value ever sampled (0.0 when empty)."""
 
-        return max((b[2] for b in self._buckets.values()), default=0.0)
+        retained = max((b[2] for b in self._buckets.values()), default=0.0)
+        return max(retained, self._evicted_peak)
 
     def __bool__(self) -> bool:
-        return bool(self._buckets)
+        return bool(self._buckets) or self.evicted_buckets > 0
 
     # -- serialization ---------------------------------------------------
 

@@ -84,6 +84,9 @@ class RaymondAutomaton:
         #: Optional durability journal (see :mod:`repro.persist`); same
         #: ``None``-gated pattern as ``obs``.
         self.persist = None
+        #: Optional flight recorder (see :mod:`repro.obs.flightrec`);
+        #: same ``None``-gated pattern.
+        self.flightrec = None
         # Lease fencing (see repro.leases): highest revoked fencing token
         # observed for this lock.  Messages presenting a positive token at
         # or below the floor are dropped by :meth:`handle`.
@@ -98,6 +101,7 @@ class RaymondAutomaton:
     def raise_fence_floor(self, token: int) -> None:
         """Reject future messages fenced at or below *token*."""
 
+        self._flight_op("raise_fence_floor", token=int(token))
         if token > self._fence_floor:
             self._fence_floor = int(token)
             self._persist("fence-raised")
@@ -105,6 +109,10 @@ class RaymondAutomaton:
     def _persist(self, kind: str) -> None:
         if self.persist is not None:
             self.persist.record(self, kind)
+
+    def _flight_op(self, op: str, **args) -> None:
+        if self.flightrec is not None:
+            self.flightrec.record_op(self._lock_id, op, args)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -191,6 +199,7 @@ class RaymondAutomaton:
     def request(self, ctx: object = None) -> List[Envelope]:
         """Request the critical section; grant arrives via the listener."""
 
+        self._flight_op("request")
         if self._using or any(entry == SELF for entry, _ in self._request_q):
             raise LockUsageError(
                 f"node {self._node_id} already requested {self._lock_id}"
@@ -213,6 +222,7 @@ class RaymondAutomaton:
     def release(self) -> List[Envelope]:
         """Leave the critical section; pass the privilege onward if asked."""
 
+        self._flight_op("release")
         if not self._using:
             raise LockUsageError(
                 f"node {self._node_id} is not in the CS of {self._lock_id}"
@@ -238,6 +248,8 @@ class RaymondAutomaton:
                 f"message for lock {message.lock_id!r} delivered to "
                 f"automaton of {self._lock_id!r}"
             )
+        if self.flightrec is not None:
+            self.flightrec.record_msg(self._lock_id, message)
         token = getattr(message, "fencing_token", 0)
         if 0 < token <= self._fence_floor:
             return []  # Stale fencing token: a revoked holder's traffic.
@@ -337,6 +349,37 @@ class RaymondAutomaton:
 
     def adopt_persisted(self, state: dict) -> None:
         """Replace this automaton's state with a persisted payload."""
+
+        self._flight_op("adopt_persisted", state=state)
+        holder = state.get("holder")
+        self._holder = None if holder is None else int(holder)
+        self._asked = bool(state.get("asked", False))
+        self._using = bool(state.get("using", False))
+        self._request_q = deque(
+            (SELF if entry == SELF else int(entry), None)
+            for entry in state.get("queue", ())
+        )
+        self._fence_floor = int(state.get("fence_floor", 0))
+        self._ctx = None
+
+    def flight_state(self) -> dict:
+        """Exact JSON-safe state for flight-recorder checkpoints.
+
+        Queue entries reduce to the SELF sentinel or the neighbour id;
+        trace contexts never feed back into protocol state and restore
+        as ``None``.
+        """
+
+        return {
+            "holder": self._holder,
+            "asked": self._asked,
+            "using": self._using,
+            "queue": [entry for entry, _trace in self._request_q],
+            "fence_floor": self._fence_floor,
+        }
+
+    def restore_flight_state(self, state: dict) -> None:
+        """Exact inverse of :meth:`flight_state` (replay only)."""
 
         holder = state.get("holder")
         self._holder = None if holder is None else int(holder)

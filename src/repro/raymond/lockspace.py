@@ -29,6 +29,9 @@ class RaymondLockSpace:
         #: Optional observability sink propagated to every automaton this
         #: space creates (set before first use; None = zero-cost no-op).
         self.obs = None
+        #: Optional flight recorder, propagated the same way (see
+        #: :class:`repro.obs.flightrec.FlightRecorder`).
+        self.flightrec = None
 
     @property
     def node_id(self) -> NodeId:
@@ -49,6 +52,11 @@ class RaymondLockSpace:
             listener=self._listener,
         )
         automaton.obs = self.obs
+        automaton.flightrec = self.flightrec
+        if self.flightrec is not None:
+            self.flightrec.record_birth(
+                lock_id, {"holder": automaton.holder}
+            )
         self._automata[lock_id] = automaton
         return automaton
 
@@ -66,6 +74,17 @@ class RaymondLockSpace:
         """Route an incoming message to the automaton it concerns."""
 
         return self.automaton(message.lock_id).handle(message)
+
+    def flight_state(self):
+        """Whole-node state for flight-recorder checkpoints (pure read)."""
+
+        return {
+            "clock": 0,
+            "locks": [
+                [lock_id, self._automata[lock_id].flight_state()]
+                for lock_id in sorted(self._automata, key=str)
+            ],
+        }
 
     def automata(self) -> Iterable[RaymondAutomaton]:
         """Iterate over every instantiated automaton (for monitors)."""

@@ -60,6 +60,12 @@ class ThreadedTransport:
         self._started = False
         self._messages_sent = 0
         self._count_lock = threading.Lock()
+        # Envelopes enqueued but not yet fully processed (handler run AND
+        # its replies enqueued).  ``drain`` quiesces on this counter, not
+        # on inbox emptiness: an empty inbox says nothing about a handler
+        # that is mid-flight and about to send.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
     @property
     def messages_sent(self) -> int:
@@ -126,24 +132,47 @@ class ThreadedTransport:
                     )
                 if self.tracer is not None:
                     envelope = self.tracer.outbound(sender, envelope)
+            with self._inflight_lock:
+                self._inflight += 1
             self._inboxes[envelope.dest].put(
                 (sender, envelope, time.perf_counter())
             )
 
-    def drain(self, poll: float = 0.001, settle_rounds: int = 3) -> None:
-        """Block until every inbox has stayed empty for a few polls.
+    def _quiesced(self) -> bool:
+        """True iff no envelope is enqueued or being handled right now."""
 
-        Only a heuristic (a handler may be mid-flight between polls), so a
-        few consecutive empty observations are required before returning.
+        with self._inflight_lock:
+            return self._inflight == 0
+
+    def drain(self, poll: float = 0.001, settle_rounds: int = 3) -> None:
+        """Block until the fabric is quiescent.
+
+        Quiescence is tracked exactly: every enqueued envelope bumps an
+        in-flight counter that is only decremented *after* its handler
+        returned and any replies were enqueued (which re-bumps the counter
+        first), so the counter never falsely touches zero in the middle of
+        a handler cascade.  The old inbox-emptiness heuristic could race a
+        mid-flight handler: all inboxes look empty for several polls while
+        one dispatcher is still inside ``handler()`` about to ``send``.
+
+        *settle_rounds* consecutive quiescent polls are still required,
+        plus a final confirm pass — if anything slipped in between the
+        last poll and the confirmation (e.g. an application thread calling
+        ``send`` concurrently with ``drain``), the settle loop restarts.
         """
 
-        consecutive = 0
-        while consecutive < settle_rounds:
-            if all(inbox.empty() for inbox in self._inboxes.values()):
-                consecutive += 1
-            else:
-                consecutive = 0
-            time.sleep(poll)
+        while True:
+            consecutive = 0
+            while consecutive < settle_rounds:
+                if self._quiesced():
+                    consecutive += 1
+                else:
+                    consecutive = 0
+                time.sleep(poll)
+            # Drain-confirm second pass: declare idle only if nothing
+            # arrived since the settle loop's last observation.
+            if self._quiesced():
+                return
 
     def _dispatch_loop(self, node_id: NodeId) -> None:
         inbox = self._inboxes[node_id]
@@ -153,25 +182,31 @@ class ThreadedTransport:
             if item is _STOP:
                 return
             sender, envelope, enqueued_at = item
-            if self.obs is not None and sender != node_id:
-                self.obs.wire_sent(
-                    sender, node_id, 0, time.perf_counter() - enqueued_at
-                )
-            if self._delay is not None and sender != node_id:
-                with self._rng_lock:
-                    pause = self._delay.sample(self._rng)
-                time.sleep(pause)
-            tracer = self.tracer
-            if tracer is None or sender == node_id:
-                replies = handler(envelope.message)
-                if replies:
-                    self.send(node_id, replies)
-                continue
-            tracer.delivered(node_id, envelope.message)
-            tracer.begin_delivery(node_id, envelope.message)
             try:
-                replies = handler(envelope.message)
-                if replies:
-                    self.send(node_id, replies)
+                if self.obs is not None and sender != node_id:
+                    self.obs.wire_sent(
+                        sender, node_id, 0, time.perf_counter() - enqueued_at
+                    )
+                if self._delay is not None and sender != node_id:
+                    with self._rng_lock:
+                        pause = self._delay.sample(self._rng)
+                    time.sleep(pause)
+                tracer = self.tracer
+                if tracer is None or sender == node_id:
+                    replies = handler(envelope.message)
+                    if replies:
+                        self.send(node_id, replies)
+                    continue
+                tracer.delivered(node_id, envelope.message)
+                tracer.begin_delivery(node_id, envelope.message)
+                try:
+                    replies = handler(envelope.message)
+                    if replies:
+                        self.send(node_id, replies)
+                finally:
+                    tracer.end_delivery(node_id)
             finally:
-                tracer.end_delivery(node_id)
+                # Replies (if any) were enqueued above, so the counter
+                # cannot dip to zero while the cascade continues.
+                with self._inflight_lock:
+                    self._inflight -= 1

@@ -131,3 +131,22 @@ class TestSeriesCollection:
         assert observer.counters() == {}
         assert observer.gauges() == {}
         assert observer.histograms() == {}
+
+    def test_ring_caps_bound_memory_without_losing_totals(self):
+        # Long chaos runs use bounded sinks: spans become a ring, series
+        # buckets age out, but whole-run totals stay exact.
+        clock = FakeClock()
+        observer = RunObserver(clock=clock, max_buckets=2, max_spans=3)
+        for index in range(10):
+            clock.now = float(index)
+            observer.message(0, 1, "request")
+            observer.phase(0, "L", ("req", index), ISSUED, "R")
+        assert len(observer.spans) == 3  # ring kept only the newest
+        assert observer.messages.total() == 10
+        assert len(observer.messages.items()) <= 2
+        assert observer.messages.evicted_buckets == 8
+
+    def test_default_construction_is_unbounded(self):
+        observer, _clock = _observer()
+        assert isinstance(observer.spans, list)
+        assert observer.messages.evicted_buckets == 0

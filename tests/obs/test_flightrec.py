@@ -1,0 +1,171 @@
+"""Unit tests for the flight recorder: ring, codec, dumps, sniffing."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.automaton import ProtocolOptions
+from repro.core.modes import LockMode
+from repro.obs.flightrec import (
+    FlightRecorder,
+    attach_recorders,
+    load_dump,
+    looks_like_flight_dump,
+    message_from_payload,
+    message_to_payload,
+    run_self_test,
+    write_dump,
+)
+from repro.sim.cluster import SimHierarchicalCluster
+from repro.sim.engine import Timeout, run_processes
+
+
+def _recorded_run(seed=7, nodes=3, rounds=4, checkpoint_every=8):
+    cluster = SimHierarchicalCluster(
+        nodes, seed=seed, options=ProtocolOptions(recovery=True)
+    )
+    recorders = attach_recorders(cluster, checkpoint_every=checkpoint_every)
+
+    def body(node):
+        client = cluster.client(node)
+        for step in range(rounds):
+            yield client.acquire("root", LockMode.IW)
+            yield client.acquire(f"leaf{(node + step) % 2}", LockMode.W)
+            yield Timeout(cluster.sim, 0.002)
+            client.release(f"leaf{(node + step) % 2}", LockMode.W)
+            client.release("root", LockMode.IW)
+            yield Timeout(cluster.sim, 0.001)
+
+    run_processes(cluster.sim, [body(n) for n in range(nodes)])
+    cluster.assert_quiescent_invariants()
+    return cluster, recorders
+
+
+class TestRingBuffer:
+    def test_capacity_must_fit_one_segment(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(0, capacity=4, checkpoint_every=8)
+
+    def test_eviction_keeps_checkpoint_headed_prefix(self):
+        recorder = FlightRecorder(0, capacity=20, checkpoint_every=4)
+        recorder.state_source = lambda: {"clock": 0, "locks": []}
+        for index in range(100):
+            recorder.record_op("L", "request", {"i": index})
+        assert recorder.depth <= recorder.capacity
+        assert recorder.dropped > 0
+        events = recorder.export_events()
+        # The ring head must be replayable: oldest retained event is a
+        # checkpoint, and seq numbering keeps counting across evictions.
+        assert events[0]["kind"] == "ckpt"
+        assert events[-1]["seq"] == recorder.last_seq
+        assert recorder.last_seq > recorder.depth  # history was evicted
+
+    def test_checkpoint_reflects_prior_events_only(self):
+        recorder = FlightRecorder(0, capacity=64, checkpoint_every=2)
+        state = {"clock": 0, "locks": []}
+        recorder.state_source = lambda: dict(state)
+        recorder.record_op("L", "request", {})  # forces ckpt at seq 1
+        state["clock"] = 99  # mutate after the first checkpoint
+        recorder.record_op("L", "release", {})
+        events = recorder.export_events()
+        assert events[0]["kind"] == "ckpt"
+        assert events[0]["state"]["clock"] == 0
+
+    def test_stats_payload(self):
+        recorder = FlightRecorder(3, capacity=32, checkpoint_every=4)
+        stats = recorder.stats()
+        assert stats["node"] == 3
+        assert stats["last_seq"] == 0
+        assert stats["capacity"] == 32
+
+
+class TestMessageCodec:
+    def test_round_trip_every_recorded_message(self):
+        _cluster, recorders = _recorded_run()
+        checked = 0
+        for recorder in recorders.values():
+            for event in recorder.export_events():
+                if event["kind"] != "msg":
+                    continue
+                payload = event["msg"]
+                message = message_from_payload(payload)
+                assert message_to_payload(message) == payload
+                checked += 1
+        assert checked > 0
+
+    def test_fencing_token_survives(self):
+        from repro.naimi.messages import NaimiRequestMessage
+
+        message = NaimiRequestMessage(
+            lock_id="L", sender=1, origin=2, fencing_token=7
+        )
+        payload = message_to_payload(message)
+        assert payload["fencing_token"] == 7
+        assert message_from_payload(payload).fencing_token == 7
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            message_from_payload({"type": "Bogus", "lock": "L", "sender": 0})
+
+
+class TestDumpFiles:
+    def test_write_load_round_trip(self, tmp_path):
+        _cluster, recorders = _recorded_run()
+        path = os.path.join(tmp_path, "run.flight")
+        write_dump(path, recorders, meta={"plan": "unit"})
+        dump = load_dump(path)
+        assert dump.protocol == "hierarchical"
+        assert dump.meta["plan"] == "unit"
+        assert dump.nodes() == sorted(recorders)
+        for node_id, recorder in recorders.items():
+            assert len(dump.events[node_id]) == recorder.depth
+            assert dump.node_meta[node_id]["dropped"] == recorder.dropped
+        assert dump.corrupt_skipped == 0 and dump.torn_bytes == 0
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        _cluster, recorders = _recorded_run()
+        path = os.path.join(tmp_path, "torn.flight")
+        write_dump(path, recorders)
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            handle.truncate(handle.tell() - 3)  # tear the last frame
+        dump = load_dump(path)
+        assert dump.torn_bytes > 0
+        assert dump.nodes()  # intact prefix still loads
+
+    def test_not_a_dump_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "nope.flight")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"cat": "span"}\n')
+        with pytest.raises(ValueError):
+            load_dump(path)
+
+    def test_sniffer(self, tmp_path):
+        _cluster, recorders = _recorded_run()
+        dump_path = os.path.join(tmp_path, "real.flight")
+        write_dump(dump_path, recorders)
+        assert looks_like_flight_dump(dump_path)
+        other = os.path.join(tmp_path, "trace.jsonl")
+        with open(other, "w", encoding="utf-8") as handle:
+            handle.write('{"kind": "meta"}\n')
+        assert not looks_like_flight_dump(other)
+        assert not looks_like_flight_dump(os.path.join(tmp_path, "missing"))
+
+
+class TestOptionsSniffing:
+    def test_attach_captures_protocol_options(self):
+        cluster = SimHierarchicalCluster(
+            2, seed=1, options=ProtocolOptions(recovery=True)
+        )
+        recorders = attach_recorders(cluster)
+        assert recorders[0].meta["options"]["recovery"] is True
+
+
+class TestSelfTest:
+    def test_self_test_passes(self):
+        lines = []
+        assert run_self_test(emit=lines.append) == 0
+        assert any("bit-for-bit" in line for line in lines)
+        assert any("bisect pinpointed" in line for line in lines)

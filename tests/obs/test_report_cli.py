@@ -103,6 +103,24 @@ class TestBadTraceFiles:
         path.write_bytes(b"\x80\x02\x95\xff\x00garbage\xfe")
         self._expect_diagnostic(["report", str(path)], capsys)
 
+    def test_flightrec_dump_redirects_to_replay(self, tmp_path, capsys):
+        # A flight-recorder dump is binary CRC-framed, not JSONL; report
+        # must recognize it and point at the replay subcommand.
+        from repro.obs.flightrec import attach_recorders, write_dump
+        from repro.sim.cluster import SimHierarchicalCluster
+
+        cluster = SimHierarchicalCluster(2, seed=1)
+        recorders = attach_recorders(cluster)
+        recorders[0].record_op("L", "request", {"mode": "R"})
+        path = tmp_path / "run.flight"
+        write_dump(str(path), recorders)
+        rc = main(["report", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "looks like a flightrec dump" in captured.err
+        assert "repro replay" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
     def test_classic_trace_events_still_render(self, tmp_path, capsys):
         # Valid JSONL without run sections is the verification-trace
         # interop format: kept as raw events, rendered, exit 0.

@@ -48,6 +48,30 @@ class TestWindowedCounter:
         assert rebuilt.window == 0.5
         assert rebuilt.items() == counter.items()
 
+    def test_ring_cap_bounds_buckets_but_keeps_totals_exact(self):
+        counter = WindowedCounter(window=1.0, max_buckets=3)
+        for tick in range(10):
+            counter.add(float(tick), "msg")
+        assert len(counter.items()) <= 3
+        assert counter.evicted_buckets == 7
+        # Whole-run aggregates survive eviction untouched.
+        assert counter.total() == 10
+        assert counter.totals() == {"msg": 10}
+        assert counter.labels() == ["msg"]
+        assert counter  # evicted-only state still truthy
+
+    def test_ring_cap_payload_round_trip(self):
+        counter = WindowedCounter(window=1.0, max_buckets=2)
+        for tick in range(5):
+            counter.add(float(tick), "x")
+        rebuilt = series_from_payload(counter.to_payload())
+        assert rebuilt.total() == counter.total() == 5
+        assert rebuilt.items() == counter.items()
+
+    def test_ring_cap_validated(self):
+        with pytest.raises(ValueError):
+            WindowedCounter(max_buckets=0)
+
 
 class TestGaugeSeries:
     def test_timeline_mean_and_max(self):
@@ -68,6 +92,16 @@ class TestGaugeSeries:
         rebuilt = series_from_payload(gauge.to_payload())
         assert isinstance(rebuilt, GaugeSeries)
         assert rebuilt.timeline() == gauge.timeline()
+
+    def test_ring_cap_bounds_timeline_but_keeps_peak_exact(self):
+        gauge = GaugeSeries(window=1.0, max_buckets=2)
+        gauge.sample(0.0, 9.0)  # the whole-run peak, in a bucket that
+        for tick in range(1, 8):  # will be evicted
+            gauge.sample(float(tick), 1.0)
+        assert len(gauge.timeline()) <= 2
+        assert gauge.evicted_buckets == 6
+        assert gauge.peak() == 9.0
+        assert gauge
 
 
 class TestHistogram:

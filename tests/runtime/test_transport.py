@@ -108,6 +108,58 @@ class TestThreadedTransport:
         transport.stop()
         transport.stop()
 
+    def test_drain_waits_for_mid_flight_handler(self):
+        """drain() must not declare idle while a handler is mid-flight.
+
+        Node 0's handler sleeps long enough for every inbox to look empty
+        across many polls before it finally sends to node 1 — the exact
+        race the old inbox-emptiness heuristic lost.  With the in-flight
+        counter, drain() returns only after node 1 has been reached.
+        """
+
+        transport = ThreadedTransport()
+        reached = threading.Event()
+
+        def slow_then_forward(msg):
+            # Far longer than drain's poll * settle_rounds window.
+            time.sleep(0.1)
+            return [Envelope(1, _release())]
+
+        transport.register(0, slow_then_forward)
+        transport.register(1, lambda msg: reached.set() or [])
+        transport.start()
+        try:
+            transport.send(1, [Envelope(0, _release(sender=1))])
+            transport.drain(poll=0.001, settle_rounds=3)
+            assert reached.is_set(), (
+                "drain() returned while a handler was still mid-flight"
+            )
+        finally:
+            transport.stop()
+
+    def test_drain_confirm_pass_restarts_on_late_arrivals(self):
+        """A send racing the settle loop restarts the drain, not idles."""
+
+        transport = ThreadedTransport()
+        hops = []
+
+        def chain(msg):
+            hops.append(msg.sender)
+            if len(hops) < 5:
+                time.sleep(0.02)
+                return [Envelope(1, _release(sender=len(hops)))]
+            return []
+
+        transport.register(0, lambda msg: [])
+        transport.register(1, chain)
+        transport.start()
+        try:
+            transport.send(0, [Envelope(1, _release())])
+            transport.drain(poll=0.001, settle_rounds=2)
+            assert len(hops) == 5
+        finally:
+            transport.stop()
+
     def test_observer_invoked_off_the_hot_path(self):
         observed = []
         transport = ThreadedTransport(
