@@ -53,6 +53,16 @@ DURABLE_GROUP = "token-crash-durable"
 LEASE_GROUP = "lease-expiry"
 LEASE_SEEDS = (2, 3, 7)
 
+#: The membership-churn group: the three named churn plans (a rolling
+#: join, a graceful drain with a replacement join, and a crash followed
+#: by decommission + replacement) run under load.  Gates the message
+#: cost of view changes plus the two user-facing latencies of dynamic
+#: membership: how long a joiner takes to install a view containing
+#: itself, and how long a graceful drain takes from begin to removal.
+CHURN_GROUP = "membership-churn"
+CHURN_PLANS = ("rolling-join", "graceful-drain", "kill-and-replace")
+CHURN_SEEDS = (0, 1)
+
 #: Relative drift beyond which ``--check`` fails.
 TOLERANCE = 0.10
 
@@ -70,6 +80,13 @@ LEASE_METRICS = (
     "messages_per_request",
     "lease_revoke_latency_mean",
     "lease_renewals_per_request",
+)
+
+#: Summary metrics of the membership-churn group.
+CHURN_METRICS = (
+    "messages_per_request",
+    "join_settle_mean",
+    "drain_latency_mean",
 )
 
 #: Cross-plan overhead factors diffed by ``--check``.
@@ -119,6 +136,19 @@ def _one_run(plan: str, seed: int, durable: bool = False) -> Dict[str, object]:
         run["lease_renewals_per_request"] = (
             round(renewals / issued, 3) if issued else None
         )
+    membership = data.get("membership")
+    if membership is not None:
+        run["view_epochs"] = membership["view_epochs"]  # type: ignore[index]
+        run["join_settle"] = [
+            float(entry["settle_latency"])
+            for entry in membership["join_settle"]  # type: ignore[index]
+            if entry["settle_latency"] is not None
+        ]
+        run["drain_latency"] = [
+            float(entry["drain_latency"])
+            for entry in membership["drain_latency"]  # type: ignore[index]
+            if entry["drain_latency"] is not None
+        ]
     return run
 
 
@@ -152,6 +182,32 @@ def measure() -> Dict[str, object]:
             "nothing: the group must exercise expiry before its cost "
             "is recorded"
         )
+    churn_rows: List[Dict[str, object]] = []
+    for plan in CHURN_PLANS:
+        for seed in CHURN_SEEDS:
+            row = _one_run(plan, seed)
+            row["plan"] = plan
+            churn_rows.append(row)
+    runs[CHURN_GROUP] = churn_rows
+    bad_churn = [
+        (r["plan"], r["seed"]) for r in churn_rows if not r["ok"]
+    ]
+    if bad_churn:
+        raise SystemExit(
+            f"membership-churn runs failed: {bad_churn}; churn must "
+            "converge clean before its cost is recorded"
+        )
+    churn_settles = [
+        value for r in churn_rows for value in r.get("join_settle", ())
+    ]
+    churn_drains = [
+        value for r in churn_rows for value in r.get("drain_latency", ())
+    ]
+    if not churn_settles or not churn_drains:
+        raise SystemExit(
+            "membership-churn recorded no join settle or drain latency: "
+            "the plans must exercise both before their cost is recorded"
+        )
 
     def _mean(plan: str, field: str) -> float:
         values = [float(r[field]) for r in runs[plan]]  # type: ignore[arg-type]
@@ -166,6 +222,20 @@ def measure() -> Dict[str, object]:
     }
     summary[LEASE_GROUP] = {
         metric: _mean(LEASE_GROUP, metric) for metric in LEASE_METRICS
+    }
+    churn_msgs = [
+        float(r["messages_per_request"]) for r in churn_rows  # type: ignore[arg-type]
+    ]
+    summary[CHURN_GROUP] = {
+        "messages_per_request": round(
+            sum(churn_msgs) / len(churn_msgs), 4
+        ),
+        "join_settle_mean": round(
+            sum(churn_settles) / len(churn_settles), 4
+        ),
+        "drain_latency_mean": round(
+            sum(churn_drains) / len(churn_drains), 4
+        ),
     }
     clean, lossy = summary["none"], summary["drop1"]
     summary["overhead"] = {
@@ -197,6 +267,7 @@ def compare_summary(
     groups = [(plan, PLAN_METRICS) for plan in PLANS]
     groups.append((DURABLE_GROUP, DURABLE_METRICS))
     groups.append((LEASE_GROUP, LEASE_METRICS))
+    groups.append((CHURN_GROUP, CHURN_METRICS))
     groups.append(("overhead", OVERHEAD_METRICS))
     for group, metrics in groups:
         base_group = base_summary.get(group)  # type: ignore[union-attr]
@@ -272,8 +343,10 @@ def record(out_path: str) -> Dict[str, object]:
             "plans": list(PLANS),
             "durable_plan": "token-crash",
             "lease_plan": "minority-partition",
+            "churn_plans": list(CHURN_PLANS),
             "seeds": list(SEEDS),
             "lease_seeds": list(LEASE_SEEDS),
+            "churn_seeds": list(CHURN_SEEDS),
             "nodes": NODES,
             "duration": DURATION,
             "locks": LOCKS,
@@ -322,6 +395,12 @@ def main(argv: List[str]) -> int:
         f"{LEASE_GROUP}: {lease['messages_per_request']:.2f} msgs/req, "
         f"revoke latency {lease['lease_revoke_latency_mean'] * 1000:.0f} ms, "
         f"{lease['lease_renewals_per_request']:.2f} renewals/req"
+    )
+    churn = summary[CHURN_GROUP]  # type: ignore[index]
+    print(
+        f"{CHURN_GROUP}: {churn['messages_per_request']:.2f} msgs/req, "
+        f"join settle {churn['join_settle_mean'] * 1000:.0f} ms, "
+        f"drain {churn['drain_latency_mean'] * 1000:.0f} ms"
     )
     overhead = summary["overhead"]  # type: ignore[index]
     print(

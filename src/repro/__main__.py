@@ -587,6 +587,128 @@ def _monitor_self_test(nodes: int) -> int:
     return 0 if ok else 1
 
 
+def _membership_main(argv: Sequence[str]) -> int:
+    """``python -m repro membership``: dynamic-membership smoke tests."""
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro membership",
+        description="Exercise dynamic membership (online join, graceful "
+        "drain, forced decommission) across all three protocols.",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the seeded membership smoke: god-view splices on the "
+        "plain sim clusters for all three protocols, then churn plans "
+        "on the resilient cluster; exit 0 iff every check passes "
+        "(the CI smoke path)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for the resilient runs",
+    )
+    args = parser.parse_args(list(argv))
+    if not args.self_test:
+        parser.error("need --self-test")
+    return _membership_self_test(args.seed)
+
+
+def _membership_self_test(seed: int) -> int:
+    """Splice joins/removals on every protocol, then churn under faults."""
+
+    import random
+
+    from .core.lockspace import hashed_token_home
+    from .core.modes import LockMode
+    from .faults.chaos import run_chaos
+    from .sim.cluster import (
+        SimHierarchicalCluster,
+        SimNaimiCluster,
+        SimRaymondCluster,
+    )
+    from .sim.engine import Process, Timeout
+
+    locks = ["db", "db.t1", "db.t2"]
+    failures: list = []
+
+    def drive_plain(cluster, protocol: str, rng) -> None:
+        sim = cluster.sim
+
+        def workload(node: int, ops: int):
+            client = cluster.clients[node]
+            for _ in range(ops):
+                lock = rng.choice(locks)
+                if protocol == "hierarchical":
+                    mode = rng.choice(
+                        [LockMode.R, LockMode.W, LockMode.IR, LockMode.IW]
+                    )
+                    yield client.acquire(lock, mode)
+                else:
+                    yield client.acquire(lock)
+                yield Timeout(sim, rng.uniform(0.01, 0.1))
+                if protocol == "hierarchical":
+                    client.release(lock, mode)
+                else:
+                    client.release(lock)
+                yield Timeout(sim, rng.uniform(0.01, 0.05))
+
+        def phase(ops: int) -> None:
+            procs = [
+                Process(sim, workload(node, ops))
+                for node in list(cluster.members)
+            ]
+            sim.run()
+            for proc in procs:
+                if proc.error is not None:
+                    raise proc.error
+
+        phase(4)
+        cluster.add_node()          # Online join mid-sequence.
+        phase(3)
+        cluster.remove_node(1)      # Graceful removal of a member …
+        phase(3)
+        cluster.assert_quiescent_invariants()
+        cluster.remove_node(0)      # … and of the original token home.
+        phase(3)
+        cluster.assert_quiescent_invariants()
+
+    plain = (
+        (
+            "hierarchical",
+            lambda: SimHierarchicalCluster(
+                4, seed=seed + 1, token_home=hashed_token_home(4)
+            ),
+        ),
+        ("naimi", lambda: SimNaimiCluster(4, seed=seed + 2)),
+        ("raymond", lambda: SimRaymondCluster(5, seed=seed + 3)),
+    )
+    for protocol, build in plain:
+        try:
+            drive_plain(build(), protocol, random.Random(seed * 7 + 11))
+            print(f"membership[{protocol}]: splice join/remove OK")
+        except Exception as exc:  # noqa: BLE001 - smoke verdict, not flow
+            failures.append(f"{protocol}: {type(exc).__name__}: {exc}")
+            print(f"membership[{protocol}]: FAIL — {exc}")
+
+    for plan in ("graceful-drain", "kill-and-replace"):
+        verdict = run_chaos(plan, seed=seed, nodes=5, duration=12.0)
+        info = verdict.data.get("membership", {})
+        agreed = bool(info.get("epoch_agreement")) and bool(
+            info.get("membership_agreement")
+        )
+        status = "OK" if verdict.ok and agreed else "FAIL"
+        print(
+            f"membership[{plan}]: {status} — "
+            f"requests={verdict.data['requests']} "
+            f"epochs={info.get('view_epochs')}"
+        )
+        if not (verdict.ok and agreed):
+            failures.append(f"{plan}: verdict not ok")
+
+    print(f"self-test: {'PASS' if not failures else 'FAIL'}")
+    for failure in failures:
+        print(f"  {failure}")
+    return 0 if not failures else 1
+
+
 def _parse(argv: Sequence[str]) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -662,6 +784,9 @@ def main(argv: Sequence[str] = ()) -> int:
     if raw and raw[0] == "replay":
         # Flight-recorder debugger: replay/diff/bisect a recorded dump.
         return _replay_main(raw[1:])
+    if raw and raw[0] == "membership":
+        # Dynamic-membership smoke: splices + churn plans, all protocols.
+        return _membership_main(raw[1:])
     args = _parse(raw)
     if args.experiment == "report":
         try:

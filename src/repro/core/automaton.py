@@ -234,6 +234,11 @@ class HierarchicalLockAutomaton:
         # nothing, like custody fencing.
         self._fence_floor = 0
         self._lease_fenced = False
+        # Graceful-departure state (see repro.membership): a departing
+        # node grants nothing and refuses new local requests — it only
+        # forwards, drains and hands off, so the copyset around it can
+        # be spliced without a Rule-1 window.
+        self._departing = False
 
     def _trace(self, event: str, detail: str = "") -> None:
         if self.trace_hook is not None:
@@ -335,6 +340,17 @@ class HierarchicalLockAutomaton:
         """True once this node self-fenced after losing quorum contact."""
 
         return self._lease_fenced
+
+    @property
+    def departing(self) -> bool:
+        """True while this node is gracefully leaving (membership layer)."""
+
+        return self._departing
+
+    def child_attachment_seq(self, node: NodeId) -> int:
+        """Recorded attachment epoch for child *node* (0 if unrecorded)."""
+
+        return self._child_seqs.get(node, 0)
 
     @property
     def children(self) -> Dict[NodeId, LockMode]:
@@ -449,11 +465,12 @@ class HierarchicalLockAutomaton:
     def _grants_blocked(self) -> bool:
         """True while this automaton must not self-grant or serve grants.
 
-        Covers both fencing regimes: restored token custody awaiting its
-        probe handshake, and a lease self-fence after quorum loss.
+        Covers both fencing regimes — restored token custody awaiting its
+        probe handshake, and a lease self-fence after quorum loss — plus
+        a graceful departure in progress.
         """
 
-        return self._custody_pending or self._lease_fenced
+        return self._custody_pending or self._lease_fenced or self._departing
 
     def request(
         self, mode: LockMode, ctx: object = None, priority: int = 0
@@ -472,6 +489,11 @@ class HierarchicalLockAutomaton:
         self._flight_op("request", mode=str(mode), priority=priority)
         if mode is LockMode.NONE:
             raise LockUsageError("cannot request the empty mode")
+        if self._departing:
+            raise LockUsageError(
+                f"node {self._node_id} is departing and no longer "
+                f"accepts requests for {self._lock_id}"
+            )
         if self._pending is not None:
             raise LockUsageError(
                 f"node {self._node_id} already has a pending request "
@@ -707,6 +729,7 @@ class HierarchicalLockAutomaton:
             and msg.mode not in self._frozen
             and msg.origin != self._node_id
             and not self._lease_fenced
+            and not self._departing
         ):
             return [self._grant_copy(msg)]
         if (
@@ -1429,6 +1452,30 @@ class HierarchicalLockAutomaton:
 
         self._require_recovery()
         self._flight_op("regenerate_token", epoch=epoch)
+        return self._regenerate(epoch)
+
+    def accept_handoff(self, epoch: int) -> List[Envelope]:
+        """Take token custody offered by a departing holder, fenced.
+
+        Identical to :meth:`regenerate_token` except custody starts
+        *fenced*: the handoff regeneration must not grant anything (not
+        even this node's own queued request) until the leaver's demotion
+        release and its children's migration announces have rebuilt the
+        copyset here — granting from the not-yet-merged copyset could
+        violate Rule 1.  The manager confirms custody through the same
+        rejoin settle handshake as a durable restart.  Idempotent: a
+        re-sent handoff to the now-root is a no-op.
+        """
+
+        self._require_recovery()
+        self._flight_op("accept_handoff", epoch=epoch)
+        if self._has_token:
+            return []
+        # Fence before the regeneration body runs its queue check.
+        self._custody_pending = True
+        return self._regenerate(epoch)
+
+    def _regenerate(self, epoch: int) -> List[Envelope]:
         if self._has_token:
             raise ProtocolError("cannot regenerate a token this node holds")
         if epoch < self._token_epoch:
@@ -1689,6 +1736,7 @@ class HierarchicalLockAutomaton:
             "local_serial": self._local_serial,
             "fence_floor": self._fence_floor,
             "lease_fenced": self._lease_fenced,
+            "departing": self._departing,
         }
 
     def restore_flight_state(self, state: Dict[str, object]) -> None:
@@ -1747,6 +1795,7 @@ class HierarchicalLockAutomaton:
         self._local_serial = int(state.get("local_serial", 0))
         self._fence_floor = int(state.get("fence_floor", 0))
         self._lease_fenced = bool(state.get("lease_fenced", False))
+        self._departing = bool(state.get("departing", False))
 
     def adopt_persisted(self, state: Dict[str, object]) -> None:
         """Replace this automaton's state with a persisted *state* payload.
@@ -1940,6 +1989,140 @@ class HierarchicalLockAutomaton:
         self._require_recovery()
         self._flight_op("expire_provisional_children")
         return self._expire_provisional()
+
+    def begin_departure(self) -> List[Envelope]:
+        """Enter graceful-departure mode (see :mod:`repro.membership`).
+
+        From here on this automaton refuses new local requests, issues no
+        copy grants and (if it holds the token) grants nothing from the
+        queue — it becomes a pure forwarder while the membership layer
+        hands off token custody and migrates its copyset children.
+        Idempotent.
+        """
+
+        self._require_recovery()
+        self._flight_op("begin_departure")
+        self._departing = True
+        return []
+
+    def adopt_child(
+        self, node: NodeId, mode: LockMode, seq: int = 0
+    ) -> List[Envelope]:
+        """Record *node* as a copyset child holding *mode* (migration).
+
+        Used by graceful departure: before a departing parent points a
+        child at us, it tells us to adopt the child's recorded owned mode
+        under its current attachment epoch *seq*.  Recording the mode
+        *before* the child detaches from the leaver means the child's
+        subtree is always accounted for somewhere — the record here
+        over-approximates until the child's own announce confirms it,
+        which blocks conflicting grants but can never violate Rule 1.
+        Merging is strengthen-only and idempotent, so re-sent migration
+        messages are harmless.
+        """
+
+        self._require_recovery()
+        self._flight_op("adopt_child", node=node, mode=str(mode), seq=seq)
+        if (
+            node == self._node_id
+            or node == self._parent
+            or mode is LockMode.NONE
+        ):
+            return []
+        owned_before = self.owned_mode()
+        recorded = self._children.get(node, LockMode.NONE)
+        self._children[node] = max_mode((recorded, mode))
+        if seq > self._child_seqs.get(node, 0):
+            self._child_seqs[node] = seq
+        self._obs_copyset()
+        self._persist("child-adopted")
+        out = self._after_owned_maybe_changed(owned_before)
+        out.extend(self._refresh_frozen())
+        return out
+
+    # ------------------------------------------------------------------
+    # God-view membership splices (see repro.sim.cluster).
+    # ------------------------------------------------------------------
+    #
+    # The fault-free clusters support online join/leave by editing the
+    # copyset tree directly at quiescence instead of running the
+    # repro.faults handoff protocol.  These helpers are the sanctioned
+    # mutators for that: they keep the derived bits (attachment epochs,
+    # child seqs, provisional sets) consistent and — apart from the
+    # Rule-5.2 release a weakened parent owes upward — never touch the
+    # wire.  Callers must guarantee quiescence; none of these check it.
+
+    def splice_adopt_child(self, node: NodeId, mode: LockMode, seq: int) -> None:
+        """Record a migrated child directly (strengthen-only merge)."""
+
+        self._flight_op("splice_adopt_child", node=node, mode=str(mode), seq=seq)
+        if node == self._node_id or mode is LockMode.NONE:
+            return
+        recorded = self._children.get(node, LockMode.NONE)
+        self._children[node] = max_mode((recorded, mode))
+        if seq > self._child_seqs.get(node, 0):
+            self._child_seqs[node] = seq
+        self._obs_copyset()
+        self._persist("splice")
+
+    def splice_drop_child(self, node: NodeId) -> List[Envelope]:
+        """Forget a departed child; may owe a weakened release upward."""
+
+        self._flight_op("splice_drop_child", node=node)
+        owned_before = self.owned_mode()
+        self._children.pop(node, None)
+        self._child_seqs.pop(node, None)
+        self._provisional_children.discard(node)
+        self._queue = [q for q in self._queue if q.origin != node]
+        self._obs_copyset()
+        self._persist("splice")
+        out = self._after_owned_maybe_changed(owned_before)
+        out.extend(self._refresh_frozen())
+        return out
+
+    def splice_parent(self, new_parent: NodeId) -> None:
+        """Re-point the parent edge after the old parent was spliced out."""
+
+        self._flight_op("splice_parent", parent=new_parent)
+        if self._has_token or new_parent == self._node_id:
+            return
+        self._parent = new_parent
+        self._attach_seq = self._mint_serial()
+        self._evict_new_parent(new_parent)
+        self._persist("splice")
+
+    def splice_token(self, frozen: Optional[FrozenSet[LockMode]] = None) -> None:
+        """Become the token root, inheriting the leaver's frozen set."""
+
+        self._flight_op("splice_token")
+        self._has_token = True
+        self._parent = None
+        self._attach_seq = self._mint_serial()
+        self._custody_pending = False
+        if frozen is not None:
+            self._frozen = frozenset(frozen)
+        self._persist("splice")
+
+    def splice_retire(self, forwarder: NodeId) -> None:
+        """Terminal state of a spliced-out node: empty, pointing away.
+
+        The ghost keeps a parent edge at *forwarder* so any stray message
+        that still reaches it is forwarded instead of mis-handled; it
+        claims no token, no children and no queue.
+        """
+
+        self._flight_op("splice_retire", forwarder=forwarder)
+        self._has_token = False
+        self._children.clear()
+        self._child_seqs.clear()
+        self._provisional_children.clear()
+        self._queue = []
+        self._pending = None
+        self._pending_ctx = None
+        if forwarder != self._node_id:
+            self._parent = forwarder
+            self._attach_seq = self._mint_serial()
+        self._persist("splice")
 
     def _expire_provisional(self) -> List[Envelope]:
         stale = sorted(

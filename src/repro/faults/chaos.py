@@ -12,7 +12,13 @@ throughout, and distils the outcome into a JSON-friendly verdict:
 * **Eventual grant** — every request issued by a node that survived the
   run was granted by the end of the drain window.  Requests issued by
   nodes the plan crashed are tallied separately (``abandoned_by_crash``)
-  — a dead requester has no liveness claim.
+  — a dead requester has no liveness claim.  Likewise requests whose
+  issuer left the cluster mid-run (``abandoned_by_departure``).
+* **Membership convergence** — when the plan scripts churn (joins,
+  drains, decommissions), all live members must agree on the view epoch
+  and member list at the end of the drain window; the verdict's
+  ``membership`` section carries the event log, join settle latencies
+  and drain latencies.
 
 Everything is seed-deterministic: the workload, the latency stream and
 the fault stream each derive from the run seed, so a failing verdict is
@@ -38,7 +44,7 @@ from ..obs.sink import ObsSink
 from ..sim.engine import Process, Timeout
 from ..sim.rng import derive_rng
 from ..verification.invariants import CompatibilityMonitor
-from .plan import FaultPlan, named_plan
+from .plan import DRAIN, JOIN, FaultPlan, MembershipEvent, named_plan
 from .recovery import RecoveryConfig
 from .simcluster import ResilientSimCluster
 
@@ -174,6 +180,35 @@ def run_chaos(
             yield Timeout(sim, rng.uniform(0.05, 0.25))
 
     processes = [Process(sim, workload(n)) for n in range(nodes)]
+
+    # Scripted membership churn: joins boot a fresh node (and put it to
+    # work), drains and decommissions remove one.  A churn step that is
+    # impossible when its moment arrives (e.g. draining a node the fault
+    # stream crashed first) is recorded, not fatal — the plan scripts
+    # intent, the run decides feasibility.
+    joined_nodes: List[int] = []
+    churn_errors: List[str] = []
+
+    def _apply_churn(event: MembershipEvent) -> None:
+        try:
+            if event.action == JOIN:
+                node = cluster.join_node()
+                joined_nodes.append(node)
+                processes.append(Process(sim, workload(node)))
+            elif event.action == DRAIN:
+                cluster.drain_node(event.node, successor=event.successor)
+            else:  # DECOMMISSION
+                if not cluster.is_crashed(event.node):
+                    cluster.crash(event.node)
+                cluster.decommission_node(event.node)
+        except SimulationError as exc:
+            churn_errors.append(f"{event.action}@{event.at}: {exc}")
+
+    for churn_event in plan.churn:
+        sim.schedule(
+            churn_event.at, lambda e=churn_event: _apply_churn(e)
+        )
+
     violation: Optional[str] = None
     try:
         sim.run(until=duration + grace)
@@ -225,7 +260,26 @@ def run_chaos(
     abandoned_by_expiry = [
         r for r in remaining if int(r["node"]) in fence_times
     ]
-    outstanding = [r for r in remaining if int(r["node"]) not in fence_times]
+    remaining = [r for r in remaining if int(r["node"]) not in fence_times]
+    # A node that left the cluster (drained or decommissioned) takes its
+    # never-granted requests with it: the waiter process died with the
+    # departure, so those carry no liveness claim either.
+    departed_nodes = {
+        int(e["node"])
+        for e in cluster.membership_log
+        if e["event"] in ("drained", "decommissioned")
+    }
+    departed_nodes.update(
+        n
+        for n, m in cluster.managers.items()
+        if m.departing or m.has_left
+    )
+    abandoned_by_departure = [
+        r for r in remaining if int(r["node"]) in departed_nodes
+    ]
+    outstanding = [
+        r for r in remaining if int(r["node"]) not in departed_nodes
+    ]
     eventual_grant = violation is None and not outstanding
 
     # Post-drain cluster audit: the run is quiescent now (nothing more
@@ -246,11 +300,23 @@ def run_chaos(
         f["severity"] == "violation" for f in audit_findings
     )
 
+    membership_info = _membership_stats(
+        cluster, joined_nodes, churn_errors
+    )
+    membership_ok = True
+    if plan.churn:
+        membership_ok = (
+            bool(membership_info["epoch_agreement"])
+            and bool(membership_info["membership_agreement"])
+            and not churn_errors
+        )
+
     ok = (
         violation is None
         and eventual_grant
         and not process_errors
         and audit_healthy
+        and membership_ok
     )
 
     flight_info: Optional[Dict[str, object]] = None
@@ -307,6 +373,7 @@ def run_chaos(
             "granted": granted,
             "abandoned_by_crash": len(abandoned),
             "abandoned_by_expiry": len(abandoned_by_expiry),
+            "abandoned_by_departure": len(abandoned_by_departure),
             "outstanding": len(outstanding),
         },
         "latency": {
@@ -337,6 +404,8 @@ def run_chaos(
             ),
         },
     }
+    if plan.churn or cluster.membership_log:
+        data["membership"] = membership_info
     if flight_info is not None:
         data["flight"] = flight_info
     if durable:
@@ -351,6 +420,71 @@ def run_chaos(
     if outstanding:
         data["outstanding_requests"] = outstanding[:10]
     return ChaosVerdict(data=data)
+
+
+def _membership_stats(
+    cluster: ResilientSimCluster,
+    joined_nodes: List[int],
+    churn_errors: List[str],
+) -> Dict[str, object]:
+    """Distil the membership layer's outcome for the verdict.
+
+    Agreement is judged over the *live* members only: departed nodes are
+    silenced and crashed-but-not-decommissioned nodes legitimately hold
+    a stale view until they restart or are excised.
+    """
+
+    live = cluster.live_nodes()
+    epochs = {n: cluster.managers[n].view_epoch for n in live}
+    views = {n: tuple(cluster.managers[n].membership) for n in live}
+    join_settle: List[Dict[str, object]] = []
+    drain_begin: Dict[int, float] = {}
+    drain_latency: List[Dict[str, object]] = []
+    for entry in cluster.membership_log:
+        node = int(entry["node"])  # type: ignore[arg-type]
+        at = float(entry["at"])  # type: ignore[arg-type]
+        if entry["event"] == "join":
+            # Settled when the joiner installs its first real view that
+            # contains it (the bootstrap guess is epoch-less, so any
+            # recorded install counts).
+            latency: Optional[float] = None
+            manager = cluster.managers.get(node)
+            if manager is not None:
+                for install in manager.view_installs:
+                    if node in install["members"]:
+                        latency = round(float(install["at"]) - at, 6)
+                        break
+            join_settle.append({"node": node, "settle_latency": latency})
+        elif entry["event"] == "drain-begin":
+            drain_begin[node] = at
+        elif entry["event"] == "drained":
+            started = drain_begin.get(node)
+            drain_latency.append(
+                {
+                    "node": node,
+                    "drain_latency": (
+                        round(at - started, 6)
+                        if started is not None
+                        else None
+                    ),
+                }
+            )
+    managers = cluster.managers.values()
+    info: Dict[str, object] = {
+        "events": list(cluster.membership_log),
+        "joined_nodes": list(joined_nodes),
+        "view_epochs": {str(n): e for n, e in sorted(epochs.items())},
+        "epoch_agreement": len(set(epochs.values())) <= 1,
+        "membership_agreement": len(set(views.values())) <= 1,
+        "join_settle": join_settle,
+        "drain_latency": drain_latency,
+        "views_proposed": sum(m.views_proposed for m in managers),
+        "handoffs_accepted": sum(m.handoffs_accepted for m in managers),
+        "children_adopted": sum(m.children_adopted for m in managers),
+    }
+    if churn_errors:
+        info["churn_errors"] = list(churn_errors)
+    return info
 
 
 def _lease_stats(

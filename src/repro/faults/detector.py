@@ -21,7 +21,12 @@ from ..core.messages import NodeId
 
 
 class HeartbeatDetector:
-    """Tracks last-heard times for a fixed peer set."""
+    """Tracks last-heard times for a peer set.
+
+    The set is fixed between membership changes; view installs call
+    :meth:`add_peer` / :meth:`forget` to keep it aligned with the
+    current view (see :mod:`repro.membership`).
+    """
 
     def __init__(
         self, peers: Iterable[NodeId], timeout: float, now: float = 0.0
@@ -42,6 +47,22 @@ class HeartbeatDetector:
             self._suspected.discard(peer)
             return True
         return False
+
+    def add_peer(self, peer: NodeId, now: float) -> None:
+        """Start tracking *peer* (a view join), with a fresh grace window.
+
+        Idempotent: re-adding a tracked peer neither resets its last-seen
+        time nor clears a standing suspicion.
+        """
+
+        if peer not in self._last_seen:
+            self._last_seen[peer] = now
+
+    def forget(self, peer: NodeId) -> None:
+        """Stop tracking *peer* (a view removal).  Idempotent."""
+
+        self._last_seen.pop(peer, None)
+        self._suspected.discard(peer)
 
     def check(self, now: float) -> List[NodeId]:
         """Advance to *now*; returns peers that just became suspected."""

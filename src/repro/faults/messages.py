@@ -64,12 +64,16 @@ class HeartbeatMessage(Message):
     heartbeat therefore *is* the lease renewal, so a holder that keeps
     beating keeps its holds.  ``restored`` marks a durable rejoin: the
     new incarnation re-owns its journalled holds, so peers cancel any
-    lease-deferred evictions instead of firing them.
+    lease-deferred evictions instead of firing them.  ``view_epoch`` is
+    the sender's installed membership view (see :mod:`repro.membership`);
+    a peer seeing a lower epoch than its own re-sends the current
+    ``ViewInstall``, which is the view anti-entropy path.
     """
 
     boot: int = 0
     leases: Tuple = ()
     restored: bool = False
+    view_epoch: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -126,8 +130,11 @@ MESSAGE_TYPE_LABELS.update(
     }
 )
 
+from ..membership.messages import MEMBERSHIP_TYPES  # noqa: E402
+
 #: Message types the recovery manager consumes itself (everything else
-#: is a raw protocol message bound for the lock space).
+#: is a raw protocol message bound for the lock space).  Includes the
+#: membership (view-change) messages, which the manager also handles.
 RECOVERY_TYPES: Tuple[type, ...] = (
     SessionMessage,
     SessionAck,
@@ -136,4 +143,4 @@ RECOVERY_TYPES: Tuple[type, ...] = (
     TokenProbe,
     TokenAck,
     ReparentMessage,
-)
+) + MEMBERSHIP_TYPES

@@ -151,6 +151,42 @@ class CrashEvent:
             raise ValueError("restart_at must be after the crash time")
 
 
+#: Actions a membership (churn) event can take.
+JOIN, DRAIN, DECOMMISSION = "join", "drain", "decommission"
+
+_CHURN_ACTIONS = frozenset({JOIN, DRAIN, DECOMMISSION})
+
+
+@dataclasses.dataclass(frozen=True)
+class MembershipEvent:
+    """One scheduled membership change (see :mod:`repro.membership`).
+
+    ``join`` boots a brand-new node at ``at`` (``node`` must be ``None``:
+    the harness assigns the next free id and starts a workload on it).
+    ``drain`` gracefully drains ``node`` — holds released, token custody
+    handed off, copyset children migrated — and removes it from the
+    view.  ``decommission`` crashes ``node`` at ``at`` and force-excises
+    it through the suspect/lease machinery (so its leases are revoked
+    and fence floors bumped).  ``successor`` optionally pins the drain
+    handoff target.
+    """
+
+    action: str
+    at: float
+    node: Optional[NodeId] = None
+    successor: Optional[NodeId] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _CHURN_ACTIONS:
+            raise ValueError(f"unknown membership action {self.action!r}")
+        if self.action == JOIN and self.node is not None:
+            raise ValueError("join events get their node id from the harness")
+        if self.action != JOIN and self.node is None:
+            raise ValueError(f"{self.action} events need a target node")
+        if self.successor is not None and self.action != DRAIN:
+            raise ValueError("only drain events take a successor")
+
+
 @dataclasses.dataclass(frozen=True)
 class FaultDecision:
     """What the injector decided for one message."""
@@ -175,13 +211,15 @@ class FaultPlan:
     rules: Tuple[FaultRule, ...] = ()
     partitions: Tuple[Partition, ...] = ()
     crashes: Tuple[CrashEvent, ...] = ()
+    #: Scheduled membership changes (join / drain / decommission).
+    churn: Tuple[MembershipEvent, ...] = ()
     seed: int = 0
     name: str = "custom"
 
     def is_empty(self) -> bool:
         """True iff the plan can never perturb anything."""
 
-        return not (self.rules or self.partitions or self.crashes)
+        return not (self.rules or self.partitions or self.crashes or self.churn)
 
 
 class FaultInjector:
@@ -347,6 +385,51 @@ NAMED_PLANS: Dict[str, Callable[[int], FaultPlan]] = dict(
                 crashes=(CrashEvent(node=0, at=5.0, restart_at=12.0),),
                 seed=seed,
                 name="token-crash",
+            ),
+        ),
+        _named(
+            # Membership churn, gentle: two staggered joins under load.
+            # Each joiner must bootstrap from a state-transfer snapshot,
+            # settle the quorum-gated view change and start taking
+            # grants without ever opening a Rule-1 window.
+            "rolling-join",
+            lambda seed: FaultPlan(
+                churn=(
+                    MembershipEvent(action=JOIN, at=5.0),
+                    MembershipEvent(action=JOIN, at=12.0),
+                ),
+                seed=seed,
+                name="rolling-join",
+            ),
+        ),
+        _named(
+            # Membership churn, graceful: drain node 1 mid-load (holds
+            # released, token custody handed off, children migrated),
+            # then a join backfills capacity.  No waiter may be stranded
+            # by the departure.
+            "graceful-drain",
+            lambda seed: FaultPlan(
+                churn=(
+                    MembershipEvent(action=DRAIN, at=6.0, node=1),
+                    MembershipEvent(action=JOIN, at=14.0),
+                ),
+                seed=seed,
+                name="graceful-drain",
+            ),
+        ),
+        _named(
+            # Membership churn, forced: node 2 dies and is excised via
+            # decommission (lease revocation + fence-floor bumps), and a
+            # replacement joins.  The hardest path: the dead node's
+            # state is reconstructed, not handed off.
+            "kill-and-replace",
+            lambda seed: FaultPlan(
+                churn=(
+                    MembershipEvent(action=DECOMMISSION, at=7.0, node=2),
+                    MembershipEvent(action=JOIN, at=15.0),
+                ),
+                seed=seed,
+                name="kill-and-replace",
             ),
         ),
         _named(

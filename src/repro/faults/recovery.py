@@ -39,6 +39,16 @@ from ..core.lockspace import LockSpace
 from ..core.messages import Envelope, LockId, Message, NodeId
 from ..core.modes import LockMode
 from ..leases import LeaseConfig, LeaseTable, mint_fencing_token
+from ..membership import (
+    ChildMigrate,
+    HandoffMessage,
+    JoinRequest,
+    MembershipView,
+    StateTransfer,
+    ViewAck,
+    ViewInstall,
+    ViewProposal,
+)
 from ..obs.sink import ObsSink
 from ..services.sessions import SessionManager
 from .channel import ReliableChannel
@@ -222,6 +232,29 @@ class RecoveryManager:
         self.sessions_gced = 0
         #: Report of the last :meth:`rejoin_from_journal`, if any.
         self.rejoin_report: Optional[Dict[str, object]] = None
+        # -- membership (see repro.membership / docs/MEMBERSHIP.md) ------
+        #: Epoch of the installed membership view; 0 is the bootstrap
+        #: view (the construction-time member list).
+        self.view_epoch = 0
+        #: Last installed view, kept for anti-entropy re-broadcast.
+        self._view_record: Optional[Dict[str, object]] = None
+        #: Proposer state of an in-flight view change, if any.
+        self._view_pending: Optional[Dict[str, object]] = None
+        #: Highest ``(epoch, proposer)`` promised; later proposals win.
+        self._view_promised: Tuple[int, int] = (0, -1)
+        #: Nodes excised by an installed view — their stale traffic is
+        #: dropped wholesale and they are never re-suspected.
+        self._departed: Set[NodeId] = set()
+        #: Graceful-departure driver state (this node is leaving).
+        self._departure: Optional[Dict[str, object]] = None
+        self._departing = False
+        #: Joiner-side admission loop state (this node wants in).
+        self._join_state: Optional[Dict[str, object]] = None
+        #: Log of installed views (verdicts / tests): one dict per install.
+        self.view_installs: List[Dict[str, object]] = []
+        self.views_proposed = 0
+        self.handoffs_accepted = 0
+        self.children_adopted = 0
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -322,6 +355,8 @@ class RecoveryManager:
                 custody_pending=tuple(sorted(self._rejoin)),
                 durability=durability,
                 leases=leases,
+                view_epoch=self.view_epoch,
+                view_members=tuple(self.membership),
             )
 
     # ------------------------------------------------------------------
@@ -606,6 +641,11 @@ class RecoveryManager:
         with self._mutex:
             if not self._running:
                 return []
+            if message.sender in self._departed:
+                # Stale traffic from an excised node: its token (if any)
+                # was handed off or regenerated and its copyset entries
+                # evicted at view install; nothing it says is current.
+                return []
             # A SessionAck's ``boot`` echoes the acked FRAME's boot (the
             # receiver of this ack), not the ack sender's incarnation.
             # Reading it as the sender's would make every peer acking a
@@ -631,6 +671,20 @@ class RecoveryManager:
                 self._on_token_ack(message)
             elif isinstance(message, ReparentMessage):
                 self._on_reparent(message)
+            elif isinstance(message, ViewProposal):
+                self._on_view_proposal(message)
+            elif isinstance(message, ViewAck):
+                self._on_view_ack(message)
+            elif isinstance(message, ViewInstall):
+                self._on_view_install(message)
+            elif isinstance(message, JoinRequest):
+                self._on_join_request(message)
+            elif isinstance(message, StateTransfer):
+                self._on_state_transfer(message)
+            elif isinstance(message, HandoffMessage):
+                self._on_handoff(message)
+            elif isinstance(message, ChildMigrate):
+                self._on_child_migrate(message)
             else:
                 # A raw (unsessioned) protocol message; tolerated so the
                 # manager can also front a plain reliable transport.
@@ -668,6 +722,10 @@ class RecoveryManager:
         self.lease_renewals_received += self.remote_leases.observe(
             message.sender, message.leases, now
         )
+        if message.view_epoch < self.view_epoch:
+            # View anti-entropy: the sender runs a stale view (lost the
+            # install, or is a joiner still on its bootstrap view).
+            self._send_view_install(message.sender)
 
     def _note_life(self, peer: NodeId, boot: Optional[int]) -> None:
         now = self._scheduler.now()
@@ -755,6 +813,7 @@ class RecoveryManager:
             "custody": [],
             "reasserted": 0,
             "snapshot_mismatches": 0,
+            "reclaim_partial_fanout": 0,
         }
         with self._mutex:
             for lock_id in sorted(state):
@@ -783,6 +842,7 @@ class RecoveryManager:
                     for _ in range(int(count)):
                         if reclaim is not None and reclaim(lock_id, mode):
                             report["holds_reclaimed"] += 1
+                            self._check_reclaim_fanout(lock_id, report)
                             continue
                         self._dispatch_replay(
                             self.lockspace.release(lock_id, mode)
@@ -805,6 +865,31 @@ class RecoveryManager:
                 if self.obs is not None:
                     self.obs.fault("rejoin", self.node_id)
         return report
+
+    def _check_reclaim_fanout(
+        self, lock_id: LockId, report: Dict[str, object]
+    ) -> None:
+        """Warn when a reclaimed hold's pre-crash advertisement was partial.
+
+        Reclaim safety rests on the hold's lease having been advertised
+        by broadcast heartbeat, so that peers pinned the copyset entry
+        while this node was down (PROTOCOL.md §14).  The session journal
+        records how many live peers each advertisement actually reached;
+        if that fan-out never covered a quorum of the current view, the
+        pinning assumption is unproven — surface it as a fault event
+        instead of reclaiming silently.
+        """
+
+        fanout = self.sessions.advert_fanout(lock_id)
+        if fanout is None:
+            return  # Pre-fanout journal payload: nothing recorded.
+        reached = fanout + 1  # The advertiser itself counts.
+        if reached * 2 <= len(self.membership):
+            report["reclaim_partial_fanout"] = (
+                int(report.get("reclaim_partial_fanout", 0)) + 1
+            )
+            if self.obs is not None:
+                self.obs.fault("reclaim-partial-fanout", self.node_id)
 
     def _begin_rejoin(self, lock_id: LockId, epoch: int) -> None:
         entry = self._rejoin.get(lock_id)
@@ -932,6 +1017,7 @@ class RecoveryManager:
             # renewed locally and the full set is advertised so peers'
             # mirrors extend in lockstep.  No extra messages per lease.
             now = self._scheduler.now()
+            self._sweep_departed_traces()
             if not self._fenced:
                 for row in self.own_leases.export():
                     self.own_leases.renew(str(row[0]), self.node_id, now)
@@ -942,8 +1028,12 @@ class RecoveryManager:
             # journaled session payload must record it before the beat
             # leaves — a crash between grant and first advertisement
             # leaves the hold correctly un-reclaimable.
+            peers = [n for n in self.membership if n != self.node_id]
+            fanout = len(
+                [p for p in peers if not self.detector.is_suspected(p)]
+            )
             if leases and self.sessions.note_advertised(
-                [row[0] for row in leases]
+                [row[0] for row in leases], fanout=fanout
             ):
                 self._journal_sessions()
             beat = HeartbeatMessage(
@@ -952,13 +1042,62 @@ class RecoveryManager:
                 boot=self.boot,
                 leases=leases,
                 restored=self._restored,
+                view_epoch=self.view_epoch,
             )
-            peers = [n for n in self.membership if n != self.node_id]
             self._scheduler.call_later(
                 self.config.heartbeat_interval, self._heartbeat_tick
             )
         for peer in peers:
             self._raw_send(peer, beat)
+
+    def _sweep_departed_traces(self) -> None:
+        """Evict any copyset/queue trace of a departed node (called from
+        the heartbeat tick, under the mutex).
+
+        View install already excises the departed everywhere, but a
+        trace can be re-learned afterwards through an indirect path the
+        departed-sender guard cannot see: a relayed request (live
+        sender, departed origin) or the queue payload riding a custody
+        ``TokenMessage``.  Granting such a request records the dead node
+        as a child whose release can never come, wedging the queue
+        behind it forever — so sweep once per beat; eviction replays the
+        clean-release path and unblocks anything queued behind the
+        ghost.
+
+        The sweep also heals stale *parent* pointers at departed peers.
+        View install rehomes the automata that exist at that moment, but
+        an automaton instantiated later (a node's first request for a
+        lock whose static token home has since left) starts with its
+        configured default parent — a dead letterbox: the request would
+        be sent into the void and strand forever.  Such parents go
+        through the orphan probe, whose announce reattaches the node to
+        the live holder and retries anything pending.
+        """
+
+        if not self._departed:
+            return
+        for automaton in list(self.lockspace.automata()):
+            stale = set(automaton.children) & self._departed
+            stale.update(
+                req.origin
+                for req in automaton.queued_requests
+                if req.origin in self._departed
+            )
+            for peer in sorted(stale):
+                self._dispatch(automaton.evict_child(peer))
+            hint = self._token_hints.get(automaton.lock_id)
+            if (
+                automaton.parent in self._departed
+                and not automaton.has_token
+                and automaton.lock_id not in self._orphans
+                and automaton.lock_id not in self._probes
+                # A hint naming ourselves is our own regeneration claim
+                # riding out its settle window; re-probing now would
+                # supersede it with a fresh epoch every beat and the
+                # token would never actually regenerate.
+                and (hint is None or hint[0] != self.node_id)
+            ):
+                self._start_orphan(automaton.lock_id, automaton.parent)
 
     def _failure_tick(self) -> None:
         with self._mutex:
@@ -1330,10 +1469,16 @@ class RecoveryManager:
         if probe is not None and msg.epoch >= int(probe["epoch"]):
             # Another coordinator resolved this lock while we probed.
             del self._probes[msg.lock_id]
-        self._apply_reparent(msg.lock_id, msg.parent, msg.epoch)
+        self._apply_reparent(
+            msg.lock_id, msg.parent, msg.epoch, sender=msg.sender
+        )
 
     def _apply_reparent(
-        self, lock_id: LockId, holder: NodeId, epoch: int
+        self,
+        lock_id: LockId,
+        holder: NodeId,
+        epoch: int,
+        sender: Optional[NodeId] = None,
     ) -> None:
         rejoin = self._rejoin.get(lock_id)
         if rejoin is not None:
@@ -1354,9 +1499,671 @@ class RecoveryManager:
             orphaned[1] += 1  # Stop the report timer.
         needs_home = orphaned is not None or (
             automaton.parent is not None
-            and self.detector.is_suspected(automaton.parent)
+            and (
+                # A departed parent is as gone as a suspected one, but
+                # gracefully removed peers never trip the failure
+                # detector — without this, a node that coordinated its
+                # own orphan probe (no _orphans entry) would keep its
+                # stale hint at the leaver forever.
+                self.detector.is_suspected(automaton.parent)
+                or automaton.parent in self._departed
+            )
         )
+        if (
+            not needs_home
+            and sender is not None
+            and sender == automaton.parent
+            and holder != sender
+        ):
+            # A parent-directed reparent: our own (live) parent tells us
+            # to attach elsewhere — the graceful-departure child
+            # migration (see repro.membership).  Authoritative because
+            # only the current parent may retract an attachment it
+            # accounts for, and it recorded us at *holder* first.
+            needs_home = True
         if needs_home and not automaton.has_token:
             self._dispatch(automaton.reattach(holder))
             if automaton.pending_mode is not LockMode.NONE:
                 self._arm_retry(lock_id)
+
+    # ------------------------------------------------------------------
+    # Membership: view changes, join, graceful leave, decommission
+    # (see repro.membership and docs/MEMBERSHIP.md).
+    # ------------------------------------------------------------------
+
+    @property
+    def view(self) -> MembershipView:
+        """The currently installed membership view."""
+
+        return MembershipView(self.view_epoch, tuple(self.membership))
+
+    @property
+    def departing(self) -> bool:
+        """True while this node is gracefully leaving the cluster."""
+
+        return self._departing
+
+    @property
+    def has_left(self) -> bool:
+        """True once this node's own removal view has been installed."""
+
+        return self._departure is not None and self.node_id not in self.membership
+
+    def adopt_view(self, payload: Dict[str, object]) -> None:
+        """Adopt a journalled view (durable restart, before :meth:`start`).
+
+        Restarting into the *bootstrap* member list would resurrect
+        departed nodes and mis-size every quorum; the WAL records each
+        installed view so a restarted node rejoins the current one.
+        """
+
+        with self._mutex:
+            epoch = int(payload.get("epoch", 0))
+            if epoch < self.view_epoch:
+                return
+            members = sorted(int(n) for n in payload.get("members", ()))
+            self.view_epoch = epoch
+            if members:
+                self.membership = members
+            self._departed = {int(n) for n in payload.get("departed", ())}
+            if epoch:
+                self._view_record = {
+                    "epoch": epoch,
+                    "members": tuple(self.membership),
+                    "joined": (),
+                    "removed": tuple(sorted(self._departed)),
+                    "forced": False,
+                }
+            now = self._scheduler.now()
+            tracked = set(self.detector.live_peers()) | self.detector.suspected
+            for peer in self.membership:
+                if peer != self.node_id:
+                    self.detector.add_peer(peer, now)
+            for peer in tracked:
+                if peer not in self.membership:
+                    self.detector.forget(peer)
+
+    def propose_view(
+        self,
+        joined: Iterable[NodeId] = (),
+        removed: Iterable[NodeId] = (),
+        forced: bool = False,
+    ) -> int:
+        """Start a two-phase view change; returns the proposed epoch.
+
+        Quorum is counted over the *current* (pre-change) view, mirroring
+        the token-regeneration pattern: the proposer acks itself, collects
+        :class:`ViewAck` from a majority of current members, then installs
+        and broadcasts.  The proposal is re-sent on the orphan interval
+        until installed or superseded by a higher-epoch install.
+        """
+
+        with self._mutex:
+            joined = tuple(sorted(set(joined)))
+            removed = tuple(sorted(set(removed)))
+            members = tuple(
+                sorted((set(self.membership) | set(joined)) - set(removed))
+            )
+            base_epoch = self.view_epoch
+            if self._view_pending is not None:
+                base_epoch = max(
+                    base_epoch, int(self._view_pending["epoch"])
+                )
+            epoch = base_epoch + 1
+            pending = self._view_pending = {
+                "epoch": epoch,
+                "members": members,
+                "joined": joined,
+                "removed": removed,
+                "forced": bool(forced),
+                "acks": {self.node_id},
+                "base": tuple(self.membership),
+                "generation": 0,
+            }
+            self.views_proposed += 1
+            self._view_promised = max(
+                self._view_promised, (epoch, self.node_id)
+            )
+            if self.obs is not None:
+                self.obs.fault("view-propose", epoch)
+            self._send_proposal(pending)
+            self._maybe_install_pending()
+            if self._view_pending is pending:
+                self._scheduler.call_later(
+                    self.config.orphan_interval,
+                    lambda: self._view_propose_fire(epoch, 0),
+                )
+            return epoch
+
+    def _send_proposal(self, pending: Dict[str, object]) -> None:
+        message = ViewProposal(
+            lock_id="",
+            sender=self.node_id,
+            epoch=int(pending["epoch"]),
+            members=tuple(pending["members"]),
+            joined=tuple(pending["joined"]),
+            removed=tuple(pending["removed"]),
+            forced=bool(pending["forced"]),
+        )
+        for peer in pending["base"]:
+            if (
+                peer == self.node_id
+                or peer in pending["acks"]
+                or peer in self._departed
+                or self.detector.is_suspected(peer)
+            ):
+                continue
+            self._raw_send(peer, message)
+
+    def _view_propose_fire(self, epoch: int, generation: int) -> None:
+        with self._mutex:
+            pending = self._view_pending
+            if (
+                not self._running
+                or pending is None
+                or int(pending["epoch"]) != epoch
+                or int(pending["generation"]) != generation
+            ):
+                return
+            self._send_proposal(pending)
+            self._scheduler.call_later(
+                self.config.orphan_interval,
+                lambda: self._view_propose_fire(epoch, generation),
+            )
+
+    def _maybe_install_pending(self) -> None:
+        pending = self._view_pending
+        if pending is None:
+            return
+        quorum = len(pending["base"]) // 2 + 1
+        if len(pending["acks"]) < quorum:
+            return
+        self._view_pending = None
+        epoch = int(pending["epoch"])
+        members = tuple(pending["members"])
+        joined = tuple(pending["joined"])
+        removed = tuple(pending["removed"])
+        forced = bool(pending["forced"])
+        self._install_view(
+            epoch, members, joined=joined, removed=removed, forced=forced
+        )
+        message = ViewInstall(
+            lock_id="",
+            sender=self.node_id,
+            epoch=epoch,
+            members=members,
+            joined=joined,
+            removed=removed,
+            forced=forced,
+        )
+        for peer in sorted(set(pending["base"]) | set(members)):
+            if peer != self.node_id:
+                self._raw_send(peer, message)
+        for peer in joined:
+            if peer != self.node_id:
+                self._state_transfer(peer)
+
+    def _on_view_proposal(self, msg: ViewProposal) -> None:
+        if msg.epoch <= self.view_epoch:
+            # Stale proposer (it missed an install): catch it up instead.
+            self._send_view_install(msg.sender)
+            return
+        if (msg.epoch, msg.sender) < self._view_promised:
+            return
+        self._view_promised = (msg.epoch, msg.sender)
+        self._raw_send(
+            msg.sender,
+            ViewAck(lock_id="", sender=self.node_id, epoch=msg.epoch),
+        )
+
+    def _on_view_ack(self, msg: ViewAck) -> None:
+        pending = self._view_pending
+        if pending is None or msg.epoch != int(pending["epoch"]):
+            return
+        pending["acks"].add(msg.sender)
+        self._maybe_install_pending()
+
+    def _on_view_install(self, msg: ViewInstall) -> None:
+        self._install_view(
+            msg.epoch,
+            msg.members,
+            joined=msg.joined,
+            removed=msg.removed,
+            forced=msg.forced,
+        )
+
+    def _install_view(
+        self,
+        epoch: int,
+        members: Iterable[NodeId],
+        joined: Iterable[NodeId] = (),
+        removed: Iterable[NodeId] = (),
+        forced: bool = False,
+    ) -> bool:
+        """Install a view if *epoch* beats the current one.  Idempotent.
+
+        Effective joins/removals are computed against the *local* member
+        list (not just the install's announced delta), so a node catching
+        up across several missed views still excises everyone who left.
+        """
+
+        epoch = int(epoch)
+        if epoch <= self.view_epoch:
+            return False
+        old = set(self.membership)
+        new = sorted({int(n) for n in members})
+        joined_eff = sorted((set(new) - old) | set(joined))
+        removed_eff = sorted((old - set(new)) | set(removed))
+        self.view_epoch = epoch
+        self.membership = new
+        self._view_record = {
+            "epoch": epoch,
+            "members": tuple(new),
+            "joined": tuple(joined_eff),
+            "removed": tuple(removed_eff),
+            "forced": bool(forced),
+        }
+        now = self._scheduler.now()
+        self.view_installs.append(dict(self._view_record, at=now))
+        if (
+            self._view_pending is not None
+            and int(self._view_pending["epoch"]) <= epoch
+        ):
+            self._view_pending = None
+        for peer in joined_eff:
+            if peer == self.node_id:
+                continue
+            self._departed.discard(peer)
+            self.detector.add_peer(peer, now)
+        for peer in removed_eff:
+            if peer == self.node_id:
+                continue  # Our own removal: the departure driver owns it.
+            self._excise(peer, forced)
+        if self.obs is not None:
+            self.obs.fault("view-install", epoch)
+        if self.journal is not None:
+            self.journal.record_view(self.view_journal_payload())
+        return True
+
+    def view_journal_payload(self) -> Optional[Dict[str, object]]:
+        """The installed view as a journal payload (None at bootstrap)."""
+
+        if self.view_epoch == 0:
+            return None
+        return {
+            "epoch": self.view_epoch,
+            "members": list(self.membership),
+            "departed": sorted(self._departed),
+        }
+
+    def _excise(self, peer: NodeId, forced: bool) -> None:
+        """Purge every trace of a removed member.
+
+        For a graceful leaver this is a safety net (it drained before
+        proposing its removal; at most a final in-flight release is
+        made redundant here).  For a forced decommission it is the
+        excision itself: fence out the dead node's leases, evict its
+        copyset entries and re-home anything still attached under it
+        through the ordinary orphan/regeneration flow.
+        """
+
+        self._departed.add(peer)
+        self.detector.forget(peer)
+        self.channel.stop_peer(peer)
+        self._peer_boots.pop(peer, None)
+        self._deferred_evictions.pop(peer, None)
+        for lock_id in [
+            lock
+            for lock, (holder, _epoch) in self._token_hints.items()
+            if holder == peer
+        ]:
+            del self._token_hints[lock_id]
+        if forced:
+            for lease in [
+                lease
+                for lease in self.remote_leases.leases()
+                if lease.holder == peer
+            ]:
+                self.remote_leases.drop(lease.lock, lease.holder)
+                self.leases_revoked += 1
+                self.lockspace.automaton(lease.lock).raise_fence_floor(
+                    lease.token
+                )
+                if self.obs is not None:
+                    self.obs.fault("lease-revoke", peer)
+                if self.forced_release_hook is not None:
+                    self.forced_release_hook(peer, lease.lock)
+        for automaton in list(self.lockspace.automata()):
+            self._dispatch(automaton.evict_child(peer))
+            if automaton.parent == peer and not automaton.has_token:
+                self._rehome_after_excision(automaton, peer, forced)
+
+    def _rehome_after_excision(
+        self, automaton, peer: NodeId, forced: bool
+    ) -> None:
+        # Orphan → probe → announce for both flavours of removal.  For a
+        # forced decommission the dead node may have taken the token with
+        # it, so the quorum-gated regeneration flow settles custody (with
+        # the fence-floor bumps its announce carries).  For a graceful
+        # leaver this only re-homes a routing hint — but we deliberately
+        # do NOT shortcut through the local token hint or an arbitrary
+        # live member: ordinary custody transfers never broadcast, so
+        # hints go stale fast under load, and two excised orphans
+        # guessing at each other's position can weave a mutual
+        # parent-hint cycle that deadlocks both (each queues the other's
+        # request while requesting through it).  The probe finds the live
+        # holder, whose epoch-stamped announce is acyclic by
+        # construction.
+        self._start_orphan(automaton.lock_id, peer)
+
+    def _send_view_install(self, dest: NodeId) -> None:
+        record = self._view_record
+        if record is None or dest in self._departed:
+            return
+        self._raw_send(
+            dest,
+            ViewInstall(
+                lock_id="",
+                sender=self.node_id,
+                epoch=int(record["epoch"]),
+                members=tuple(record["members"]),
+                joined=tuple(record["joined"]),
+                removed=tuple(record["removed"]),
+                forced=bool(record["forced"]),
+            ),
+        )
+        if dest in self.membership:
+            self._state_transfer(dest)
+
+    def _state_transfer(self, dest: NodeId) -> None:
+        hints = tuple(
+            sorted(
+                (lock_id, holder, epoch)
+                for lock_id, (holder, epoch) in self._token_hints.items()
+                if holder not in self._departed
+            )
+        )
+        floors = tuple(
+            sorted(
+                (automaton.lock_id, automaton.fence_floor)
+                for automaton in self.lockspace.automata()
+                if automaton.fence_floor
+            )
+        )
+        self._raw_send(
+            dest,
+            StateTransfer(
+                lock_id="",
+                sender=self.node_id,
+                view_epoch=self.view_epoch,
+                members=tuple(self.membership),
+                hints=hints,
+                floors=floors,
+            ),
+        )
+
+    def _on_state_transfer(self, msg: StateTransfer) -> None:
+        self._install_view(msg.view_epoch, msg.members)
+        for lock_id, holder, epoch in msg.hints:
+            if holder in self._departed:
+                continue
+            self._note_hint(str(lock_id), int(holder), int(epoch))
+        for lock_id, floor in msg.floors:
+            self.lockspace.automaton(str(lock_id)).raise_fence_floor(
+                int(floor)
+            )
+
+    # -- join --------------------------------------------------------------
+
+    def request_join(self, sponsor: NodeId) -> None:
+        """Joiner side: ask *sponsor* to admit us, re-sending until a view
+        (which will include us) is installed here."""
+
+        with self._mutex:
+            if self._join_state is not None:
+                return
+            self._join_state = {"sponsor": sponsor, "generation": 0}
+            self._join_fire(0)
+
+    def _join_fire(self, generation: int) -> None:
+        with self._mutex:
+            state = self._join_state
+            if (
+                not self._running
+                or state is None
+                or int(state["generation"]) != generation
+            ):
+                return
+            if self._view_record is not None:
+                self._join_state = None  # Admitted (any install counts).
+                return
+            self._raw_send(
+                int(state["sponsor"]),
+                JoinRequest(lock_id="", sender=self.node_id),
+            )
+            self._scheduler.call_later(
+                self.config.orphan_interval,
+                lambda: self._join_fire(generation),
+            )
+
+    def _on_join_request(self, msg: JoinRequest) -> None:
+        joiner = msg.sender
+        if joiner in self.membership:
+            # Already admitted; the install/state transfer may have been
+            # lost on the wire — re-send both.
+            self._send_view_install(joiner)
+            return
+        pending = self._view_pending
+        if pending is not None and joiner in pending["joined"]:
+            return  # Admission already in flight.
+        self.propose_view(joined=(joiner,))
+
+    # -- graceful leave ----------------------------------------------------
+
+    def begin_leave(self, successor: Optional[NodeId] = None) -> NodeId:
+        """Start draining this node out of the cluster.
+
+        Abandons its pending requests, force-releases any residual holds,
+        then (driven by the leave tick) hands off token custody to
+        *successor*, migrates its copyset children, and finally proposes
+        a view without itself.  Returns the chosen successor.  The caller
+        should keep the node's transport running until :attr:`has_left`.
+        """
+
+        with self._mutex:
+            if self._departure is not None:
+                return int(self._departure["successor"])
+            candidates = [
+                n
+                for n in self.membership
+                if n != self.node_id
+                and n not in self._departed
+                and not self.detector.is_suspected(n)
+            ]
+            if successor is None:
+                if not candidates:
+                    raise ValueError(
+                        f"node {self.node_id} has no live successor to "
+                        f"drain to"
+                    )
+                successor = min(candidates)
+            self._departing = True
+            self._departure = {
+                "successor": successor,
+                "generation": 0,
+                "started": self._scheduler.now(),
+            }
+            if self.obs is not None:
+                self.obs.fault("leave-begin", self.node_id)
+            for automaton in list(self.lockspace.automata()):
+                self._dispatch(automaton.begin_departure())
+                self._dispatch_replay(automaton.abandon_pending())
+                snap = automaton.snapshot()
+                for mode_name, count in snap.held:
+                    mode = LockMode(str(mode_name))
+                    for _ in range(int(count)):
+                        self._dispatch(
+                            self.lockspace.release(automaton.lock_id, mode)
+                        )
+                if snap.held and self.forced_release_hook is not None:
+                    self.forced_release_hook(self.node_id, automaton.lock_id)
+            self.own_leases.clear()
+            self.sessions.expire_all()
+            self._journal_sessions()
+            self._leave_tick(0)
+            return successor
+
+    def departure_complete(self) -> bool:
+        """True when nothing is left to drain: no token custody, no
+        copyset children, no holds, no pending request, empty queues."""
+
+        with self._mutex:
+            for automaton in list(self.lockspace.automata()):
+                snap = automaton.snapshot()
+                if (
+                    snap.believes_token
+                    or snap.children
+                    or snap.held
+                    or snap.pending is not None
+                    or snap.queue
+                ):
+                    return False
+            return True
+
+    def _leave_tick(self, generation: int) -> None:
+        with self._mutex:
+            dep = self._departure
+            if (
+                not self._running
+                or dep is None
+                or int(dep["generation"]) != generation
+            ):
+                return
+            if self.node_id not in self.membership:
+                # Our removal view is installed: departure complete.
+                dep["generation"] = generation + 1
+                if self.obs is not None:
+                    self.obs.fault("departed", self.node_id)
+                return
+            successor = int(dep["successor"])
+            if (
+                successor in self._departed
+                or successor not in self.membership
+                or self.detector.is_suspected(successor)
+            ):
+                candidates = [
+                    n
+                    for n in self.membership
+                    if n != self.node_id
+                    and n not in self._departed
+                    and not self.detector.is_suspected(n)
+                ]
+                if candidates:
+                    successor = min(candidates)
+                    dep["successor"] = successor
+            for automaton in list(self.lockspace.automata()):
+                lock_id = automaton.lock_id
+                if automaton.has_token:
+                    # Custody first; children migrate only after the
+                    # successor's announce demotes us under it.
+                    self._raw_send(
+                        successor,
+                        HandoffMessage(
+                            lock_id=lock_id,
+                            sender=self.node_id,
+                            epoch=automaton.token_epoch,
+                        ),
+                    )
+                    continue
+                parent = automaton.parent
+                if parent is None or parent in self._departed:
+                    continue
+                for child, mode in sorted(automaton.children.items()):
+                    if child == parent or child in self._departed:
+                        continue
+                    # Adopt-then-reparent, in that order: the new parent
+                    # records the child's mode before the child is told
+                    # to detach from us, so the subtree is accounted for
+                    # somewhere under every message ordering.
+                    self._raw_send(
+                        parent,
+                        ChildMigrate(
+                            lock_id=lock_id,
+                            sender=self.node_id,
+                            child=child,
+                            mode=mode,
+                            seq=automaton.child_attachment_seq(child),
+                        ),
+                    )
+                    self._raw_send(
+                        child,
+                        ReparentMessage(
+                            lock_id=lock_id,
+                            sender=self.node_id,
+                            parent=parent,
+                            epoch=automaton.token_epoch,
+                        ),
+                    )
+            if self.departure_complete() and self._view_pending is None:
+                self.propose_view(removed=(self.node_id,))
+            self._scheduler.call_later(
+                self.config.orphan_interval,
+                lambda: self._leave_tick(generation),
+            )
+
+    def _on_handoff(self, msg: HandoffMessage) -> None:
+        if self._departing:
+            return  # Leaving ourselves; cannot take custody.
+        automaton = self.lockspace.automaton(msg.lock_id)
+        if automaton.has_token:
+            if not automaton.custody_pending:
+                # Re-sent offer after we already took custody: re-announce
+                # so the leaver's demotion cannot be lost.
+                self._announce(
+                    msg.lock_id,
+                    self.node_id,
+                    automaton.token_epoch,
+                    broadcast=True,
+                )
+            return
+        if msg.lock_id in self._rejoin:
+            return  # Custody already being settled.
+        epoch = max(int(msg.epoch), automaton.token_epoch) + 1
+        self._dispatch_replay(automaton.accept_handoff(epoch))
+        self.handoffs_accepted += 1
+        if self.obs is not None:
+            self.obs.fault("handoff-accept", msg.sender)
+        # Same settle handshake as a durable custody restore: probe for
+        # contrary evidence, confirm after the window, then serve.  The
+        # broadcast announce is what demotes the departing holder and
+        # re-homes everyone's hints meanwhile.
+        self._begin_rejoin(msg.lock_id, epoch)
+        self._announce(msg.lock_id, self.node_id, epoch, broadcast=True)
+
+    def _on_child_migrate(self, msg: ChildMigrate) -> None:
+        if msg.child in self._departed:
+            return
+        automaton = self.lockspace.automaton(msg.lock_id)
+        self._dispatch(
+            automaton.adopt_child(msg.child, msg.mode, int(msg.seq))
+        )
+        self.children_adopted += 1
+
+    # -- decommission ------------------------------------------------------
+
+    def decommission(self, node: NodeId) -> int:
+        """Force-remove a (dead) *node* from the view; returns the epoch.
+
+        Must be called on a live member.  The installed view fences the
+        dead node's leases, evicts its copyset entries everywhere and
+        routes any orphans through the ordinary regeneration flow.
+        """
+
+        with self._mutex:
+            if node == self.node_id:
+                raise ValueError("a node cannot decommission itself")
+            if node not in self.membership:
+                return self.view_epoch  # Already excised.
+            if self.obs is not None:
+                self.obs.fault("decommission", node)
+            return self.propose_view(removed=(node,), forced=True)

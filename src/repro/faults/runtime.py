@@ -305,6 +305,13 @@ class ResilientBlockingClient:
         cluster = self._cluster
         if cluster.is_crashed(self._node_id):
             raise SimulationError(f"node {self._node_id} is crashed")
+        if (
+            self._node_id in cluster._departed_nodes
+            or cluster.managers[self._node_id].departing
+        ):
+            raise SimulationError(
+                f"node {self._node_id} is leaving the cluster"
+            )
         cluster._record_request(self._node_id, lock_id, mode)
         waiter = _Waiter()
         cluster.managers[self._node_id].request(lock_id, mode, waiter)
@@ -320,6 +327,12 @@ class ResilientBlockingClient:
         cluster = self._cluster
         if cluster.is_crashed(self._node_id):
             raise SimulationError(f"node {self._node_id} is crashed")
+        if (
+            self._node_id in cluster._departed_nodes
+            or cluster.managers[self._node_id].departing
+        ):
+            # ``begin_leave`` already force-released every residual hold.
+            return
         cluster._record_release(self._node_id, lock_id, mode)
         cluster.managers[self._node_id].release(lock_id, mode)
 
@@ -367,6 +380,13 @@ class ResilientThreadedCluster:
         self.durability_log: List[Dict[str, object]] = []
         self._crashed: Set[NodeId] = set()
         self.crash_log: List[Dict[str, object]] = []
+        #: Current member node ids (mirrors the installed view; see
+        #: :mod:`repro.membership`).
+        self.members: List[NodeId] = list(range(num_nodes))
+        #: Nodes that have left for good (drained or decommissioned).
+        self._departed_nodes: Set[NodeId] = set()
+        #: One entry per membership event (join / drain / decommission).
+        self.membership_log: List[Dict[str, object]] = []
         #: Per-node flight recorders (see :mod:`repro.obs.flightrec`);
         #: ``None`` disables black-box recording.
         self.flight = None
@@ -396,7 +416,13 @@ class ResilientThreadedCluster:
 
     # -- node lifecycle ----------------------------------------------------
 
-    def _boot_node(self, node_id: NodeId, boot: int, fresh: bool) -> None:
+    def _boot_node(
+        self,
+        node_id: NodeId,
+        boot: int,
+        fresh: bool,
+        membership: Optional[List[NodeId]] = None,
+    ) -> None:
         lockspace = LockSpace(
             node_id=node_id,
             token_home=self._token_home,
@@ -405,14 +431,25 @@ class ResilientThreadedCluster:
         )
         lockspace.obs = self.obs
         if self.flight is not None:
-            recorder = self.flight[node_id]
+            from ..obs.flightrec import FlightRecorder
+
+            recorder = self.flight.setdefault(
+                node_id,
+                FlightRecorder(
+                    node_id,
+                    protocol="hierarchical",
+                    clock=self.scheduler.now,
+                ),
+            )
             if not fresh:
                 recorder.record_restart()
             recorder.attach(lockspace)
         manager = RecoveryManager(
             node_id=node_id,
             lockspace=lockspace,
-            membership=range(self.num_nodes),
+            membership=(
+                membership if membership is not None else list(self.members)
+            ),
             scheduler=self.scheduler,
             transport_send=self._make_sender(node_id),
             config=self.config,
@@ -431,6 +468,7 @@ class ResilientThreadedCluster:
                 obs=self.obs,
             )
             journal.attach(lockspace)
+            journal.view_source = manager.view_journal_payload
             self.journals[node_id] = journal
             manager.journal = journal
         if fresh:
@@ -488,6 +526,8 @@ class ResilientThreadedCluster:
 
         if node_id not in self._crashed:
             return
+        if node_id in self._departed_nodes:
+            return  # Decommissioned while down: it no longer exists.
         self._crashed.discard(node_id)
         boot = self.managers[node_id].boot + 1
         self._boot_node(node_id, boot=boot, fresh=False)
@@ -495,11 +535,16 @@ class ResilientThreadedCluster:
         # Fabric first: rejoin replay dispatches messages immediately.
         self.transport.restart(node_id)
         if self.persistence is not None:
-            from ..persist import recover_node_state
+            from ..persist import VIEW_JOURNAL_KEY, recover_node_state
 
             state, recover_report = recover_node_state(
                 self.persistence.store_for(node_id)
             )
+            # The journalled view first: quorum sizes and the departed
+            # set of everything below derive from it.
+            view_payload = state.pop(VIEW_JOURNAL_KEY, None)
+            if view_payload is not None:
+                manager.adopt_view(view_payload)
             rejoin_report = manager.rejoin_from_journal(state)
             self.durability_log.append(
                 {
@@ -526,6 +571,151 @@ class ResilientThreadedCluster:
         """Return the blocking client of *node_id*."""
 
         return self.clients[node_id]
+
+    def live_nodes(self) -> List[NodeId]:
+        """Current members that are up, ascending."""
+
+        return [n for n in self.members if n not in self._crashed]
+
+    # -- dynamic membership (see repro.membership / docs/MEMBERSHIP.md) ----
+
+    def join_node(self) -> NodeId:
+        """Admit a brand-new node into the running cluster.
+
+        The transport registers the node's dispatcher on the fly; the
+        lowest live member sponsors the quorum-gated view change.
+        """
+
+        live = self.live_nodes()
+        if not live:
+            raise SimulationError("no live member can sponsor a join")
+        sponsor = min(live)
+        node_id = self.num_nodes
+        self.num_nodes += 1
+        bootstrap = sorted(
+            set(self.managers[sponsor].membership) | {node_id}
+        )
+        self.members.append(node_id)
+        self._boot_node(node_id, boot=0, fresh=True, membership=bootstrap)
+        manager = self.managers[node_id]
+        manager.start()
+        manager.request_join(sponsor)
+        self.clients.append(ResilientBlockingClient(self, node_id))
+        self.membership_log.append(
+            {
+                "at": round(self.scheduler.now(), 6),
+                "event": "join",
+                "node": node_id,
+                "sponsor": sponsor,
+            }
+        )
+        if self.obs is not None:
+            self.obs.fault("join", node_id)
+        return node_id
+
+    def drain_node(
+        self,
+        node_id: NodeId,
+        successor: Optional[NodeId] = None,
+        timeout: float = 30.0,
+    ) -> NodeId:
+        """Gracefully remove *node_id*, blocking until its removal view
+        is installed (wall-clock *timeout*).  Returns the successor."""
+
+        import time
+
+        if node_id in self._crashed:
+            raise SimulationError(
+                f"node {node_id} is crashed; decommission it instead"
+            )
+        if (
+            node_id in self._departed_nodes
+            or self.managers[node_id].departing
+        ):
+            raise SimulationError(f"node {node_id} is already leaving")
+        chosen = self.managers[node_id].begin_leave(successor)
+        self.membership_log.append(
+            {
+                "at": round(self.scheduler.now(), 6),
+                "event": "drain-begin",
+                "node": node_id,
+                "successor": chosen,
+            }
+        )
+        deadline = time.monotonic() + timeout
+        while not self.managers[node_id].has_left:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"node {node_id} did not finish draining within "
+                    f"{timeout}s"
+                )
+            time.sleep(self.config.heartbeat_interval)
+        self._finalize_departure(node_id, "drained")
+        return chosen
+
+    def decommission_node(
+        self, node_id: NodeId, timeout: float = 30.0
+    ) -> NodeId:
+        """Force-remove a crashed *node_id* from the view for good,
+        blocking until every live member has installed the removal.
+        Returns the coordinating node."""
+
+        import time
+
+        if node_id not in self._crashed:
+            raise SimulationError(
+                f"node {node_id} is alive; drain it instead"
+            )
+        if node_id in self._departed_nodes:
+            raise SimulationError(f"node {node_id} already decommissioned")
+        live = self.live_nodes()
+        if not live:
+            raise SimulationError("no live member can coordinate")
+        coordinator = min(live)
+        self.managers[coordinator].decommission(node_id)
+        self.membership_log.append(
+            {
+                "at": round(self.scheduler.now(), 6),
+                "event": "decommission-begin",
+                "node": node_id,
+                "coordinator": coordinator,
+            }
+        )
+        deadline = time.monotonic() + timeout
+        while any(
+            node_id in self.managers[n].membership
+            for n in self.live_nodes()
+        ):
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"decommission of node {node_id} did not converge "
+                    f"within {timeout}s"
+                )
+            time.sleep(self.config.heartbeat_interval)
+        self._finalize_departure(node_id, "decommissioned")
+        return coordinator
+
+    def _finalize_departure(self, node_id: NodeId, event: str) -> None:
+        if node_id in self._departed_nodes:
+            return
+        self._departed_nodes.add(node_id)
+        if node_id in self.members:
+            self.members.remove(node_id)
+        if node_id not in self._crashed:
+            self.transport.crash(node_id)
+            self.managers[node_id].stop()
+            journal = self.journals.pop(node_id, None)
+            if journal is not None:
+                journal.close()
+        self.membership_log.append(
+            {
+                "at": round(self.scheduler.now(), 6),
+                "event": event,
+                "node": node_id,
+            }
+        )
+        if self.obs is not None:
+            self.obs.fault(event, node_id)
 
     def shutdown(self) -> None:
         """Stop timers, managers and transport threads."""
@@ -587,7 +777,7 @@ class ResilientThreadedCluster:
         from ..obs.live import ClusterView, NodeSnapshot, snapshot_node
 
         nodes = []
-        for node_id in range(self.num_nodes):
+        for node_id in sorted(self.members):
             if node_id in self._crashed:
                 nodes.append(NodeSnapshot(node=node_id, alive=False))
                 continue

@@ -66,6 +66,13 @@ class ResilientClient:
         cluster = self._cluster
         if cluster.is_crashed(self._node_id):
             raise SimulationError(f"node {self._node_id} is crashed")
+        if (
+            self._node_id in cluster._departed_nodes
+            or cluster.managers[self._node_id].departing
+        ):
+            raise SimulationError(
+                f"node {self._node_id} is leaving the cluster"
+            )
         if cluster.managers[self._node_id].fenced:
             raise SimulationError(f"node {self._node_id} is lease-fenced")
         cluster._record_request(self._node_id, lock_id, mode)
@@ -81,6 +88,14 @@ class ResilientClient:
         cluster = self._cluster
         if cluster.is_crashed(self._node_id):
             raise SimulationError(f"node {self._node_id} is crashed")
+        if (
+            self._node_id in cluster._departed_nodes
+            or cluster.managers[self._node_id].departing
+        ):
+            # ``begin_leave`` already force-released every residual hold
+            # (through the forced-release hook); a late application
+            # release would double-count it, like the fenced case below.
+            return
         if cluster.managers[self._node_id].fenced:
             # The fence already force-released this hold and told the
             # monitor via the forced-release hook; recording a second,
@@ -167,6 +182,14 @@ class ResilientSimCluster:
         self.durability_log: List[Dict[str, object]] = []
         self._crashed: set = set()
         self.crash_log: List[Dict[str, object]] = []
+        #: Current member node ids (the god-view mirror of the installed
+        #: membership view): grows on :meth:`join_node`, shrinks when a
+        #: drain or decommission completes.
+        self.members: List[NodeId] = list(range(num_nodes))
+        #: Nodes that have left for good (drained or decommissioned).
+        self._departed_nodes: set = set()
+        #: One entry per membership event (join / drain / decommission).
+        self.membership_log: List[Dict[str, object]] = []
         for node_id in range(num_nodes):
             self._boot_node(node_id, boot=0, fresh=True)
         # Only now: the first heartbeat needs every peer registered.
@@ -187,7 +210,13 @@ class ResilientSimCluster:
 
     # -- node lifecycle ----------------------------------------------------
 
-    def _boot_node(self, node_id: NodeId, boot: int, fresh: bool) -> None:
+    def _boot_node(
+        self,
+        node_id: NodeId,
+        boot: int,
+        fresh: bool,
+        membership: Optional[List[NodeId]] = None,
+    ) -> None:
         lockspace = LockSpace(
             node_id=node_id,
             token_home=self._token_home,
@@ -196,14 +225,25 @@ class ResilientSimCluster:
         )
         lockspace.obs = self.obs
         if self.flight is not None:
-            recorder = self.flight[node_id]
+            from ..obs.flightrec import FlightRecorder
+
+            recorder = self.flight.setdefault(
+                node_id,
+                FlightRecorder(
+                    node_id,
+                    protocol="hierarchical",
+                    clock=lambda: self.sim.now,
+                ),
+            )
             if not fresh:
                 recorder.record_restart()
             recorder.attach(lockspace)
         manager = RecoveryManager(
             node_id=node_id,
             lockspace=lockspace,
-            membership=range(self.num_nodes),
+            membership=(
+                membership if membership is not None else list(self.members)
+            ),
             scheduler=self._scheduler,
             transport_send=self._make_sender(node_id),
             config=self.config,
@@ -224,6 +264,7 @@ class ResilientSimCluster:
             )
             journal.attach(lockspace)
             journal.session_source = manager.sessions.export
+            journal.view_source = manager.view_journal_payload
             self.journals[node_id] = journal
             manager.journal = journal
         if fresh:
@@ -284,6 +325,8 @@ class ResilientSimCluster:
 
         if node_id not in self._crashed:
             return
+        if node_id in self._departed_nodes:
+            return  # Decommissioned while down: it no longer exists.
         self._crashed.discard(node_id)
         boot = self.managers[node_id].boot + 1
         self._boot_node(node_id, boot=boot, fresh=False)
@@ -291,12 +334,17 @@ class ResilientSimCluster:
         # Fabric first: rejoin replay dispatches messages immediately.
         self.network.restart(node_id, manager.handle)
         if self.persistence is not None:
-            from ..persist import recover_node_state
+            from ..persist import VIEW_JOURNAL_KEY, recover_node_state
             from ..services.sessions import SESSIONS_JOURNAL_KEY
 
             state, recover_report = recover_node_state(
                 self.persistence.store_for(node_id)
             )
+            # The journalled view first: quorum sizes and the departed
+            # set of everything below derive from it.
+            view_payload = state.pop(VIEW_JOURNAL_KEY, None)
+            if view_payload is not None:
+                manager.adopt_view(view_payload)
             # Sessions ride the same WAL under a reserved key; they are
             # not a lock and must never reach the per-lock rejoin.
             sessions_payload = state.pop(SESSIONS_JOURNAL_KEY, None)
@@ -368,9 +416,161 @@ class ResilientSimCluster:
         return self.clients[node_id]
 
     def live_nodes(self) -> List[NodeId]:
-        """Nodes currently up, ascending."""
+        """Current members that are up, ascending."""
 
-        return [n for n in range(self.num_nodes) if n not in self._crashed]
+        return [n for n in self.members if n not in self._crashed]
+
+    # -- dynamic membership (see repro.membership / docs/MEMBERSHIP.md) ----
+
+    def join_node(self) -> NodeId:
+        """Admit a brand-new node into the running cluster.
+
+        Allocates the next node id, boots it with the full recovery
+        stack, and has it ask the lowest live member for admission; the
+        sponsor drives the quorum-gated view change and sends the state
+        transfer.  The returned id's client is usable immediately (its
+        first requests simply route while the view converges).
+        """
+
+        live = self.live_nodes()
+        if not live:
+            raise SimulationError("no live member can sponsor a join")
+        sponsor = min(live)
+        node_id = self.num_nodes
+        self.num_nodes += 1
+        # The joiner boots believing the view is (sponsor's view | self):
+        # an over-approximation, so every quorum it counts before the
+        # real install arrives is at least as large as the true one.
+        bootstrap = sorted(
+            set(self.managers[sponsor].membership) | {node_id}
+        )
+        self.members.append(node_id)
+        self._boot_node(node_id, boot=0, fresh=True, membership=bootstrap)
+        manager = self.managers[node_id]
+        manager.start()
+        manager.request_join(sponsor)
+        self.clients.append(ResilientClient(self, node_id))
+        self.membership_log.append(
+            {
+                "at": round(self.sim.now, 6),
+                "event": "join",
+                "node": node_id,
+                "sponsor": sponsor,
+            }
+        )
+        if self.obs is not None:
+            self.obs.fault("join", node_id)
+        return node_id
+
+    def drain_node(
+        self, node_id: NodeId, successor: Optional[NodeId] = None
+    ) -> NodeId:
+        """Gracefully remove *node_id*: drain its holds, hand off any
+        token custody to *successor* (lowest live member by default),
+        migrate its copyset children, then install a view without it.
+
+        Returns the successor.  Finalization is asynchronous: the
+        cluster polls the manager and silences the node's fabric once
+        its removal view is installed (see :attr:`membership_log`).
+        """
+
+        if node_id in self._crashed:
+            raise SimulationError(
+                f"node {node_id} is crashed; decommission it instead"
+            )
+        if (
+            node_id in self._departed_nodes
+            or self.managers[node_id].departing
+        ):
+            raise SimulationError(f"node {node_id} is already leaving")
+        chosen = self.managers[node_id].begin_leave(successor)
+        self.membership_log.append(
+            {
+                "at": round(self.sim.now, 6),
+                "event": "drain-begin",
+                "node": node_id,
+                "successor": chosen,
+            }
+        )
+        self._drain_poll(node_id)
+        return chosen
+
+    def _drain_poll(self, node_id: NodeId) -> None:
+        if node_id in self._crashed or node_id in self._departed_nodes:
+            return  # Crashed mid-drain (decommission it) or done.
+        if not self.managers[node_id].has_left:
+            self.sim.schedule(
+                self.config.heartbeat_interval,
+                lambda: self._drain_poll(node_id),
+            )
+            return
+        self._finalize_departure(node_id, "drained")
+
+    def decommission_node(self, node_id: NodeId) -> NodeId:
+        """Force-remove a crashed *node_id* from the view for good.
+
+        The lowest live member coordinates the view change; the install
+        fences the dead node's leases and evicts its copyset entries
+        everywhere.  Returns the coordinator.  A decommissioned node can
+        never :meth:`restart`.
+        """
+
+        if node_id not in self._crashed:
+            raise SimulationError(
+                f"node {node_id} is alive; drain it instead"
+            )
+        if node_id in self._departed_nodes:
+            raise SimulationError(f"node {node_id} already decommissioned")
+        live = self.live_nodes()
+        if not live:
+            raise SimulationError("no live member can coordinate")
+        coordinator = min(live)
+        self.managers[coordinator].decommission(node_id)
+        self.membership_log.append(
+            {
+                "at": round(self.sim.now, 6),
+                "event": "decommission-begin",
+                "node": node_id,
+                "coordinator": coordinator,
+            }
+        )
+        self._decommission_poll(node_id)
+        return coordinator
+
+    def _decommission_poll(self, node_id: NodeId) -> None:
+        if node_id in self._departed_nodes:
+            return
+        if any(
+            node_id in self.managers[n].membership
+            for n in self.live_nodes()
+        ):
+            self.sim.schedule(
+                self.config.heartbeat_interval,
+                lambda: self._decommission_poll(node_id),
+            )
+            return
+        self._finalize_departure(node_id, "decommissioned")
+
+    def _finalize_departure(self, node_id: NodeId, event: str) -> None:
+        if node_id in self._departed_nodes:
+            return
+        self._departed_nodes.add(node_id)
+        if node_id in self.members:
+            self.members.remove(node_id)
+        if node_id not in self._crashed:
+            # A drained node: silence its fabric and stop its timers now
+            # that its removal view is installed cluster-wide enough for
+            # anti-entropy to finish the spread without it.
+            self.network.crash(node_id)
+            self.managers[node_id].stop()
+            journal = self.journals.pop(node_id, None)
+            if journal is not None:
+                journal.close()
+        self.membership_log.append(
+            {"at": round(self.sim.now, 6), "event": event, "node": node_id}
+        )
+        if self.obs is not None:
+            self.obs.fault(event, node_id)
 
     # -- monitor plumbing --------------------------------------------------
 
@@ -405,7 +605,7 @@ class ResilientSimCluster:
         from ..obs.live import ClusterView, NodeSnapshot, snapshot_node
 
         nodes = []
-        for node_id in range(self.num_nodes):
+        for node_id in sorted(self.members):
             if node_id in self._crashed:
                 nodes.append(NodeSnapshot(node=node_id, alive=False))
                 continue

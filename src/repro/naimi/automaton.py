@@ -345,6 +345,42 @@ class NaimiAutomaton:
         self._listener(self._lock_id, ctx)
 
     # ------------------------------------------------------------------
+    # God-view membership splices (see repro.sim.cluster).
+    # ------------------------------------------------------------------
+
+    def splice_last(self, new_last: NodeId) -> None:
+        """Re-point the probable-owner hint off a spliced-out node.
+
+        God-view maintenance for fault-free membership changes; the
+        caller guarantees quiescence and that *new_last* is a live member
+        on the path toward the token.
+        """
+
+        self._flight_op("splice_last", last=new_last)
+        if new_last == self._node_id:
+            raise ProtocolError("a node cannot be its own probable owner")
+        self._last = new_last
+        self._persist("splice")
+
+    def splice_take_token(self) -> None:
+        """Become the token root (transplant from a spliced-out holder)."""
+
+        self._flight_op("splice_take_token")
+        self._has_token = True
+        self._last = None
+        self._persist("splice")
+
+    def splice_retire(self, successor: NodeId) -> None:
+        """Terminal state of a spliced-out node: idle, pointing away."""
+
+        self._flight_op("splice_retire", successor=successor)
+        self._has_token = False
+        self._next = None
+        if successor != self._node_id:
+            self._last = successor
+        self._persist("splice")
+
+    # ------------------------------------------------------------------
     # Durability (see repro.persist).
     # ------------------------------------------------------------------
 

@@ -878,6 +878,8 @@ class ReplaySession:
             )
         if op == "regenerate_token":
             return automaton.regenerate_token(int(args["epoch"]))
+        if op == "accept_handoff":
+            return automaton.accept_handoff(int(args["epoch"]))
         if op == "raise_fence_floor":
             return automaton.raise_fence_floor(int(args["token"]))
         if op == "fence_holds":
@@ -905,6 +907,14 @@ class ReplaySession:
             return automaton.reassert_owned()
         if op == "expire_provisional_children":
             return automaton.expire_provisional_children()
+        if op == "begin_departure":
+            return automaton.begin_departure()
+        if op == "adopt_child":
+            return automaton.adopt_child(
+                int(args["node"]),
+                LockMode(str(args["mode"])),
+                int(args.get("seq", 0)),
+            )
         raise ValueError(f"unknown hierarchical op {op!r}")
 
 

@@ -71,6 +71,7 @@ AUDIT_RULES = (
     "expired-but-held",
     "double-active-lease",
     "stuck-request",
+    "view-skew",
     "starvation",
     "deadlock",
 )
@@ -284,6 +285,10 @@ class RecoveryHealth:
     #: deadline]`` rows, and renewal/revocation counters.  ``None`` when
     #: the manager predates the lease layer or leases are unused.
     leases: Optional[Mapping[str, object]] = None
+    #: Installed membership view epoch (0 = bootstrap view; see
+    #: :mod:`repro.membership`) and its member list.
+    view_epoch: int = 0
+    view_members: Tuple[NodeId, ...] = ()
 
     def to_payload(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -295,6 +300,8 @@ class RecoveryHealth:
             "app_retransmits": self.app_retransmits,
             "token_hints": [list(hint) for hint in self.token_hints],
             "custody_pending": list(self.custody_pending),
+            "view_epoch": self.view_epoch,
+            "view_members": list(self.view_members),
         }
         if self.durability is not None:
             payload["durability"] = dict(self.durability)
@@ -318,6 +325,8 @@ class RecoveryHealth:
                 for hint in payload.get("token_hints", ())
             ),
             custody_pending=tuple(payload.get("custody_pending", ())),
+            view_epoch=int(payload.get("view_epoch", 0)),
+            view_members=tuple(payload.get("view_members", ())),
             durability=(
                 {str(k): int(v) for k, v in durability.items()}
                 if durability is not None
@@ -846,6 +855,68 @@ def _audit_leases(
                     )
 
 
+def _audit_views(
+    view: ClusterView, quiescent: bool, findings: List[AuditFinding]
+) -> None:
+    """Check that every alive recovery node agrees on the membership view.
+
+    While a view change is in flight some nodes legitimately run one
+    epoch behind (the install broadcast races the snapshot), so
+    disagreement is a warning; at quiescence nothing is in flight —
+    heartbeat anti-entropy must have converged every member — and a
+    skew escalates to a violation.  Nodes on the *same* epoch but with
+    different member lists are always a violation: epochs name views
+    uniquely, so that state is unreachable through correct installs.
+    """
+
+    epochs: Dict[NodeId, Tuple[int, Tuple[NodeId, ...]]] = {}
+    for node in view.nodes:
+        if not node.alive or node.recovery is None:
+            continue
+        epochs[node.node] = (
+            node.recovery.view_epoch,
+            tuple(node.recovery.view_members),
+        )
+    if len(epochs) < 2:
+        return
+    seen_epochs = {epoch for epoch, _members in epochs.values()}
+    if len(seen_epochs) > 1:
+        findings.append(
+            AuditFinding(
+                rule="view-skew",
+                severity=_transient(quiescent),
+                nodes=tuple(sorted(epochs)),
+                detail="nodes disagree on the view epoch: "
+                + ", ".join(
+                    f"node {node}@{epochs[node][0]}"
+                    for node in sorted(epochs)
+                ),
+            )
+        )
+    for epoch in sorted(seen_epochs):
+        members = {
+            epochs[node][1]
+            for node in epochs
+            if epochs[node][0] == epoch and epochs[node][1]
+        }
+        if len(members) > 1:
+            findings.append(
+                AuditFinding(
+                    rule="view-skew",
+                    severity=VIOLATION,
+                    nodes=tuple(
+                        sorted(
+                            node
+                            for node in epochs
+                            if epochs[node][0] == epoch
+                        )
+                    ),
+                    detail=f"nodes at view epoch {epoch} disagree on the "
+                    "member list",
+                )
+            )
+
+
 def quiescent_idle(snap: LockSnapshot) -> bool:
     """Whether *snap* shows no activity that needs a root to resolve.
 
@@ -895,6 +966,9 @@ def audit_view(
 
     # -- lease reconciliation (nodes exposing lease health only) --------
     _audit_leases(view, findings)
+
+    # -- membership view agreement (nodes exposing recovery health) -----
+    _audit_views(view, quiescent, findings)
 
     if mean_grant_latency is not None and mean_grant_latency > 0:
         threshold = starvation_factor * mean_grant_latency

@@ -216,6 +216,35 @@ def render_prometheus(
         ],
     )
     emit(
+        "repro_view_epoch",
+        "gauge",
+        "Installed membership view epoch per node (skew = propagating "
+        "view change; persistent skew = partitioned member).",
+        [
+            _sample(
+                "repro_view_epoch",
+                node.recovery.view_epoch,
+                {"node": str(node.node)},
+            )
+            for node in view.nodes
+            if node.alive and node.recovery is not None
+        ],
+    )
+    emit(
+        "repro_view_members",
+        "gauge",
+        "Member count of the installed view per node.",
+        [
+            _sample(
+                "repro_view_members",
+                len(node.recovery.view_members),
+                {"node": str(node.node)},
+            )
+            for node in view.nodes
+            if node.alive and node.recovery is not None
+        ],
+    )
+    emit(
         "repro_audit_ok",
         "gauge",
         "1 iff the latest online invariant audit found no violations.",
@@ -289,11 +318,17 @@ def render_health_table(
     rows: List[List[str]] = []
     for node in view.nodes:
         if not node.alive:
-            row = [str(node.node), "DOWN", "-", "-", "-", "-", "-"]
+            row = [str(node.node), "DOWN", "-", "-", "-", "-", "-", "-"]
             if flight is not None:
                 row.append(flight_cell(node.node))
             rows.append(row)
             continue
+        view_cell = "-"
+        if node.recovery is not None:
+            view_cell = (
+                f"e{node.recovery.view_epoch}"
+                f"/{len(node.recovery.view_members)}n"
+            )
         tokens = sorted(
             str(snap.lock) for snap in node.locks if snap.believes_token
         )
@@ -339,6 +374,7 @@ def render_health_table(
         row = [
             str(node.node),
             "up",
+            view_cell,
             ",".join(tokens) if tokens else "-",
             ",".join(held) if held else "-",
             str(queued),
@@ -348,8 +384,8 @@ def render_health_table(
         if flight is not None:
             row.append(flight_cell(node.node))
         rows.append(row)
-    headers = ["node", "state", "tokens", "held", "queued", "frozen",
-               "recovery"]
+    headers = ["node", "state", "view", "tokens", "held", "queued",
+               "frozen", "recovery"]
     if flight is not None:
         headers.append("flight")
     lines = [

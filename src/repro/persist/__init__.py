@@ -7,7 +7,12 @@ policies, and how recovery reconciles with epoch fencing.
 """
 
 from .codec import request_from_payload, request_to_payload
-from .journal import DEFAULT_COMPACT_EVERY, NodeJournal, recover_node_state
+from .journal import (
+    DEFAULT_COMPACT_EVERY,
+    VIEW_JOURNAL_KEY,
+    NodeJournal,
+    recover_node_state,
+)
 from .store import (
     FSYNC_ALWAYS,
     FSYNC_BATCH,
@@ -31,6 +36,7 @@ __all__ = [
     "MemoryPersistence",
     "NodeJournal",
     "ScanReport",
+    "VIEW_JOURNAL_KEY",
     "encode_frame",
     "recover_node_state",
     "request_from_payload",

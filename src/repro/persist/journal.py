@@ -26,6 +26,11 @@ from ..services.sessions import SESSIONS_JOURNAL_KEY
 #: time-based) so simulated runs stay deterministic.
 DEFAULT_COMPACT_EVERY = 64
 
+#: Reserved journal key the installed membership view is recorded under
+#: (see :mod:`repro.membership`); popped out of the recovered state
+#: before per-lock rejoin, like the session payload.
+VIEW_JOURNAL_KEY = "@view"
+
 
 class NodeJournal:
     """Durability hook for one node's lockspace.
@@ -67,6 +72,10 @@ class NodeJournal:
         #: the recovery manager so compaction folds the session table
         #: into the snapshot instead of losing it with the truncated WAL.
         self.session_source = None
+        #: Same, for the installed membership view (a dict with
+        #: ``epoch`` / ``members`` / ``departed``); also re-recorded on
+        #: every install via :meth:`record_view`.
+        self.view_source = None
 
     def attach(self, lockspace) -> None:
         """Become *lockspace*'s persist hook (existing automata included)."""
@@ -120,6 +129,29 @@ class NodeJournal:
         if self._since_compact >= self.compact_every:
             self.compact()
 
+    def record_view(self, payload: Dict[str, object]) -> None:
+        """Append the installed membership view under the reserved key.
+
+        A restart must rejoin the *current* view, not the bootstrap one:
+        quorum sizes, the departed set and every peer list derive from
+        it.  One record per install, last wins on replay.
+        """
+
+        self.store.append(
+            {
+                "v": 1,
+                "lock": VIEW_JOURNAL_KEY,
+                "kind": "view",
+                "state": payload,
+            }
+        )
+        self.appends += 1
+        self._since_compact += 1
+        if self.obs is not None:
+            self.obs.persist_event(self.node_id, "view")
+        if self._since_compact >= self.compact_every:
+            self.compact()
+
     # -- compaction -----------------------------------------------------
 
     def compact(self) -> None:
@@ -133,6 +165,10 @@ class NodeJournal:
         }
         if self.session_source is not None:
             locks[SESSIONS_JOURNAL_KEY] = self.session_source()
+        if self.view_source is not None:
+            view = self.view_source()
+            if view is not None:
+                locks[VIEW_JOURNAL_KEY] = view
         self.store.write_snapshot(
             {"v": 1, "boot": self.boot, "locks": locks}
         )

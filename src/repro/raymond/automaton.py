@@ -327,6 +327,27 @@ class RaymondAutomaton:
         ]
 
     # ------------------------------------------------------------------
+    # God-view membership splices (see repro.sim.cluster).
+    # ------------------------------------------------------------------
+
+    def splice_holder(self, holder: Optional[NodeId]) -> None:
+        """Re-point the privilege direction after a topology splice.
+
+        God-view maintenance for fault-free membership changes: *holder*
+        must be a tree neighbour of this node in the spliced topology (or
+        ``None`` to transplant the privilege here).  The caller
+        guarantees quiescence, so the ``asked`` flag is clear and stays
+        clear.
+        """
+
+        self._flight_op("splice_holder", holder=holder)
+        if holder == self._node_id:
+            raise ProtocolError("a node cannot hold the privilege toward itself")
+        self._holder = holder
+        self._asked = False
+        self._persist("splice")
+
+    # ------------------------------------------------------------------
     # Durability (see repro.persist).
     # ------------------------------------------------------------------
 

@@ -74,14 +74,28 @@ class ThreadedTransport:
         return self._messages_sent
 
     def register(self, node_id: NodeId, handler: MessageHandler) -> None:
-        """Attach *handler* as the message sink of *node_id*."""
+        """Attach *handler* as the message sink of *node_id*.
 
-        if self._started:
-            raise SimulationError("cannot register nodes after start()")
+        Registering on a started transport (a membership join) spawns the
+        node's dispatcher thread immediately.
+        """
+
         if node_id in self._handlers:
             raise SimulationError(f"node {node_id} registered twice")
         self._handlers[node_id] = handler
         self._inboxes[node_id] = queue.Queue()
+        if self._started:
+            self._spawn_dispatcher(node_id)
+
+    def _spawn_dispatcher(self, node_id: NodeId) -> None:
+        thread = threading.Thread(
+            target=self._dispatch_loop,
+            args=(node_id,),
+            name=f"repro-transport-{node_id}",
+            daemon=True,
+        )
+        self._threads[node_id] = thread
+        thread.start()
 
     def start(self) -> None:
         """Spawn one dispatcher thread per registered node."""
@@ -90,14 +104,7 @@ class ThreadedTransport:
             return
         self._started = True
         for node_id in self._handlers:
-            thread = threading.Thread(
-                target=self._dispatch_loop,
-                args=(node_id,),
-                name=f"repro-transport-{node_id}",
-                daemon=True,
-            )
-            self._threads[node_id] = thread
-            thread.start()
+            self._spawn_dispatcher(node_id)
 
     def stop(self) -> None:
         """Stop every dispatcher thread and join them."""

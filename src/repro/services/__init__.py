@@ -1,10 +1,13 @@
 """CORBA-concurrency-service-style public facade and transactions."""
 
+from .fenced import FencedResource, FencedWriteError, WriteRecord
 from .lockset import HierarchicalLockSet, LockSet, LockSetFactory
 from .sessions import Session, SessionManager, SESSIONS_JOURNAL_KEY
 from .transaction import Transaction, TransactionManager, TxState
 
 __all__ = [
+    "FencedResource",
+    "FencedWriteError",
     "HierarchicalLockSet",
     "LockSet",
     "LockSetFactory",
@@ -14,4 +17,5 @@ __all__ = [
     "Transaction",
     "TransactionManager",
     "TxState",
+    "WriteRecord",
 ]

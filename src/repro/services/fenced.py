@@ -1,0 +1,183 @@
+"""Fencing-token-checked application resources (closes FAULTS.md §4).
+
+The lease layer fences the *service* side of a partition: a
+quorum-silent holder force-releases its modes and the majority raises
+the per-lock fence floor so the revoked holder's protocol traffic is
+rejected (PROTOCOL.md §14).  What the service cannot fence by itself is
+the *resource* — the storage register, file, or queue the lock was
+protecting.  A de-fenced holder that keeps touching that resource
+directly (it does not know it was fenced; that is the whole point of a
+partition) still corrupts it unless the resource checks tokens too.
+
+:class:`FencedResource` is that last inch: a resource-side guard that
+accepts a write only when it presents a fencing token strictly above
+both the highest floor the resource has observed and the token of every
+previously accepted write.  The rules mirror the automata's own
+``fencing_token`` checks, so one token minted by the lock service
+protects the full path:
+
+* **Floor check** — a write whose token is at or below the observed
+  fence floor comes from a revoked incarnation; reject it.
+* **Monotonicity check** — a write whose token is below one the
+  resource already accepted is a message from the past (delayed on the
+  network while a newer holder proceeded); reject it, and raise the
+  implied floor so the stale holder stays rejected.
+
+Both rejections raise :class:`FencedWriteError` and are tallied so
+tests and demos can assert exactly which writes the fence stopped; see
+``examples/fenced_register.py`` for the end-to-end demonstration with
+a lease-fenced minority holder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+
+__all__ = ["FencedResource", "FencedWriteError", "WriteRecord"]
+
+
+class FencedWriteError(ReproError):
+    """A write presented a fencing token the resource must reject.
+
+    Carries the offending ``token`` and the resource's current
+    ``floor`` so callers (and tests) can see exactly why the write was
+    fenced out.
+    """
+
+    def __init__(self, message: str, token: int, floor: int) -> None:
+        super().__init__(message)
+        self.token = int(token)
+        self.floor = int(floor)
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteRecord:
+    """One accepted write: what was written, under which token, when."""
+
+    token: int
+    value: Any
+    at: Optional[float] = None
+
+
+class FencedResource:
+    """A check-and-reject register guarded by fencing tokens.
+
+    The resource is deliberately dumb — it holds one value and two
+    monotonic integers (the observed floor and the highest accepted
+    token) — because that is all a real resource needs to make lock
+    fencing bind end-to-end.  It never talks to the lock service;
+    callers feed it floor observations (e.g. from
+    :meth:`~repro.core.automaton.HierarchicalLockAutomaton.fence_floor`
+    or a revocation notice) and writes carry the token minted with the
+    holder's lease.
+    """
+
+    def __init__(self, name: str = "resource", initial: Any = None) -> None:
+        self.name = name
+        self._value = initial
+        self._floor = 0
+        self._high_water = 0
+        #: Accepted writes in order (bounded only by the caller's use;
+        #: demos and tests read it as the resource's effective history).
+        self.history: List[WriteRecord] = []
+        self.writes_accepted = 0
+        self.writes_rejected = 0
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def floor(self) -> int:
+        """Highest fence floor this resource has observed."""
+
+        return self._floor
+
+    @property
+    def high_water(self) -> int:
+        """Fencing token of the newest accepted write (0 = none yet)."""
+
+        return self._high_water
+
+    def observe_floor(self, floor: int) -> int:
+        """Raise the observed fence floor (monotonic; returns the floor).
+
+        Feed this from the lock service's fence-floor bumps — a revoked
+        lease's token, a regeneration announce, a view install that
+        fenced a decommissioned holder.  Lowering is silently ignored:
+        floors only ever rise.
+        """
+
+        if int(floor) > self._floor:
+            self._floor = int(floor)
+        return self._floor
+
+    # -- the guarded operations --------------------------------------------
+
+    def check(self, token: int) -> None:
+        """Validate *token* for a write; raise :class:`FencedWriteError`.
+
+        Split from :meth:`write` so read-modify-write callers can fail
+        fast before computing the new value.
+        """
+
+        token = int(token)
+        if token <= 0:
+            self.writes_rejected += 1
+            raise FencedWriteError(
+                f"{self.name}: write carries no fencing token",
+                token=token,
+                floor=self._floor,
+            )
+        if token <= self._floor:
+            self.writes_rejected += 1
+            raise FencedWriteError(
+                f"{self.name}: token {token} is at/below the observed "
+                f"fence floor {self._floor} (revoked holder)",
+                token=token,
+                floor=self._floor,
+            )
+        if token < self._high_water:
+            # A write from the past: a newer holder already wrote.  Its
+            # token becomes part of the floor so the laggard stays out.
+            self.writes_rejected += 1
+            self._floor = max(self._floor, token)
+            raise FencedWriteError(
+                f"{self.name}: token {token} is older than an accepted "
+                f"write under {self._high_water} (stale holder)",
+                token=token,
+                floor=self._floor,
+            )
+
+    def write(self, token: int, value: Any, at: Optional[float] = None) -> Any:
+        """Apply a write under *token*; returns the stored value.
+
+        Rejects (raising :class:`FencedWriteError`) when the token is at
+        or below the observed floor, or below an already-accepted write.
+        """
+
+        self.check(token)
+        token = int(token)
+        self._value = value
+        self._high_water = max(self._high_water, token)
+        self.history.append(WriteRecord(token=token, value=value, at=at))
+        self.writes_accepted += 1
+        return value
+
+    def read(self) -> Any:
+        """Current value (reads are never fenced — they cannot corrupt)."""
+
+        return self._value
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for verdicts and demos."""
+
+        return {
+            "accepted": self.writes_accepted,
+            "rejected": self.writes_rejected,
+            "floor": self._floor,
+            "high_water": self._high_water,
+        }

@@ -142,6 +142,13 @@ class SessionManager:
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self._sessions: Dict[str, Session] = {}
+        #: Best peer fanout any advertisement of each lock's lease ever
+        #: reached (``lock -> live peer count at heartbeat time``).  Rides
+        #: the journal: after a crash-restart it tells the rejoin path
+        #: whether the pre-crash advertisement reached a quorum, or only
+        #: a minority that may itself be gone (see
+        #: ``RecoveryManager.rejoin_from_journal``, PROTOCOL.md §14).
+        self._advert_fanout: Dict[str, int] = {}
         self.gc_count = 0
         self.expired_count = 0
 
@@ -174,8 +181,13 @@ class SessionManager:
     def note_release(self, lock: str, mode: str, now: float) -> None:
         self.default_session(now).note_release(lock, mode, now)
 
-    def note_advertised(self, locks) -> bool:
-        """Mark holds on *locks* lease-advertised; True if any changed."""
+    def note_advertised(self, locks, fanout: Optional[int] = None) -> bool:
+        """Mark holds on *locks* lease-advertised; True if any changed.
+
+        *fanout* is how many live peers the carrying heartbeat fanned out
+        to; the per-lock maximum is kept (and journaled) so a restart can
+        judge whether its pre-crash advertisement reached a quorum.
+        """
 
         changed = False
         for session in self._sessions.values():
@@ -183,7 +195,19 @@ class SessionManager:
                 continue
             for lock in locks:
                 changed |= session.note_advertised(str(lock))
+        if fanout is not None:
+            for lock in locks:
+                key = str(lock)
+                if fanout > self._advert_fanout.get(key, -1):
+                    self._advert_fanout[key] = int(fanout)
+                    changed = True
         return changed
+
+    def advert_fanout(self, lock: str) -> Optional[int]:
+        """Best advertisement fanout recorded for *lock* (None if never
+        recorded — e.g. a pre-upgrade journal payload)."""
+
+        return self._advert_fanout.get(str(lock))
 
     def expire_all(self) -> int:
         """Expire every active session (self-fence); returns the count."""
@@ -233,6 +257,10 @@ class SessionManager:
             "v": 1,
             "node": int(self.node_id),
             "sessions": [s.to_payload() for s in self.sessions()],
+            "advert_fanout": sorted(
+                [lock, int(fanout)]
+                for lock, fanout in self._advert_fanout.items()
+            ),
         }
 
     def restore(self, payload: Dict[str, object]) -> None:
@@ -242,6 +270,10 @@ class SessionManager:
         for entry in payload.get("sessions", ()):
             session = Session.from_payload(entry)
             self._sessions[session.session_id] = session
+        self._advert_fanout = {
+            str(lock): int(fanout)
+            for lock, fanout in payload.get("advert_fanout", ())
+        }
 
     def reclaimer(
         self, now: float, ttl: float

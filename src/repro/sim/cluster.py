@@ -66,6 +66,16 @@ class _BaseCluster:
         if num_nodes < 1:
             raise ConfigurationError("a cluster needs at least one node")
         self.num_nodes = num_nodes
+        #: Current membership (mutated by ``add_node``/``remove_node``).
+        self.members = list(range(num_nodes))
+        #: Chronological record of membership changes (``at`` is sim time).
+        self.membership_log = []
+        self._next_node_id = num_nodes
+        self._departed: set = set()
+        # Spliced-out lockspaces, kept referenced so their (still
+        # registered) network handlers stay valid: any stray message to a
+        # ghost raises loudly instead of vanishing.
+        self._ghosts: Dict[NodeId, object] = {}
         self.sim = sim if sim is not None else Simulator()
         self.monitor = monitor
         self.metrics = metrics
@@ -114,11 +124,12 @@ class _BaseCluster:
             self.monitor.on_release(self.sim.now, node, lock_id, mode)
 
     def cluster_view(self):
-        """Capture a :class:`repro.obs.live.ClusterView` of all nodes.
+        """Capture a :class:`repro.obs.live.ClusterView` of all members.
 
-        A pure read over every node's lock state — the simulator is
+        A pure read over every member's lock state — the simulator is
         single-threaded, so no locking is needed and the capture is an
-        exact instant in simulated time.
+        exact instant in simulated time.  Spliced-out ghosts are
+        excluded.
         """
 
         from ..obs.live import ClusterView, snapshot_node
@@ -128,9 +139,48 @@ class _BaseCluster:
             captured_at=self.sim.now,
             nodes=tuple(
                 snapshot_node(node_id, self.lockspaces[node_id])
-                for node_id in sorted(self.lockspaces)
+                for node_id in sorted(self.members)
             ),
         )
+
+    # -- membership plumbing shared by the per-protocol splices ----------
+
+    def _check_departed(self, node_id: NodeId) -> None:
+        if node_id in self._departed:
+            raise ConfigurationError(
+                f"node {node_id} has left the cluster"
+            )
+
+    def _log_membership(self, event: str, node: NodeId, **extra) -> None:
+        entry = {"event": event, "node": node, "at": self.sim.now}
+        entry.update(extra)
+        self.membership_log.append(entry)
+        if self.obs is not None:
+            self.obs.fault(event, node)
+
+    def _pick_successor(
+        self, leaving: NodeId, successor: Optional[NodeId]
+    ) -> NodeId:
+        if len(self.members) < 2:
+            raise ConfigurationError(
+                "cannot remove the last member of the cluster"
+            )
+        if successor is None:
+            return min(m for m in self.members if m != leaving)
+        if successor == leaving or successor not in self.members:
+            raise ConfigurationError(
+                f"successor {successor} is not another live member"
+            )
+        return successor
+
+    def _require_removable(self, node_id: NodeId) -> None:
+        if node_id not in self.members:
+            raise ConfigurationError(f"node {node_id} is not a member")
+
+    def _retire_member(self, node_id: NodeId) -> None:
+        self.members.remove(node_id)
+        self._departed.add(node_id)
+        self._ghosts[node_id] = self.lockspaces.pop(node_id)
 
 
 class HierClient:
@@ -156,6 +206,7 @@ class HierClient:
         """
 
         cluster = self._cluster
+        cluster._check_departed(self._node_id)
         cluster._record_request(self._node_id, lock_id, mode)
         event = SimEvent(cluster.sim)
         ctx = _GrantCtx(event=event)
@@ -169,6 +220,7 @@ class HierClient:
         """Release one hold of *mode* on *lock_id*."""
 
         cluster = self._cluster
+        cluster._check_departed(self._node_id)
         cluster._record_release(self._node_id, lock_id, mode)
         out = cluster.lockspaces[self._node_id].release(lock_id, mode)
         cluster.network.send(self._node_id, out)
@@ -177,6 +229,7 @@ class HierClient:
         """Upgrade a held ``U`` on *lock_id* to ``W``; yields like acquire."""
 
         cluster = self._cluster
+        cluster._check_departed(self._node_id)
         event = SimEvent(cluster.sim)
         ctx = _GrantCtx(event=event, is_upgrade=True)
         out = cluster.lockspaces[self._node_id].upgrade(lock_id, ctx)
@@ -205,18 +258,42 @@ class SimHierarchicalCluster(_BaseCluster):
             num_nodes, sim=sim, latency=latency, seed=seed,
             monitor=monitor, metrics=metrics, obs=obs,
         )
+        self._options = options
+        self._base_token_home = token_home
+        # Membership splices re-route token homes: per-lock pins for
+        # locks instantiated before a removal, per-node redirects for
+        # locks whose home node left before anyone touched them.
+        self._home_override: Dict[LockId, NodeId] = {}
+        self._node_redirect: Dict[NodeId, NodeId] = {}
         self.lockspaces: Dict[NodeId, LockSpace] = {}
         for node_id in range(num_nodes):
-            lockspace = LockSpace(
-                node_id=node_id,
-                token_home=token_home,
-                listener=self._make_listener(node_id),
-                options=options,
-            )
-            lockspace.obs = obs
-            self.lockspaces[node_id] = lockspace
-            self.network.register(node_id, lockspace.handle)
+            self._add_lockspace(node_id)
         self.clients = [HierClient(self, n) for n in range(num_nodes)]
+
+    def _resolve_home(self, lock_id: LockId) -> NodeId:
+        """Token-home fn handed to every lockspace, splice-aware."""
+
+        override = self._home_override.get(lock_id)
+        if override is not None:
+            return override
+        home = self._base_token_home(lock_id)
+        seen = set()
+        while home in self._node_redirect and home not in seen:
+            seen.add(home)
+            home = self._node_redirect[home]
+        return home
+
+    def _add_lockspace(self, node_id: NodeId) -> LockSpace:
+        lockspace = LockSpace(
+            node_id=node_id,
+            token_home=self._resolve_home,
+            listener=self._make_listener(node_id),
+            options=self._options,
+        )
+        lockspace.obs = self.obs
+        self.lockspaces[node_id] = lockspace
+        self.network.register(node_id, lockspace.handle)
+        return lockspace
 
     def _label(self, message) -> str:
         return message_type_label(message)
@@ -237,6 +314,125 @@ class SimHierarchicalCluster(_BaseCluster):
         """Return the client object of *node_id*."""
 
         return self.clients[node_id]
+
+    # -- membership splices (valid at quiescence only) -------------------
+
+    def add_node(self) -> NodeId:
+        """Join a fresh node; returns its id.
+
+        Nothing to transplant: the joiner's automata are created lazily
+        with their parent pointing at the (splice-aware) token home, the
+        paper's normal lazy-attach path.
+        """
+
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self._add_lockspace(node_id)
+        self.members.append(node_id)
+        self.clients.append(HierClient(self, node_id))
+        self._log_membership("join", node_id)
+        return node_id
+
+    def remove_node(
+        self, node_id: NodeId, successor: Optional[NodeId] = None
+    ) -> NodeId:
+        """Splice *node_id* out of every copyset tree at quiescence.
+
+        The node must have released all holds first (drained).  Per
+        lock: a token held there transplants to one of its copyset
+        children (falling back to *successor*), which adopts the
+        remaining children; a non-token node's children migrate to its
+        parent.  Stale lazy parent pointers anywhere re-point to the
+        replacement, and future automaton creation is re-homed so no
+        fresh automaton ever points at (or claims a token for) the
+        removed node.  Returns the fallback successor used.
+        """
+
+        self._require_removable(node_id)
+        space = self.lockspaces[node_id]
+        for automaton in space.automata():
+            if (
+                automaton.held_modes
+                or automaton.pending_mode is not LockMode.NONE
+                or automaton.queue_length
+            ):
+                raise ConfigurationError(
+                    f"node {node_id} is still active on "
+                    f"{automaton.lock_id!r}; drain before removal"
+                )
+        fallback = self._pick_successor(node_id, successor)
+        lock_ids = sorted(
+            {
+                lock_id
+                for member in self.members
+                for lock_id in self.lockspaces[member].lock_ids
+            }
+        )
+        leaver_locks = set(space.lock_ids)
+        for lock_id in lock_ids:
+            leaver = (
+                space.automaton(lock_id) if lock_id in leaver_locks else None
+            )
+            if leaver is not None and leaver.has_token:
+                kids = {
+                    child: mode
+                    for child, mode in leaver.children.items()
+                    if child in self.members
+                }
+                succ = min(kids) if kids else fallback
+                root = self.lockspaces[succ].automaton(lock_id)
+                root.splice_token(frozen=leaver.frozen_modes)
+                for child, mode in kids.items():
+                    if child == succ:
+                        continue
+                    root.splice_adopt_child(
+                        child, mode, leaver.child_attachment_seq(child)
+                    )
+                replacement = succ
+            elif leaver is not None:
+                parent = leaver.parent
+                adopter = self.lockspaces[parent].automaton(lock_id)
+                for child, mode in leaver.children.items():
+                    if child == parent or child not in self.members:
+                        continue
+                    adopter.splice_adopt_child(
+                        child, mode, leaver.child_attachment_seq(child)
+                    )
+                self.network.send(parent, adopter.splice_drop_child(node_id))
+                replacement = parent
+            else:
+                replacement = fallback
+            # Re-home fresh automata before retiring: any lock whose
+            # home still resolves to the leaver pins to its current
+            # token node (a later fresh automaton there returns the
+            # existing, token-holding instance — never a duplicate).
+            if self._resolve_home(lock_id) == node_id:
+                holders = [
+                    member
+                    for member in self.members
+                    if member != node_id
+                    and lock_id in set(self.lockspaces[member].lock_ids)
+                    and self.lockspaces[member].automaton(lock_id).has_token
+                ]
+                self._home_override[lock_id] = (
+                    holders[0] if holders else replacement
+                )
+            for member in self.members:
+                if member == node_id:
+                    continue
+                member_space = self.lockspaces[member]
+                if lock_id not in set(member_space.lock_ids):
+                    continue
+                automaton = member_space.automaton(lock_id)
+                if automaton.parent == node_id:
+                    automaton.splice_parent(replacement)
+            if leaver is not None:
+                leaver.splice_retire(replacement)
+        # Virgin locks whose home was the leaver re-home to the fallback.
+        self._node_redirect[node_id] = fallback
+        self._retire_member(node_id)
+        self._log_membership("removed", node_id, successor=fallback)
+        return fallback
 
     # -- structural checks (valid at quiescence only) --------------------
 
@@ -304,6 +500,7 @@ class NaimiClient:
         """Request the (exclusive) lock; yield the event to wait."""
 
         cluster = self._cluster
+        cluster._check_departed(self._node_id)
         event = SimEvent(cluster.sim)
         out = cluster.lockspaces[self._node_id].request(lock_id, event)
         cluster.network.send(self._node_id, out)
@@ -313,6 +510,7 @@ class NaimiClient:
         """Leave the critical section of *lock_id*."""
 
         cluster = self._cluster
+        cluster._check_departed(self._node_id)
         cluster._record_release(self._node_id, lock_id, LockMode.W)
         out = cluster.lockspaces[self._node_id].release(lock_id)
         cluster.network.send(self._node_id, out)
@@ -338,17 +536,37 @@ class SimNaimiCluster(_BaseCluster):
             num_nodes, sim=sim, latency=latency, seed=seed,
             monitor=monitor, metrics=metrics, obs=obs,
         )
+        self._base_token_home = token_home
+        self._home_override: Dict[LockId, NodeId] = {}
+        self._node_redirect: Dict[NodeId, NodeId] = {}
         self.lockspaces: Dict[NodeId, NaimiLockSpace] = {}
         for node_id in range(num_nodes):
-            lockspace = NaimiLockSpace(
-                node_id=node_id,
-                token_home=token_home,
-                listener=self._make_listener(node_id),
-            )
-            lockspace.obs = obs
-            self.lockspaces[node_id] = lockspace
-            self.network.register(node_id, lockspace.handle)
+            self._add_lockspace(node_id)
         self.clients = [NaimiClient(self, n) for n in range(num_nodes)]
+
+    def _resolve_home(self, lock_id: LockId) -> NodeId:
+        """Token-home fn handed to every lockspace, splice-aware."""
+
+        override = self._home_override.get(lock_id)
+        if override is not None:
+            return override
+        home = self._base_token_home(lock_id)
+        seen = set()
+        while home in self._node_redirect and home not in seen:
+            seen.add(home)
+            home = self._node_redirect[home]
+        return home
+
+    def _add_lockspace(self, node_id: NodeId) -> NaimiLockSpace:
+        lockspace = NaimiLockSpace(
+            node_id=node_id,
+            token_home=self._resolve_home,
+            listener=self._make_listener(node_id),
+        )
+        lockspace.obs = self.obs
+        self.lockspaces[node_id] = lockspace
+        self.network.register(node_id, lockspace.handle)
+        return lockspace
 
     def _label(self, message) -> str:
         return naimi_message_type_label(message)
@@ -366,6 +584,105 @@ class SimNaimiCluster(_BaseCluster):
         """Return the client object of *node_id*."""
 
         return self.clients[node_id]
+
+    # -- membership splices (valid at quiescence only) -------------------
+
+    def add_node(self) -> NodeId:
+        """Join a fresh node; returns its id.
+
+        Nothing to transplant: the joiner's automata are created lazily
+        with ``last`` pointing at the (splice-aware) token home.
+        """
+
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self._add_lockspace(node_id)
+        self.members.append(node_id)
+        self.clients.append(NaimiClient(self, node_id))
+        self._log_membership("join", node_id)
+        return node_id
+
+    def remove_node(
+        self, node_id: NodeId, successor: Optional[NodeId] = None
+    ) -> NodeId:
+        """Splice *node_id* out of every last-pointer forest at quiescence.
+
+        The node must be idle on every lock.  A token resting there
+        transplants to the successor; ``last`` hints pointing at the
+        leaver re-route to the leaver's own hint (or the successor),
+        and future automaton creation is re-homed away from the leaver.
+        Returns the fallback successor used.
+        """
+
+        self._require_removable(node_id)
+        space = self.lockspaces[node_id]
+        for automaton in space.automata():
+            if not automaton.is_idle():
+                raise ConfigurationError(
+                    f"node {node_id} is still active on "
+                    f"{automaton.lock_id!r}; drain before removal"
+                )
+        fallback = self._pick_successor(node_id, successor)
+        lock_ids = sorted(
+            {
+                automaton.lock_id
+                for member in self.members
+                for automaton in self.lockspaces[member].automata()
+            },
+            key=str,
+        )
+        leaver_locks = {a.lock_id for a in space.automata()}
+        for lock_id in lock_ids:
+            leaver = (
+                space.automaton(lock_id) if lock_id in leaver_locks else None
+            )
+            if leaver is not None and leaver.has_token:
+                self.lockspaces[fallback].automaton(lock_id).splice_take_token()
+                replacement = fallback
+            elif leaver is not None:
+                replacement = leaver.last
+                if replacement not in self.members:
+                    replacement = fallback
+            else:
+                replacement = fallback
+            if self._resolve_home(lock_id) == node_id:
+                holders = [
+                    member
+                    for member in self.members
+                    if member != node_id
+                    and lock_id in {
+                        a.lock_id for a in self.lockspaces[member].automata()
+                    }
+                    and self.lockspaces[member].automaton(lock_id).has_token
+                ]
+                self._home_override[lock_id] = (
+                    holders[0] if holders else replacement
+                )
+            for member in self.members:
+                if member == node_id:
+                    continue
+                member_space = self.lockspaces[member]
+                if lock_id not in {
+                    a.lock_id for a in member_space.automata()
+                }:
+                    continue
+                automaton = member_space.automaton(lock_id)
+                if automaton.last == node_id:
+                    target = replacement if replacement != member else fallback
+                    if target == member:
+                        raise ConfigurationError(
+                            f"lock {lock_id!r}: no valid re-route for the "
+                            f"probable-owner hint of node {member}"
+                        )
+                    automaton.splice_last(target)
+            if leaver is not None:
+                leaver.splice_retire(
+                    replacement if replacement != node_id else fallback
+                )
+        self._node_redirect[node_id] = fallback
+        self._retire_member(node_id)
+        self._log_membership("removed", node_id, successor=fallback)
+        return fallback
 
     def assert_quiescent_invariants(self) -> None:
         """Verify single-token / idle structure after the network drains."""
@@ -407,6 +724,7 @@ class RaymondClient:
         """Request the (exclusive) privilege; yield the event to wait."""
 
         cluster = self._cluster
+        cluster._check_departed(self._node_id)
         cluster._record_request(self._node_id, lock_id, LockMode.W)
         event = SimEvent(cluster.sim)
         out = cluster.lockspaces[self._node_id].request(lock_id, event)
@@ -417,6 +735,7 @@ class RaymondClient:
         """Leave the critical section of *lock_id*."""
 
         cluster = self._cluster
+        cluster._check_departed(self._node_id)
         cluster._record_release(self._node_id, lock_id, LockMode.W)
         out = cluster.lockspaces[self._node_id].release(lock_id)
         cluster.network.send(self._node_id, out)
@@ -473,6 +792,141 @@ class SimRaymondCluster(_BaseCluster):
         """Return the client object of *node_id*."""
 
         return self.clients[node_id]
+
+    # -- membership splices (valid at quiescence only) -------------------
+
+    def add_node(self, attach_to: Optional[NodeId] = None) -> NodeId:
+        """Join a fresh node as a new leaf under *attach_to*.
+
+        The shared topology dict is spliced in place, so every
+        lockspace sees the new edge at once.  Fresh automata on the
+        joiner default their ``holder`` toward the attachment point —
+        correct, because the privilege can never be in a subtree it has
+        never visited.
+        """
+
+        if attach_to is None:
+            attach_to = min(self.members)
+        elif attach_to not in self.members:
+            raise ConfigurationError(
+                f"attachment point {attach_to} is not a member"
+            )
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self.topology[node_id] = attach_to
+        validate(self.topology)
+        lockspace = RaymondLockSpace(
+            node_id=node_id,
+            topology=self.topology,
+            listener=self._make_listener(node_id),
+        )
+        lockspace.obs = self.obs
+        self.lockspaces[node_id] = lockspace
+        self.network.register(node_id, lockspace.handle)
+        self.members.append(node_id)
+        self.clients.append(RaymondClient(self, node_id))
+        self._log_membership("join", node_id, attached_to=attach_to)
+        return node_id
+
+    def remove_node(
+        self, node_id: NodeId, successor: Optional[NodeId] = None
+    ) -> NodeId:
+        """Splice *node_id* out of the static tree at quiescence.
+
+        The node must be idle on every lock.  Its tree children re-hang
+        under its parent (or, when removing the root, under one promoted
+        child); per lock, a privilege resting at the leaver moves out
+        first — to the topology replacement — and every ``holder``
+        pointer at the leaver re-routes toward the privilege's new
+        position.  Returns the topology replacement.
+        """
+
+        self._require_removable(node_id)
+        space = self.lockspaces[node_id]
+        for automaton in space.automata():
+            if not automaton.is_idle():
+                raise ConfigurationError(
+                    f"node {node_id} is still active on "
+                    f"{automaton.lock_id!r}; drain before removal"
+                )
+        self._pick_successor(node_id, successor)  # membership sanity
+        parent = self.topology[node_id]
+        children = sorted(
+            n for n, p in self.topology.items() if p == node_id
+        )
+        if parent is not None:
+            replacement = parent
+            for child in children:
+                self.topology[child] = parent
+        else:
+            if successor is not None and successor in children:
+                replacement = successor
+            else:
+                replacement = children[0]
+            self.topology[replacement] = None
+            for child in children:
+                if child != replacement:
+                    self.topology[child] = replacement
+        del self.topology[node_id]
+        validate(self.topology)
+        lock_ids = sorted(
+            {
+                automaton.lock_id
+                for member in self.members
+                for automaton in self.lockspaces[member].automata()
+            },
+            key=str,
+        )
+        leaver_locks = {a.lock_id for a in space.automata()}
+        for lock_id in lock_ids:
+            leaver = (
+                space.automaton(lock_id) if lock_id in leaver_locks else None
+            )
+            direction: Optional[NodeId] = None
+            if leaver is not None and leaver.has_privilege:
+                # Privilege out first: the replacement takes it.  Its
+                # automaton may be created here under the *new* topology
+                # (a fresh root is already privileged; a fresh non-root
+                # is pointed up and corrected below).
+                target = self.lockspaces[replacement].automaton(lock_id)
+                target.splice_holder(None)
+                leaver.splice_holder(replacement)
+            elif leaver is not None:
+                direction = leaver.holder
+                if (
+                    self.topology.get(replacement) is None
+                    and direction != replacement
+                    and lock_id not in {
+                        a.lock_id
+                        for a in self.lockspaces[replacement].automata()
+                    }
+                ):
+                    # Promoted root with no automaton yet, privilege in
+                    # another ex-child's subtree: pre-create it pointed
+                    # the right way, or a later lazy creation would
+                    # claim a second privilege.
+                    fresh = self.lockspaces[replacement].automaton(lock_id)
+                    fresh.splice_holder(direction)
+            for member in self.members:
+                if member == node_id:
+                    continue
+                member_space = self.lockspaces[member]
+                if lock_id not in {
+                    a.lock_id for a in member_space.automata()
+                }:
+                    continue
+                automaton = member_space.automaton(lock_id)
+                if automaton.holder != node_id:
+                    continue
+                if direction is not None and member == replacement:
+                    automaton.splice_holder(direction)
+                else:
+                    automaton.splice_holder(replacement)
+            if leaver is not None and not leaver.has_privilege:
+                leaver.splice_holder(replacement)
+        self._retire_member(node_id)
+        self._log_membership("removed", node_id, successor=replacement)
+        return replacement
 
     def assert_quiescent_invariants(self) -> None:
         """Verify single-privilege / idle structure after draining."""

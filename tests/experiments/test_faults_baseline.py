@@ -6,6 +6,8 @@ import json
 
 from benchmarks.record_faults_baseline import (
     BASELINE_PATH,
+    CHURN_GROUP,
+    CHURN_METRICS,
     DURABLE_GROUP,
     DURABLE_METRICS,
     LEASE_GROUP,
@@ -18,12 +20,15 @@ from benchmarks.record_faults_baseline import (
 )
 
 
-def _summary(none=None, drop1=None, durable=None, lease=None, overhead=None):
+def _summary(
+    none=None, drop1=None, durable=None, lease=None, churn=None, overhead=None
+):
     return {
         "none": none or {m: 1.0 for m in PLAN_METRICS},
         "drop1": drop1 or {m: 1.2 for m in PLAN_METRICS},
         DURABLE_GROUP: durable or {m: 1.5 for m in DURABLE_METRICS},
         LEASE_GROUP: lease or {m: 1.1 for m in LEASE_METRICS},
+        CHURN_GROUP: churn or {m: 1.3 for m in CHURN_METRICS},
         "overhead": overhead or {m: 1.2 for m in OVERHEAD_METRICS},
     }
 
@@ -76,6 +81,13 @@ class TestCompareSummary:
         problems = compare_summary(base, current)
         assert any(LEASE_GROUP in p for p in problems)
 
+    def test_missing_churn_group_is_drift(self):
+        base = _baseline(_summary())
+        current = _summary()
+        del current[CHURN_GROUP]
+        problems = compare_summary(base, current)
+        assert any(CHURN_GROUP in p for p in problems)
+
     def test_missing_metric_in_baseline_is_drift(self):
         summary = _summary()
         del summary["none"]["latency_p95"]
@@ -104,6 +116,8 @@ class TestCheckedInBaseline:
             assert metric in summary[DURABLE_GROUP]
         for metric in LEASE_METRICS:
             assert metric in summary[LEASE_GROUP]
+        for metric in CHURN_METRICS:
+            assert metric in summary[CHURN_GROUP]
         for metric in OVERHEAD_METRICS:
             assert metric in summary["overhead"]
         # A fresh summary compared against itself must pass the gate.

@@ -91,15 +91,26 @@ class TestThreadedTransport:
         finally:
             transport.stop()
 
-    def test_registration_after_start_rejected(self):
+    def test_registration_after_start_serves_the_new_node(self):
+        """A membership join registers on a running transport; the late
+        node's dispatcher spins up immediately."""
+
         transport = ThreadedTransport()
         transport.register(0, lambda msg: [])
         transport.start()
         try:
-            with pytest.raises(SimulationError):
-                transport.register(1, lambda msg: [])
+            received = threading.Event()
+            transport.register(1, lambda msg: received.set() or [])
+            transport.send(0, [Envelope(1, _release())])
+            assert received.wait(timeout=5.0)
         finally:
             transport.stop()
+
+    def test_double_registration_rejected(self):
+        transport = ThreadedTransport()
+        transport.register(0, lambda msg: [])
+        with pytest.raises(SimulationError):
+            transport.register(0, lambda msg: [])
 
     def test_stop_is_idempotent(self):
         transport = ThreadedTransport()

@@ -1,0 +1,134 @@
+"""Unit tests for the resource-side fencing guard (repro.services.fenced)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.leases.lease import fencing_epoch, mint_fencing_token
+from repro.services.fenced import (
+    FencedResource,
+    FencedWriteError,
+    WriteRecord,
+)
+
+
+class TestFloorCheck:
+    def test_accepts_token_above_floor(self):
+        resource = FencedResource("r")
+        resource.observe_floor(10)
+        resource.write(11, "a")
+        assert resource.read() == "a"
+        assert resource.writes_accepted == 1
+
+    def test_rejects_token_at_floor(self):
+        resource = FencedResource("r")
+        resource.observe_floor(10)
+        with pytest.raises(FencedWriteError) as err:
+            resource.write(10, "a")
+        assert err.value.token == 10 and err.value.floor == 10
+        assert resource.writes_rejected == 1
+        assert resource.read() is None
+
+    def test_rejects_token_below_floor(self):
+        resource = FencedResource("r")
+        resource.observe_floor(10)
+        with pytest.raises(FencedWriteError, match="revoked holder"):
+            resource.write(3, "a")
+
+    def test_rejects_missing_token(self):
+        resource = FencedResource("r")
+        with pytest.raises(FencedWriteError, match="no fencing token"):
+            resource.write(0, "a")
+
+    def test_floor_is_monotonic(self):
+        resource = FencedResource("r")
+        assert resource.observe_floor(10) == 10
+        assert resource.observe_floor(4) == 10  # lowering is ignored
+        assert resource.floor == 10
+
+
+class TestMonotonicityCheck:
+    def test_rejects_stale_write_after_newer_one(self):
+        resource = FencedResource("r")
+        resource.write(20, "new")
+        with pytest.raises(FencedWriteError, match="stale holder"):
+            resource.write(7, "old")
+        assert resource.read() == "new"
+
+    def test_stale_rejection_raises_the_implied_floor(self):
+        resource = FencedResource("r")
+        resource.write(20, "new")
+        with pytest.raises(FencedWriteError):
+            resource.write(7, "old")
+        # The failed write taught the resource that 20 supersedes
+        # everything below it; even tokens above the original floor
+        # now bounce.
+        assert resource.floor >= 7
+        with pytest.raises(FencedWriteError):
+            resource.write(7, "old-again")
+
+    def test_equal_token_may_write_again(self):
+        """The same holder (same token) may keep writing: fencing
+        orders incarnations, not operations."""
+
+        resource = FencedResource("r")
+        resource.write(20, "first")
+        resource.write(20, "second")
+        assert resource.read() == "second"
+        assert resource.writes_accepted == 2
+
+
+class TestHistoryAndStats:
+    def test_history_records_accepted_writes_in_order(self):
+        resource = FencedResource("r")
+        resource.write(5, "a", at=1.0)
+        resource.write(9, "b", at=2.0)
+        assert resource.history == [
+            WriteRecord(token=5, value="a", at=1.0),
+            WriteRecord(token=9, value="b", at=2.0),
+        ]
+        tokens = [record.token for record in resource.history]
+        assert tokens == sorted(tokens)
+
+    def test_stats_shape(self):
+        resource = FencedResource("r", initial=0)
+        resource.observe_floor(2)
+        resource.write(5, 1)
+        with pytest.raises(FencedWriteError):
+            resource.write(1, 2)
+        stats = resource.stats()
+        assert stats == {
+            "accepted": 1,
+            "rejected": 1,
+            "floor": 2,
+            "high_water": 5,
+        }
+
+
+class TestWithServiceMintedTokens:
+    """The guard composes with the lease layer's real token scheme."""
+
+    def test_epoch_ordering_carries_through(self):
+        old = mint_fencing_token(epoch=1)
+        new = mint_fencing_token(epoch=2)
+        assert fencing_epoch(new) > fencing_epoch(old)
+        resource = FencedResource("r")
+        resource.write(old, "epoch-1")
+        resource.write(new, "epoch-2")
+        with pytest.raises(FencedWriteError):
+            resource.write(old, "zombie")
+        assert resource.read() == "epoch-2"
+
+    def test_revocation_floor_fences_the_old_epoch(self):
+        """observe_floor fed with a revoked lease's token (what the
+        service reports on a fence-floor bump) blocks that incarnation
+        entirely."""
+
+        revoked = mint_fencing_token(epoch=3)
+        resource = FencedResource("r")
+        resource.observe_floor(revoked)
+        with pytest.raises(FencedWriteError):
+            resource.write(revoked, "late write from the revoked holder")
+        successor = mint_fencing_token(epoch=4)
+        resource.write(successor, "fresh holder")
+        assert resource.read() == "fresh holder"

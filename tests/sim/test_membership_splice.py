@@ -1,0 +1,190 @@
+"""God-view membership splices on the plain sim clusters.
+
+The plain clusters run the bare protocols (no recovery stack), so
+membership changes are applied as atomic god-view splices between
+workload phases: :meth:`add_node` admits a node online and
+:meth:`remove_node` retires a quiescent one, transplanting token
+custody, re-homing copyset children and re-routing everyone's pointers
+so no waiter is stranded.  Every scenario here re-checks the cluster's
+own quiescent invariants (single token, acyclic copyset, consistent
+attachment) after each change, on all three protocols.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.lockspace import hashed_token_home
+from repro.core.modes import LockMode
+from repro.errors import ConfigurationError
+from repro.sim.cluster import (
+    SimHierarchicalCluster,
+    SimNaimiCluster,
+    SimRaymondCluster,
+)
+from repro.sim.engine import Process, Timeout
+
+LOCKS = ["db", "db.t1", "db.t2"]
+
+
+def _drive_phase(cluster, protocol, rng, ops):
+    """One workload phase over the current members; raises on any error."""
+
+    sim = cluster.sim
+
+    def workload(node):
+        client = cluster.clients[node]
+        for _ in range(ops):
+            lock = rng.choice(LOCKS)
+            if protocol == "hierarchical":
+                mode = rng.choice(
+                    [LockMode.R, LockMode.W, LockMode.IR, LockMode.IW]
+                )
+                yield client.acquire(lock, mode)
+            else:
+                yield client.acquire(lock)
+            yield Timeout(sim, rng.uniform(0.01, 0.1))
+            if protocol == "hierarchical":
+                client.release(lock, mode)
+            else:
+                client.release(lock)
+            yield Timeout(sim, rng.uniform(0.01, 0.05))
+
+    processes = [
+        Process(sim, workload(node)) for node in list(cluster.members)
+    ]
+    sim.run()
+    for process in processes:
+        if process.error is not None:
+            raise process.error
+
+
+def _build(protocol, seed=0):
+    if protocol == "hierarchical":
+        return SimHierarchicalCluster(
+            4, seed=seed + 1, token_home=hashed_token_home(4)
+        )
+    if protocol == "naimi":
+        return SimNaimiCluster(4, seed=seed + 2)
+    return SimRaymondCluster(5, seed=seed + 3)
+
+
+PROTOCOLS = ("hierarchical", "naimi", "raymond")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_join_then_remove_interior_and_token_home(protocol):
+    """The acceptance sweep: join mid-sequence, then remove a member and
+    the original token home / topology root, invariants clean after each."""
+
+    cluster = _build(protocol)
+    rng = random.Random(11)
+    _drive_phase(cluster, protocol, rng, 5)
+    joined = cluster.add_node()
+    assert joined in cluster.members
+    _drive_phase(cluster, protocol, rng, 4)
+    cluster.remove_node(1)
+    assert 1 not in cluster.members
+    _drive_phase(cluster, protocol, rng, 4)
+    cluster.assert_quiescent_invariants()
+    # Node 0 is the hashed token home for some locks (hierarchical /
+    # Naimi) and the topology root (Raymond): the hardest removal.
+    cluster.remove_node(0)
+    _drive_phase(cluster, protocol, rng, 4)
+    cluster.assert_quiescent_invariants()
+    events = [entry["event"] for entry in cluster.membership_log]
+    assert events == ["join", "removed", "removed"]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_removed_node_client_is_refused(protocol):
+    cluster = _build(protocol)
+    rng = random.Random(5)
+    _drive_phase(cluster, protocol, rng, 2)
+    cluster.remove_node(1)
+    client = cluster.clients[1]
+    with pytest.raises(ConfigurationError, match="left the cluster"):
+        if protocol == "hierarchical":
+            client.acquire("db", LockMode.R)
+        else:
+            client.acquire("db")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_remove_refuses_a_busy_node(protocol):
+    """A node still holding (or waiting) cannot be spliced out."""
+
+    cluster = _build(protocol)
+    sim = cluster.sim
+
+    def holder():
+        client = cluster.clients[1]
+        if protocol == "hierarchical":
+            yield client.acquire("db", LockMode.W)
+        else:
+            yield client.acquire("db")
+        # Never releases inside this phase: node 1 is busy.
+
+    Process(sim, holder())
+    sim.run()
+    with pytest.raises(ConfigurationError):
+        cluster.remove_node(1)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_token_remains_unique_after_removals(protocol):
+    """No lock ends up with zero or two custodians after splicing."""
+
+    cluster = _build(protocol)
+    rng = random.Random(23)
+    _drive_phase(cluster, protocol, rng, 5)
+    cluster.remove_node(1)
+    cluster.remove_node(0)
+    _drive_phase(cluster, protocol, rng, 3)
+    for lock_id in LOCKS:
+        holders = []
+        for member in cluster.members:
+            space = cluster.lockspaces[member]
+            automaton = space.automaton(lock_id)
+            has = (
+                automaton.has_privilege
+                if protocol == "raymond"
+                else automaton.has_token
+            )
+            if has:
+                holders.append(member)
+        assert len(holders) == 1, (
+            f"{protocol} {lock_id}: custodians {holders}"
+        )
+
+
+def test_join_allocates_fresh_ids_and_logs_sponsor_data():
+    cluster = _build("hierarchical")
+    first = cluster.add_node()
+    second = cluster.add_node()
+    assert first == 4 and second == 5
+    assert cluster.members == [0, 1, 2, 3, 4, 5]
+    joins = [e for e in cluster.membership_log if e["event"] == "join"]
+    assert [e["node"] for e in joins] == [4, 5]
+
+
+def test_double_remove_is_refused():
+    cluster = _build("naimi")
+    cluster.remove_node(2)
+    with pytest.raises(ConfigurationError):
+        cluster.remove_node(2)
+
+
+def test_remove_down_to_one_member_keeps_working():
+    """Shrink a Naimi cluster to a single member; it still self-grants."""
+
+    cluster = SimNaimiCluster(3, seed=9)
+    rng = random.Random(3)
+    _drive_phase(cluster, "naimi", rng, 3)
+    cluster.remove_node(1)
+    cluster.remove_node(2)
+    assert cluster.members == [0]
+    _drive_phase(cluster, "naimi", rng, 3)
+    cluster.assert_quiescent_invariants()
